@@ -1,0 +1,23 @@
+# Plug Your Volt reproduction — common tasks.
+
+.PHONY: install test bench examples artifacts clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script || exit 1; done
+
+artifacts: bench
+	@echo "reproduced tables/figures in benchmarks/results/:"
+	@ls benchmarks/results/
+
+clean:
+	rm -rf .pytest_cache benchmarks/results build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,56 @@
+"""Shared body for the Figs. 2-4 characterization benchmarks."""
+
+from __future__ import annotations
+
+from repro.analysis.export import boundary_to_csv, characterization_to_json
+from repro.analysis.regions import extract_regions, summarize
+from repro.analysis.report import render_boundary_series, render_characterization_map
+from repro.core.characterization import CharacterizationFramework, CharacterizationResult
+from repro.cpu import CPUModel
+
+from conftest import write_artifact
+
+
+def run_characterization(model: CPUModel) -> CharacterizationResult:
+    """The timed experiment: the full Algo 2 sweep for one CPU."""
+    return CharacterizationFramework(model, seed=5).run()
+
+
+def render_and_check(result: CharacterizationResult, artifact: str) -> str:
+    """Render the figure, persist it, and assert the paper's shape claims."""
+    text = (
+        render_characterization_map(result)
+        + "\n\n"
+        + render_boundary_series(result)
+        + "\n\n"
+        + f"maximal safe state: {result.maximal_safe_offset_mv():.0f} mV"
+    )
+    write_artifact(artifact, text)
+    stem = artifact.rsplit(".", 1)[0]
+    write_artifact(f"{stem}.csv", boundary_to_csv(result).rstrip())
+    write_artifact(f"{stem}.json", characterization_to_json(result))
+
+    model = result.model
+    regions = extract_regions(result)
+    # Claim 1: every frequency exhibits a safe undervolt band before any
+    # fault ("a range of under-volted offsets where no DVFS related
+    # faults are observed").
+    assert len(regions) == len(model.frequency_table)
+    for region in regions:
+        assert region.first_fault_mv is not None
+        assert region.first_fault_mv <= -40.0
+    # Claim 2: past the boundary a fault band manifests, bounded from
+    # below by a crash ("until we observe a system crash").
+    for region in regions:
+        assert region.crash_mv is not None
+        assert region.crash_mv < region.first_fault_mv
+    # Claim 3: the boundary depends on frequency (this is what makes the
+    # unsafe set two-dimensional and the maximal safe state non-trivial).
+    summary = summarize(result)
+    assert summary.deepest_fault_mv < summary.shallowest_fault_mv - 40.0
+    # Claim 4: a frequency-independent maximal safe state exists.
+    maximal = result.maximal_safe_offset_mv()
+    assert -150.0 < maximal < 0.0
+    for region in regions:
+        assert maximal > region.first_fault_mv
+    return text

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+timed body is the actual experiment (characterization sweep, attack
+campaign, SPEC measurement); the rendered artefact is written to
+``benchmarks/results/`` so the reproduced rows/series survive the run,
+and shape assertions encode what "reproduced" means.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.characterization import CharacterizationFramework, CharacterizationResult
+from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE, CPUModel
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the reproduced artefacts are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist one reproduced table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    return path
+
+
+_CHARACTERIZATIONS: dict = {}
+
+
+def characterize(model: CPUModel, seed: int = 5) -> CharacterizationResult:
+    """Session-cached full Algo 2 sweep for a model."""
+    key = (model.codename, seed)
+    if key not in _CHARACTERIZATIONS:
+        _CHARACTERIZATIONS[key] = CharacterizationFramework(model, seed=seed).run()
+    return _CHARACTERIZATIONS[key]
+
+
+@pytest.fixture(scope="session")
+def comet_characterization() -> CharacterizationResult:
+    return characterize(COMET_LAKE)
+
+
+@pytest.fixture(scope="session")
+def skylake_characterization() -> CharacterizationResult:
+    return characterize(SKY_LAKE)
+
+
+@pytest.fixture(scope="session")
+def kabylake_characterization() -> CharacterizationResult:
+    return characterize(KABY_LAKE_R)

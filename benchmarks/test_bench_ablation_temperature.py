@@ -1,0 +1,113 @@
+"""Ablation: die temperature and the characterized boundary (extension).
+
+Guardbands exist partly because silicon timing moves with temperature.
+This sweep characterizes the fault boundary at several die temperatures
+and answers the deployment question the paper leaves implicit: *at what
+temperature must Algorithm 2 run* so the resulting unsafe set protects
+the machine at every operating temperature?
+
+Answer made concrete — and it is *not* "just characterize hot": at turbo
+frequencies a hot die faults at shallower undervolts (mobility
+degradation dominates, the boundary rises with heat), while at the
+voltage-floor trough the opposite holds (temperature inversion: hot
+near-threshold silicon is faster, the boundary deepens with heat).  The
+worst-case temperature is frequency-dependent, so a safe deployment
+characterizes at both thermal extremes and enforces the *union* of the
+unsafe sets (per-frequency shallowest boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.characterization import CharacterizationConfig, CharacterizationResult
+from repro.core.unsafe_states import UnsafeStateSet
+from repro.cpu import COMET_LAKE
+from repro.errors import MachineCheckError
+from repro.faults.imul import ImulLoop
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import FaultModel
+
+from conftest import write_artifact
+
+TEMPERATURES_C = (45.0, 60.0, 80.0, 95.0)
+FREQUENCIES = (0.8, 2.0, 3.4, 4.9)
+
+
+def characterize_at(temperature_c: float) -> CharacterizationResult:
+    config = CharacterizationConfig(
+        offset_start_mv=-30,
+        offset_stop_mv=-280,
+        offset_step_mv=2,
+        frequencies_ghz=list(FREQUENCIES),
+    )
+    fault_model = FaultModel(COMET_LAKE, temperature_c=temperature_c)
+    injector = FaultInjector(fault_model, np.random.default_rng(5))
+    loop = ImulLoop(config.iterations)
+    result = CharacterizationResult(
+        model=COMET_LAKE,
+        config=config,
+        unsafe_states=UnsafeStateSet(system=f"Comet Lake @ {temperature_c:.0f}C"),
+    )
+    for frequency in FREQUENCIES:
+        for offset in config.offsets_mv():
+            conditions = fault_model.conditions_for_offset(frequency, offset)
+            try:
+                report = loop.run(injector, conditions)
+            except MachineCheckError:
+                result.unsafe_states.add_crash(frequency, offset)
+                result.crashes += 1
+                break
+            if report.fault_count:
+                result.unsafe_states.add_unsafe(frequency, offset)
+    return result
+
+
+def run_sweep() -> Dict[float, CharacterizationResult]:
+    return {t: characterize_at(t) for t in TEMPERATURES_C}
+
+
+def test_ablation_temperature(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows: List[tuple] = []
+    for frequency in FREQUENCIES:
+        row = [f"{frequency:.1f}"]
+        for temperature in TEMPERATURES_C:
+            boundary = results[temperature].unsafe_states.boundary_mv(frequency)
+            row.append(f"{boundary:.0f}")
+        rows.append(tuple(row))
+    text = render_table(
+        ["freq (GHz)"] + [f"{t:.0f} C" for t in TEMPERATURES_C],
+        rows,
+        title="First-fault offset (mV) vs die temperature (Comet Lake)",
+    )
+    maximal = {
+        t: results[t].unsafe_states.maximal_safe_offset_mv() for t in TEMPERATURES_C
+    }
+    text += "\n\nmaximal safe state: " + ", ".join(
+        f"{t:.0f}C -> {maximal[t]:.0f} mV" for t in TEMPERATURES_C
+    )
+    write_artifact("ablation_temperature.txt", text)
+
+    # Turbo-frequency boundary rises (gets shallower) with heat.
+    hot_turbo = results[95.0].unsafe_states.boundary_mv(4.9)
+    cold_turbo = results[45.0].unsafe_states.boundary_mv(4.9)
+    assert hot_turbo > cold_turbo
+    # Temperature inversion at the voltage floor: the low-frequency
+    # boundary moves the other way (deeper when hot).
+    hot_low = results[95.0].unsafe_states.boundary_mv(0.8)
+    cold_low = results[45.0].unsafe_states.boundary_mv(0.8)
+    assert hot_low < cold_low
+    # Deployment rule: the union of the two thermal extremes' unsafe sets
+    # is conservative at every probed frequency and temperature.
+    union = results[45.0].unsafe_states.merge(results[95.0].unsafe_states)
+    for t in TEMPERATURES_C:
+        for frequency in FREQUENCIES:
+            observed = results[t].unsafe_states.boundary_mv(frequency)
+            assert union.boundary_mv(frequency) >= observed - 2.0, (t, frequency)
+    # And the union's maximal safe state is no deeper than any single
+    # temperature's.
+    assert union.maximal_safe_offset_mv() >= max(maximal.values()) - 1.0

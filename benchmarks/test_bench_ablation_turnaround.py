@@ -1,0 +1,86 @@
+"""Ablation: the two turnaround-time contributors of Sec. 5.
+
+The paper names (1) the ioctl cost of the MSR driver and (2) the
+regulator's apply delay as the contributors to the kernel module's
+turnaround time, and argues that a microcode/MSR deployment removes
+both.  This sweep varies each contributor and measures the adaptive
+frequency-jump attack's fault window — showing when polling's margin
+erodes and that the turnaround model predicts it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.analysis.report import render_table
+from repro.attacks import VoltJockeyAttack, VoltJockeyConfig
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.testbench import Machine
+
+from conftest import characterize, write_artifact
+
+#: Raise-latency multipliers applied to the remediation path.
+RAISE_SCALES = (0.25, 1.0, 4.0, 16.0)
+
+#: ioctl latency multipliers (the paper's contributor 1).
+IOCTL_SCALES = (1.0, 100.0, 1000.0)
+
+
+def run_sweep() -> List[tuple]:
+    result = characterize(COMET_LAKE)
+    cross_offset = int(result.unsafe_states.boundary_mv(3.4)) - 10
+    rows = []
+    for raise_scale in RAISE_SCALES:
+        for ioctl_scale in IOCTL_SCALES:
+            model = dataclasses.replace(
+                COMET_LAKE,
+                regulator_raise_latency_s=COMET_LAKE.regulator_raise_latency_s
+                * raise_scale,
+                msr_ioctl_latency_s=COMET_LAKE.msr_ioctl_latency_s * ioctl_scale,
+            )
+            machine = Machine.build(model, seed=9)
+            module = PollingCountermeasure(machine, result.unsafe_states)
+            machine.modules.insmod(module)
+            outcome = VoltJockeyAttack(
+                machine,
+                VoltJockeyConfig(0.8, 3.4, offset_mv=cross_offset, repetitions=3),
+            ).mount()
+            rows.append(
+                (
+                    raise_scale,
+                    ioctl_scale,
+                    module.worst_case_turnaround_s(),
+                    outcome.faults_observed,
+                )
+            )
+    return rows
+
+
+def test_ablation_turnaround(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["raise-latency x", "ioctl x", "worst turnaround (us)", "window faults"],
+        [
+            (f"{rs:g}", f"{io:g}", f"{turnaround * 1e6:.0f}", faults)
+            for rs, io, turnaround, faults in rows
+        ],
+        title="Turnaround-time ablation (adaptive frequency-jump, Comet Lake)",
+    )
+    write_artifact("ablation_turnaround.txt", text)
+
+    by_key = {(rs, io): (t, f) for rs, io, t, f in rows}
+    # Longer raise latency -> strictly larger turnaround bound and at
+    # least as many window faults.
+    for io in IOCTL_SCALES:
+        turnarounds = [by_key[(rs, io)][0] for rs in RAISE_SCALES]
+        assert turnarounds == sorted(turnarounds)
+        faults = [by_key[(rs, io)][1] for rs in RAISE_SCALES]
+        assert faults[0] <= faults[-1]
+    # The window grows materially when the regulator raise is 16x slower.
+    assert by_key[(16.0, 1.0)][1] > by_key[(0.25, 1.0)][1]
+    # ioctl cost is the minor contributor at realistic scales (x100 of a
+    # sub-microsecond latency barely moves the bound).
+    base = by_key[(1.0, 1.0)][0]
+    assert by_key[(1.0, 100.0)][0] - base < 0.3e-3

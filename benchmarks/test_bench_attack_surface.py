@@ -1,0 +1,68 @@
+"""Observation O3 as a measure: the exposed attack surface.
+
+The paper root-causes DVFS attacks to the adversary's ability to search
+the whole (frequency, voltage) space for faulting pairs.  This benchmark
+performs that adversarial search through the public interfaces against
+an undefended and a protected Comet Lake machine and reports the *size*
+of the discovered attack surface — the countermeasure's job, stated as a
+number, is to take it to zero.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.attacks.search import AttackSurfaceScan
+from repro.cpu import COMET_LAKE
+from repro.experiments import characterization, protected_machine
+from repro.testbench import Machine
+
+from conftest import write_artifact
+
+
+def run_scans() -> tuple:
+    undefended = AttackSurfaceScan(Machine.build(COMET_LAKE, seed=47)).run()
+    machine, module = protected_machine(COMET_LAKE, seed=47)
+    protected = AttackSurfaceScan(machine).run()
+    return undefended, protected, module
+
+
+def test_attack_surface(benchmark):
+    undefended, protected, module = benchmark.pedantic(
+        run_scans, rounds=1, iterations=1
+    )
+    rows = [
+        (
+            "undefended",
+            len(undefended.points),
+            undefended.attack_surface,
+            len(undefended.crash_points()),
+        ),
+        (
+            "polling",
+            len(protected.points),
+            protected.attack_surface,
+            len(protected.crash_points()),
+        ),
+    ]
+    text = render_table(
+        ["defense", "grid points probed", "faulting pairs found", "crash pairs"],
+        rows,
+        title="Adversarial (frequency, voltage) search — observation O3 (Comet Lake)",
+    )
+    sample = undefended.faulting_points()[:6]
+    text += "\n\nundefended faulting pairs (sample): " + ", ".join(
+        f"({p.frequency_ghz:.1f} GHz, {p.offset_mv} mV)" for p in sample
+    )
+    write_artifact("attack_surface.txt", text)
+
+    # The undefended machine exposes a real surface (faults and crashes).
+    assert undefended.attack_surface >= 3
+    assert len(undefended.crash_points()) >= 3
+    # Every discovered pair is genuinely in the characterized unsafe set.
+    unsafe = characterization(COMET_LAKE).unsafe_states
+    for point in undefended.faulting_points():
+        assert unsafe.is_unsafe(point.frequency_ghz, point.offset_mv)
+    # Under the countermeasure the surface collapses to zero.
+    assert protected.attack_surface == 0
+    assert len(protected.crash_points()) == 0
+    assert module.stats.detections > 0

@@ -1,0 +1,87 @@
+"""The countermeasure-philosophy comparison (Sec. 1 / Sec. 4.1).
+
+Puts the three philosophies side by side on the axes the paper argues
+about, via :func:`repro.experiments.defense_comparison`:
+
+* does the defense prevent fault *injection* or only weaponization?
+* can benign non-SGX processes keep using DVFS while SGX runs?
+* does protection survive a single-stepping adversary?
+* what does it cost?
+
+Access control (Intel SA-00289) protects but kills benign DVFS;
+Minefield keeps DVFS alive but collapses under single-stepping; the
+paper's polling module is the only row with "yes" everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_defense_matrix, render_table
+from repro.defenses import ACCESS_CONTROL_OVERHEAD
+from repro.experiments import COMPARISON_ATTEMPTS, defense_comparison
+
+from conftest import write_artifact
+
+
+def test_defense_comparison(benchmark):
+    comparison = benchmark.pedantic(defense_comparison, rounds=1, iterations=1)
+
+    profiles = [
+        {
+            "defense": "intel-sa-00289",
+            "prevents_injection": True,
+            "benign_dvfs": not comparison.sa00289_blocks_benign,
+            "single_step_robust": True,
+            "hw_deployable": False,
+            "overhead": ACCESS_CONTROL_OVERHEAD,
+        },
+        {
+            "defense": "minefield",
+            "prevents_injection": False,
+            "benign_dvfs": True,
+            "single_step_robust": comparison.minefield_detected_stepped > 0,
+            "hw_deployable": False,
+            "overhead": comparison.minefield_overhead,
+        },
+        {
+            "defense": "plug-your-volt (polling)",
+            "prevents_injection": True,
+            "benign_dvfs": comparison.polling_benign_accepted,
+            "single_step_robust": True,
+            "hw_deployable": True,
+            "overhead": comparison.polling_overhead,
+        },
+    ]
+    matrix = render_defense_matrix(profiles)
+    detail = render_table(
+        ["observation", "value"],
+        [
+            ("SA-00289 blocks attack write", comparison.sa00289_blocks_attack),
+            ("SA-00289 blocks BENIGN -30 mV request", comparison.sa00289_blocks_benign),
+            ("Minefield detections (no stepping)", comparison.minefield_detected_plain),
+            ("Minefield exploits (no stepping)", comparison.minefield_exploited_plain),
+            ("Minefield detections (single-stepped)", comparison.minefield_detected_stepped),
+            ("Minefield exploits (single-stepped)", comparison.minefield_exploited_stepped),
+            ("polling: benign -30 mV accepted", comparison.polling_benign_accepted),
+            (
+                "polling: benign offset applied (mV)",
+                f"{comparison.polling_benign_applied_mv:.0f}",
+            ),
+            (
+                "polling: -250 mV attack ends up at (mV)",
+                f"{comparison.polling_attack_applied_mv:.0f}",
+            ),
+        ],
+        title="Per-philosophy observations",
+    )
+    write_artifact("defense_comparison.txt", matrix + "\n\n" + detail)
+
+    # The paper's comparative claims.
+    assert comparison.sa00289_blocks_attack and comparison.sa00289_blocks_benign
+    assert comparison.minefield_detected_plain > 0
+    assert comparison.minefield_detected_stepped == 0
+    assert comparison.minefield_exploited_stepped == COMPARISON_ATTEMPTS
+    assert comparison.polling_benign_accepted
+    assert abs(comparison.polling_benign_applied_mv + 30) <= 1.0
+    assert comparison.polling_attack_applied_mv > -100
+    assert comparison.polling_overhead < comparison.minefield_overhead
+    assert comparison.polling_overhead < ACCESS_CONTROL_OVERHEAD

@@ -1,0 +1,73 @@
+"""Fig. 1: the sequential-circuit timing interplay of Eq. 1.
+
+Regenerates the figure's content as a table: for the F1 -> comb -> F2
+pair at a fixed frequency, how T_src + T_prop grows as the supply drops
+while T_clk, T_setup and T_eps stay fixed — crossing from the safe
+inequality (Eq. 2) into the unsafe one (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.cpu import COMET_LAKE
+from repro.timing.safety import SafetyAnalyzer, budget_for
+
+from conftest import write_artifact
+
+FREQUENCY_GHZ = 2.0
+
+
+def build_fig1() -> tuple:
+    analyzer = COMET_LAKE.safety_analyzer()
+    budget = budget_for(FREQUENCY_GHZ, COMET_LAKE.process)
+    vf = COMET_LAKE.vf_curve()
+    base = vf.base_voltage(FREQUENCY_GHZ)
+    rows = []
+    crossing_mv = None
+    for undervolt_mv in range(0, 301, 20):
+        voltage = base - undervolt_mv * 1e-3
+        if voltage <= COMET_LAKE.process.vth_volts + 0.02:
+            break
+        point = analyzer.operating_point(FREQUENCY_GHZ, voltage)
+        verdict = "SAFE (Eq.2)" if point.is_safe else "UNSAFE (Eq.3)"
+        if not point.is_safe and crossing_mv is None:
+            crossing_mv = undervolt_mv
+        rows.append(
+            (
+                f"-{undervolt_mv}",
+                f"{voltage * 1e3:.0f}",
+                f"{point.path_delay_ps:.1f}",
+                f"{budget.slack_budget_ps:.1f}",
+                f"{point.slack_ps:+.1f}",
+                verdict,
+            )
+        )
+    table = render_table(
+        [
+            "offset (mV)",
+            "V_core (mV)",
+            "T_src+T_prop (ps)",
+            "T_clk-T_setup-T_eps (ps)",
+            "slack (ps)",
+            "state",
+        ],
+        rows,
+        title=(
+            f"Fig. 1 (reproduced): timing interplay at {FREQUENCY_GHZ} GHz "
+            f"(T_clk={budget.t_clk_ps:.0f} ps, T_setup={budget.t_setup_ps} ps, "
+            f"T_eps={budget.t_eps_ps} ps)"
+        ),
+    )
+    return table, crossing_mv
+
+
+def test_fig1_timing_interplay(benchmark):
+    table, crossing_mv = benchmark(build_fig1)
+    write_artifact("fig1_timing_interplay.txt", table)
+    # The inequality flips exactly once, at a plausible undervolt depth.
+    assert crossing_mv is not None
+    assert 40 <= crossing_mv <= 200
+    assert "SAFE (Eq.2)" in table and "UNSAFE (Eq.3)" in table
+    # The RHS of Eq. 1 is voltage-independent: a single budget value.
+    budgets = {line.split()[3] for line in table.splitlines()[3:] if line.strip()}
+    assert len(budgets) == 1

@@ -1,0 +1,20 @@
+"""Fig. 2: safe/unsafe characterization of Sky Lake (Algo 2 sweep).
+
+Regenerates the full frequency x offset grid — the frequency table at
+0.1 GHz resolution against undervolt offsets -1..-300 mV, one million
+imul iterations per cell — and renders the safe/fault/crash map plus the
+per-frequency boundary series.
+"""
+
+from __future__ import annotations
+
+from repro.cpu import SKY_LAKE
+
+from _characterization_common import render_and_check, run_characterization
+
+
+def test_fig2_skylake_characterization(benchmark):
+    result = benchmark.pedantic(
+        run_characterization, args=(SKY_LAKE,), rounds=1, iterations=1
+    )
+    render_and_check(result, "fig2_skylake_characterization.txt")

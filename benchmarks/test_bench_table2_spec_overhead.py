@@ -1,0 +1,80 @@
+"""Table 2: SPEC2017 overhead of the polling module on Comet Lake.
+
+Regenerates all 23 rows (base and peak rates with/without polling, and
+the slowdown columns) and compares the aggregate against the paper's
+headline 0.28% figure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.bench.overhead import (
+    PAPER_TABLE2_BY_NAME,
+    compare_with_paper,
+    paper_mean_base_overhead,
+)
+from repro.bench.runner import OverheadReport
+from repro.bench.stats import summarize_overhead
+from repro.experiments import table2_overhead
+
+from conftest import write_artifact
+
+
+def run_table2() -> OverheadReport:
+    return table2_overhead(seed=3)
+
+
+def render_table2(report: OverheadReport) -> str:
+    rows = []
+    for row in report.rows:
+        paper = PAPER_TABLE2_BY_NAME[row.name]
+        rows.append(
+            (
+                row.name,
+                f"{row.base_without:.2f}",
+                f"{row.base_with:.2f}",
+                f"{row.base_slowdown * 100:+.2f}%",
+                f"{paper.base_slowdown_pct:+.2f}%",
+                f"{row.peak_slowdown * 100:+.2f}%",
+                f"{paper.peak_slowdown_pct:+.2f}%",
+            )
+        )
+    table = render_table(
+        [
+            "Benchmark",
+            "Base (w/o)",
+            "Base (with)",
+            "Slowdown",
+            "paper",
+            "Peak slowdown",
+            "paper",
+        ],
+        rows,
+        title="Table 2 (reproduced): polling overhead on SPEC2017, Comet Lake",
+    )
+    statistics = summarize_overhead(report)
+    table += (
+        f"\n\nmean base overhead: {report.mean_base_overhead * 100:.2f}% "
+        f"(paper headline: 0.28%; paper base-column mean: "
+        f"{paper_mean_base_overhead() * 100:.2f}%)"
+        f"\nmean peak overhead: {report.mean_peak_overhead * 100:.2f}%"
+        f"\naggregates: {statistics.summary()}"
+        f"\npolling duty cycle (one core): {report.polling_duty_cycle * 100:.2f}%"
+    )
+    return table
+
+
+def test_table2_spec_overhead(benchmark):
+    report = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    write_artifact("table2_spec_overhead.txt", render_table2(report))
+    # Shape claims: all 23 rows degrade, every row stays "minuscule"
+    # (single-digit percent at worst, like the paper's -4.24% outlier),
+    # and the aggregate lands in the paper's sub-half-percent regime.
+    assert len(report.rows) == 23
+    for row in report.rows:
+        assert -0.05 < row.base_slowdown < 0.0
+        assert -0.05 < row.peak_slowdown < 0.0
+    assert report.mean_base_overhead < 0.006
+    assert abs(report.mean_base_overhead - 0.0028) < 0.003
+    comparison = compare_with_paper(report)
+    assert len(comparison) == 23

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The thermal-gap attack: pre-heat the die, then undervolt into the gap.
+
+An extension scenario beyond the paper, built entirely from library
+pieces.  The physics: dissipated power heats the die; at turbo
+frequencies, heat slows the logic and *raises* the fault boundary.  A
+countermeasure deployed with a characterization taken on a cool, idle
+machine therefore trusts a boundary that is too deep once the box has
+been busy for half a minute — and a patient attacker exploits exactly
+that window.
+
+The fix needs no new mechanism: characterize at both thermal extremes
+and deploy the merged unsafe set.
+
+Run:  python examples/thermal_gap_attack.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import COMET_LAKE, Machine
+from repro.core import PollingCountermeasure
+from repro.core.characterization import CharacterizationConfig, CharacterizationResult
+from repro.core.unsafe_states import UnsafeStateSet
+from repro.cpu.thermal import ThermalModel
+from repro.errors import MachineCheckError
+from repro.faults.imul import ImulLoop
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import FaultModel
+
+TURBO = 4.9
+
+
+def characterize(temperature_c: float) -> UnsafeStateSet:
+    """Algorithm 2 at a fixed die temperature (turbo point only)."""
+    config = CharacterizationConfig(
+        offset_start_mv=-30, offset_stop_mv=-250, offset_step_mv=2,
+        frequencies_ghz=[TURBO],
+    )
+    fault_model = FaultModel(COMET_LAKE, temperature_c=temperature_c)
+    injector = FaultInjector(fault_model, np.random.default_rng(5))
+    loop = ImulLoop(config.iterations)
+    result = CharacterizationResult(
+        model=COMET_LAKE, config=config,
+        unsafe_states=UnsafeStateSet(system=f"{temperature_c:.0f}C"),
+    )
+    for offset in config.offsets_mv():
+        try:
+            report = loop.run(injector, fault_model.conditions_for_offset(TURBO, offset))
+        except MachineCheckError:
+            result.unsafe_states.add_crash(TURBO, offset)
+            break
+        if report.fault_count:
+            result.unsafe_states.add_unsafe(TURBO, offset)
+    return result.unsafe_states
+
+
+def attack(unsafe_set: UnsafeStateSet, offset: int, temperature: float) -> tuple:
+    machine = Machine.build(COMET_LAKE, seed=17)
+    machine.fault_model.set_temperature(temperature)
+    module = PollingCountermeasure(machine, unsafe_set)
+    machine.modules.insmod(module)
+    machine.set_frequency(TURBO)
+    machine.write_voltage_offset(offset)
+    machine.advance(3 * COMET_LAKE.regulator_latency_s)
+    report = machine.run_imul_window(iterations=2_000_000)
+    return report.fault_count, module.stats.detections
+
+
+def main() -> None:
+    thermal = ThermalModel(COMET_LAKE)
+    cool = thermal.parameters.ambient_c
+    thermal.set_operating_point(TURBO, 0.0, now=0.0)
+    hot = thermal.temperature_c(30.0)
+    print(f"[1] Warming up: sustained {TURBO} GHz turbo for 30 s "
+          f"takes the die {cool:.0f} C -> {hot:.0f} C")
+
+    cool_set = characterize(cool)
+    hot_set = characterize(hot)
+    cool_boundary = cool_set.boundary_mv(TURBO)
+    hot_boundary = hot_set.boundary_mv(TURBO)
+    print(f"[2] Turbo fault boundary: {cool_boundary:.0f} mV cool, "
+          f"{hot_boundary:.0f} mV hot "
+          f"(gap: {hot_boundary - cool_boundary:.0f} mV)")
+
+    gap = int((cool_boundary + hot_boundary) / 2)
+    print(f"[3] Attacker pre-heats the box, then undervolts to {gap} mV...")
+    faults, detections = attack(cool_set, gap, hot)
+    print(f"    vs cool-only characterization: {faults} faults, "
+          f"{detections} detections -> ATTACK SUCCEEDS")
+
+    merged = cool_set.merge(hot_set)
+    faults, detections = attack(merged, gap, hot)
+    print(f"    vs merged cool+hot characterization: {faults} faults, "
+          f"{detections} detections -> attack defeated")
+
+    print("\nLesson: run Algorithm 2 at both thermal extremes and deploy "
+          "the union (UnsafeStateSet.merge).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Sec. 5: pushing the countermeasure below the kernel.
+
+The kernel module has a turnaround time (poll period + MSR ioctl cost +
+regulator settle).  An *adaptive* adversary exploits it: pre-position an
+undervolt that is safe for a low frequency, let it apply, then jump the
+frequency so the already-applied voltage is suddenly unsafe — faults land
+until the next poll reacts.
+
+The maximal safe state makes two vendor-level deployments possible:
+
+* Sec. 5.1 — a microcode update: the sequencer intercepts every
+  ``wrmsr 0x150`` and *ignores* writes beyond the maximal safe state;
+* Sec. 5.2 — a hardware MSR (``MSR_VOLTAGE_OFFSET_LIMIT``): over-deep
+  writes are *clamped* to the limit, DRAM_MIN_PWR-style, and the limit
+  register can be locked.
+
+Both remove the turnaround entirely: the unsafe offset can never be
+pre-positioned in the first place.
+
+Run:  python examples/vendor_deployments.py
+"""
+
+from __future__ import annotations
+
+from repro import COMET_LAKE, Machine
+from repro.attacks import VoltJockeyAttack, VoltJockeyConfig
+from repro.core import (
+    CharacterizationFramework,
+    MicrocodeGuard,
+    PollingCountermeasure,
+    install_msr_clamp,
+)
+
+
+def run_adaptive_attack(machine: Machine, offset_mv: int) -> None:
+    outcome = VoltJockeyAttack(
+        machine,
+        VoltJockeyConfig(
+            low_frequency_ghz=0.8,
+            high_frequency_ghz=3.4,
+            offset_mv=offset_mv,
+            repetitions=3,
+        ),
+    ).mount()
+    print(f"    window faults: {outcome.faults_observed}")
+    print(f"    writes blocked: {outcome.writes_blocked}")
+    print(f"    attack succeeded: {outcome.succeeded}")
+    for note in outcome.notes:
+        print(f"    note: {note}")
+
+
+def main() -> None:
+    print("[*] Characterizing Comet Lake and deriving the maximal safe state...")
+    result = CharacterizationFramework(COMET_LAKE, seed=5).run()
+    maximal = result.maximal_safe_offset_mv()
+    print(f"    maximal safe state: {maximal:.0f} mV "
+          "(safe at EVERY frequency in the table)")
+
+    # The adaptive offset: safe at 0.8 GHz, inside the fault band at 3.4.
+    cross = int(result.unsafe_states.boundary_mv(3.4)) - 10
+    print(f"    adaptive cross-frequency offset: {cross} mV "
+          f"(safe at 0.8 GHz, faults at 3.4 GHz)\n")
+
+    print("=== Kernel-level polling alone (the residual window) ===")
+    machine = Machine.build(COMET_LAKE, seed=9)
+    module = PollingCountermeasure(machine, result.unsafe_states)
+    machine.modules.insmod(module)
+    print(f"    worst-case turnaround: {module.worst_case_turnaround_s() * 1e6:.0f} us")
+    run_adaptive_attack(machine, cross)
+
+    print("\n=== Sec. 5.1: microcode sequencer (write-ignore) ===")
+    machine = Machine.build(COMET_LAKE, seed=9)
+    machine.modules.insmod(PollingCountermeasure(machine, result.unsafe_states))
+    guard = MicrocodeGuard(maximal)
+    guard.apply(machine.processor)
+    run_adaptive_attack(machine, cross)
+    print(f"    microcode ignored {guard.ignored_writes} unsafe wrmsr")
+
+    print("\n=== Sec. 5.2: MSR_VOLTAGE_OFFSET_LIMIT (hardware clamp) ===")
+    machine = Machine.build(COMET_LAKE, seed=9)
+    machine.modules.insmod(PollingCountermeasure(machine, result.unsafe_states))
+    clamp = install_msr_clamp(machine.processor, maximal)
+    run_adaptive_attack(machine, cross)
+    print(f"    clamp engaged on {clamp.clamped_writes} writes "
+          f"(limit locked: {clamp.locked})")
+
+    print("\nThe deeper the deployment, the smaller the turnaround — down to zero.")
+
+
+if __name__ == "__main__":
+    main()

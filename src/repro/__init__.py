@@ -1,0 +1,41 @@
+"""Reproduction of "Plug Your Volt: Protecting Intel Processors against
+Dynamic Voltage Frequency Scaling based Fault Attacks" (DAC 2024).
+
+The package implements the paper's countermeasure — safe/unsafe system
+state characterization plus a polling kernel module — together with every
+substrate it needs: a simulated Intel processor (MSRs, overclocking
+mailbox, voltage regulator, P-states), the circuit-timing physics of
+Eq. 1-3, a discrete-event OS layer, SGX enclaves with attestation and
+stepping, the published attacks (Plundervolt, VoltJockey, V0LTpwn), the
+baseline defenses (Intel SA-00289 access control, Minefield deflection),
+and a SPEC2017-style overhead harness.
+
+Quick start::
+
+    from repro import Machine, COMET_LAKE
+    from repro.core import CharacterizationFramework, PollingCountermeasure
+
+    unsafe = CharacterizationFramework(COMET_LAKE).run().unsafe_states
+    machine = Machine.build(COMET_LAKE, seed=1)
+    machine.modules.insmod(PollingCountermeasure(machine, unsafe))
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper.
+"""
+
+from repro.cpu import COMET_LAKE, KABY_LAKE_R, PAPER_MODEL_TUPLE, SKY_LAKE, CPUModel
+from repro.errors import ReproError
+from repro.testbench import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COMET_LAKE",
+    "KABY_LAKE_R",
+    "PAPER_MODEL_TUPLE",
+    "SKY_LAKE",
+    "CPUModel",
+    "ReproError",
+    "Machine",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Analysis and reporting: region extraction, rendering, and export."""
+
+from repro.analysis.export import (
+    boundary_to_csv,
+    characterization_to_csv,
+    characterization_to_json,
+    overhead_to_csv,
+    unsafe_set_from_json,
+    write_text,
+)
+from repro.analysis.regions import (
+    FrequencyRegions,
+    RegionSummary,
+    extract_regions,
+    summarize,
+)
+from repro.analysis.report import (
+    render_boundary_series,
+    render_characterization_map,
+    render_defense_matrix,
+    render_table,
+)
+from repro.analysis.timeline import TraceSample, VoltageTracer
+
+__all__ = [
+    "boundary_to_csv",
+    "characterization_to_csv",
+    "characterization_to_json",
+    "overhead_to_csv",
+    "unsafe_set_from_json",
+    "write_text",
+    "FrequencyRegions",
+    "RegionSummary",
+    "extract_regions",
+    "summarize",
+    "render_boundary_series",
+    "render_characterization_map",
+    "render_defense_matrix",
+    "render_table",
+    "TraceSample",
+    "VoltageTracer",
+]

@@ -1,0 +1,122 @@
+"""Machine-readable export of experiment results.
+
+Characterization grids and the Table 2 report can be written as CSV (for
+plotting pipelines) and JSON (for programmatic reuse / persisting the
+unsafe set a deployed module should enforce).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.bench.runner import OverheadReport
+from repro.core.characterization import CharacterizationResult
+
+PathLike = Union[str, Path]
+
+
+def characterization_to_csv(result: CharacterizationResult) -> str:
+    """One row per probed cell: frequency, offset, faults, crashed."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["frequency_ghz", "offset_mv", "fault_count", "crashed"])
+    for cell in result.cells:
+        writer.writerow(
+            [f"{cell.frequency_ghz:.1f}", cell.offset_mv, cell.fault_count, int(cell.crashed)]
+        )
+    return buffer.getvalue()
+
+
+def boundary_to_csv(result: CharacterizationResult) -> str:
+    """One row per frequency: the Figs. 2-4 boundary series."""
+    from repro.analysis.regions import extract_regions
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["frequency_ghz", "first_fault_mv", "crash_mv", "band_width_mv"])
+    for region in extract_regions(result):
+        writer.writerow(
+            [
+                f"{region.frequency_ghz:.1f}",
+                region.first_fault_mv if region.first_fault_mv is not None else "",
+                region.crash_mv if region.crash_mv is not None else "",
+                region.fault_band_width_mv
+                if region.fault_band_width_mv is not None
+                else "",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def characterization_to_json(result: CharacterizationResult) -> str:
+    """JSON bundle: model identity, unsafe set, maximal safe state.
+
+    This is the artifact a deployed polling module would load at insmod
+    time; :func:`unsafe_set_from_json` restores it.
+    """
+    payload = {
+        "model": {
+            "name": result.model.name,
+            "codename": result.model.codename,
+            "microcode": result.model.microcode,
+        },
+        "config": {
+            "offset_start_mv": result.config.offset_start_mv,
+            "offset_stop_mv": result.config.offset_stop_mv,
+            "iterations": result.config.iterations,
+        },
+        "unsafe_states": result.unsafe_states.to_dict(),
+        "maximal_safe_offset_mv": result.maximal_safe_offset_mv(),
+        "crashes": result.crashes,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def unsafe_set_from_json(text: str):
+    """Restore an :class:`UnsafeStateSet` from a characterization bundle."""
+    from repro.core.unsafe_states import UnsafeStateSet
+
+    payload = json.loads(text)
+    return UnsafeStateSet.from_dict(payload["unsafe_states"])
+
+
+def overhead_to_csv(report: OverheadReport) -> str:
+    """Table 2 rows as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "benchmark",
+            "base_without",
+            "base_with",
+            "base_slowdown_pct",
+            "peak_without",
+            "peak_with",
+            "peak_slowdown_pct",
+        ]
+    )
+    for row in report.rows:
+        writer.writerow(
+            [
+                row.name,
+                f"{row.base_without:.3f}",
+                f"{row.base_with:.3f}",
+                f"{row.base_slowdown * 100:.3f}",
+                f"{row.peak_without:.3f}",
+                f"{row.peak_with:.3f}",
+                f"{row.peak_slowdown * 100:.3f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_text(path: PathLike, content: str) -> Path:
+    """Write an export to disk and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content)
+    return target

@@ -1,0 +1,67 @@
+"""Published DVFS fault attacks, re-implemented against the substrate.
+
+* :mod:`repro.attacks.plundervolt` — undervolt-driven RSA-CRT key
+  extraction (plus the paper's own ``imul``-campaign evaluation shape);
+* :mod:`repro.attacks.voltjockey` — the frequency-jump-onto-undervolt
+  ordering, the hardest case for a polling defense;
+* :mod:`repro.attacks.v0ltpwn` — enclave computation-integrity attack on
+  vector multiplies;
+* :mod:`repro.attacks.rsa_crt` — the in-enclave RSA-CRT signer and the
+  Bellcore gcd extraction;
+* :mod:`repro.attacks.aes` / :mod:`repro.attacks.aes_dfa` — AES-128 under
+  fault injection and Piret-Quisquater differential fault analysis;
+* :mod:`repro.attacks.search` — the adversarial (frequency, voltage)
+  space search of observation O3.
+"""
+
+from repro.attacks.aes import (
+    DFAState,
+    FaultableAES,
+    diff_group,
+    encrypt_block,
+    expand_key,
+    invert_key_schedule,
+)
+from repro.attacks.aes_dfa import AESDFAAttack, AESDFAConfig
+from repro.attacks.base import AttackOutcome, DVFSAttack
+from repro.attacks.plundervolt import ImulCampaign, PlundervoltAttack, PlundervoltConfig
+from repro.attacks.rsa_crt import (
+    BellcoreResult,
+    RSACRTSigner,
+    RSAKey,
+    bellcore_extract,
+    generate_prime,
+    is_probable_prime,
+)
+from repro.attacks.search import OffsetSearch, SearchPoint
+from repro.attacks.v0ltpwn import V0ltpwnAttack, V0ltpwnConfig, VectorChecksumPayload
+from repro.attacks.voltjockey import VoltJockeyAttack, VoltJockeyConfig
+
+__all__ = [
+    "DFAState",
+    "FaultableAES",
+    "diff_group",
+    "encrypt_block",
+    "expand_key",
+    "invert_key_schedule",
+    "AESDFAAttack",
+    "AESDFAConfig",
+    "AttackOutcome",
+    "DVFSAttack",
+    "ImulCampaign",
+    "PlundervoltAttack",
+    "PlundervoltConfig",
+    "BellcoreResult",
+    "RSACRTSigner",
+    "RSAKey",
+    "bellcore_extract",
+    "generate_prime",
+    "is_probable_prime",
+    "OffsetSearch",
+    "SearchPoint",
+    "V0ltpwnAttack",
+    "V0ltpwnConfig",
+    "VectorChecksumPayload",
+    "VoltJockeyAttack",
+    "VoltJockeyConfig",
+]

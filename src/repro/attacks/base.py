@@ -1,0 +1,58 @@
+"""Common attack interface and outcome records.
+
+Every re-implemented attack (Plundervolt, VoltJockey, V0LTpwn) produces
+an :class:`AttackOutcome`, so the prevention benchmarks can tabulate the
+same rows for undefended, polling-protected, microcode-protected and
+MSR-clamped machines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class AttackOutcome:
+    """What an attack campaign achieved."""
+
+    attack: str
+    succeeded: bool
+    faults_observed: int = 0
+    attempts: int = 0
+    crashes: int = 0
+    writes_blocked: int = 0
+    duration_s: float = 0.0
+    recovered_secret: Optional[Any] = None
+    notes: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        """Append a free-text observation."""
+        self.notes.append(message)
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dict for tabular reporting."""
+        return {
+            "attack": self.attack,
+            "succeeded": self.succeeded,
+            "faults": self.faults_observed,
+            "attempts": self.attempts,
+            "crashes": self.crashes,
+            "writes_blocked": self.writes_blocked,
+        }
+
+
+class DVFSAttack(ABC):
+    """Base class for DVFS fault attacks.
+
+    Subclasses bind to a machine (and usually a victim enclave) at
+    construction and implement :meth:`mount`.
+    """
+
+    #: Attack name used in reports.
+    name: str = "dvfs-attack"
+
+    @abstractmethod
+    def mount(self) -> AttackOutcome:
+        """Run the attack campaign to completion and report the outcome."""

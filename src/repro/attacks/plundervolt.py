@@ -1,0 +1,185 @@
+"""Plundervolt (S&P 2020): software-based undervolting fault injection.
+
+The attack, as mounted against our simulated substrate:
+
+1. pin the core frequency (``cpupower``, the slow privileged path);
+2. search downward through negative voltage offsets written to MSR 0x150
+   (Algo 1 encoding) until ``imul`` faults appear — the attacker's mirror
+   of the defender's characterization;
+3. weaponise: repeatedly trigger an in-enclave RSA-CRT signature at the
+   faulting operating point until one signature is corrupted, then factor
+   the modulus with the Bellcore gcd.
+
+Against the polling countermeasure the unsafe *target* written to 0x150
+is detected and rewritten before the regulator ever applies it, so step 2
+finds nothing and step 3 only produces correct signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import MachineCheckError
+from repro.attacks.base import AttackOutcome, DVFSAttack
+from repro.attacks.rsa_crt import RSACRTSigner, bellcore_extract
+from repro.attacks.search import OffsetSearch
+from repro.sgx.enclave import Enclave
+from repro.testbench import Machine
+
+
+@dataclass
+class PlundervoltConfig:
+    """Campaign parameters."""
+
+    frequency_ghz: float
+    #: Explicit offset to use; None searches for one first.
+    offset_mv: Optional[int] = None
+    #: Extra depth (mV) applied below the first faulting offset the search
+    #: finds: the onset has a marginal fault rate, so the attacker tunes a
+    #: little deeper into the band (but clear of the crash region).
+    depth_bonus_mv: int = 8
+    #: Give up after this many signing attempts without a faulty signature.
+    max_signing_attempts: int = 80
+    #: Wall time charged per signing attempt (enclave entry + signature).
+    attempt_duration_s: float = 1e-3
+    core_index: int = 0
+    search_start_mv: int = -50
+    search_stop_mv: int = -300
+
+
+class PlundervoltAttack(DVFSAttack):
+    """The full key-extraction campaign against an enclave RSA-CRT signer."""
+
+    name = "plundervolt"
+
+    def __init__(
+        self,
+        machine: Machine,
+        enclave: Enclave,
+        signer: RSACRTSigner,
+        message: int,
+        config: PlundervoltConfig,
+    ) -> None:
+        self._machine = machine
+        self._enclave = enclave
+        self._signer = signer
+        self._message = message
+        self._config = config
+
+    def mount(self) -> AttackOutcome:
+        """Run the campaign; success == RSA factor recovered."""
+        outcome = AttackOutcome(attack=self.name, succeeded=False)
+        config = self._config
+        machine = self._machine
+        start_time = machine.now
+
+        offset = config.offset_mv
+        if offset is None:
+            search = OffsetSearch(
+                machine,
+                frequency_ghz=config.frequency_ghz,
+                start_mv=config.search_start_mv,
+                stop_mv=config.search_stop_mv,
+                core_index=config.core_index,
+            )
+            offset = search.find_faulting_offset()
+            outcome.crashes += sum(1 for p in search.probes if p.crashed)
+            if offset is None:
+                outcome.note(
+                    "offset search found no faulting operating point "
+                    f"({len(search.probes)} probes)"
+                )
+                outcome.duration_s = machine.now - start_time
+                return outcome
+            offset -= config.depth_bonus_mv
+            outcome.note(
+                f"faulting offset found: {offset + config.depth_bonus_mv} mV "
+                f"@ {config.frequency_ghz} GHz; attacking at {offset} mV"
+            )
+
+        settle = machine.model.regulator_latency_s * 1.2
+        machine.cpupower.frequency_set(config.frequency_ghz, core_index=config.core_index)
+        for _ in range(config.max_signing_attempts):
+            outcome.attempts += 1
+            stored = machine.write_voltage_offset(offset, config.core_index)
+            if not stored:
+                outcome.writes_blocked += 1
+            machine.advance(settle)
+            try:
+                signature = self._enclave.ecall(self._signer.sign, self._message)
+            except MachineCheckError:
+                outcome.crashes += 1
+                machine.reboot(settle_s=settle)
+                machine.cpupower.frequency_set(
+                    config.frequency_ghz, core_index=config.core_index
+                )
+                continue
+            machine.advance(config.attempt_duration_s)
+            if self._signer.verify(self._message, signature):
+                continue  # correct signature, no exploitable fault
+            outcome.faults_observed += 1
+            result = bellcore_extract(
+                self._signer.key.n, self._signer.key.e, self._message, signature
+            )
+            if result is None:
+                outcome.note("faulty signature was not Bellcore-exploitable; retrying")
+                continue
+            outcome.succeeded = True
+            outcome.recovered_secret = result.factors()
+            outcome.note(f"modulus factored after {outcome.attempts} signatures")
+            break
+
+        # Cover tracks: restore a zero offset.
+        machine.write_voltage_offset(0, config.core_index)
+        machine.advance(settle)
+        outcome.duration_s = machine.now - start_time
+        return outcome
+
+
+@dataclass
+class ImulCampaign(DVFSAttack):
+    """The paper's own evaluation shape: EXECUTE-thread faults under attack.
+
+    Re-runs the Algo 2 attack pattern (frequency + undervolt through the
+    legitimate interfaces) over a set of operating points and counts the
+    ``imul`` faults the victim observes.  With the polling module loaded
+    this count is zero — the Sec. 4.3 prevention claim.
+    """
+
+    machine: Machine
+    frequency_ghz: float
+    offsets_mv: tuple
+    iterations_per_point: int = 1_000_000
+    core_index: int = 0
+    name: str = field(default="imul-campaign", init=False)
+
+    def mount(self) -> AttackOutcome:
+        """Sweep the points, summing victim-visible faults."""
+        outcome = AttackOutcome(attack=self.name, succeeded=False)
+        machine = self.machine
+        settle = machine.model.regulator_latency_s * 1.2
+        start_time = machine.now
+        machine.cpupower.frequency_set(self.frequency_ghz, core_index=self.core_index)
+        for offset in self.offsets_mv:
+            outcome.attempts += 1
+            if not machine.write_voltage_offset(int(offset), self.core_index):
+                outcome.writes_blocked += 1
+            machine.advance(settle)
+            try:
+                report = machine.run_imul_window(
+                    self.core_index, iterations=self.iterations_per_point
+                )
+            except MachineCheckError:
+                outcome.crashes += 1
+                machine.reboot(settle_s=settle)
+                machine.cpupower.frequency_set(
+                    self.frequency_ghz, core_index=self.core_index
+                )
+                continue
+            outcome.faults_observed += report.fault_count
+        machine.write_voltage_offset(0, self.core_index)
+        machine.advance(settle)
+        outcome.succeeded = outcome.faults_observed > 0
+        outcome.duration_s = machine.now - start_time
+        return outcome

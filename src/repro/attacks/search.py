@@ -1,0 +1,179 @@
+"""Adversarial search over the (frequency, voltage) space.
+
+Observation O3: what enables DVFS attacks is that the adversary can
+"search through the entire space of frequency/voltage pairs which lead to
+DVFS faults on the victim system".  This module is that search — the
+attacker-side mirror of the defender's Algo 2.  Attacks use it to find a
+working operating point; under a deployed countermeasure the search comes
+back empty, which is exactly how prevention manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import MachineCheckError
+from repro.testbench import Machine
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    """One probed operating point and what the attacker saw."""
+
+    frequency_ghz: float
+    offset_mv: int
+    faults: int
+    crashed: bool
+
+
+@dataclass
+class OffsetSearch:
+    """Descend undervolt offsets at a frequency until faults appear.
+
+    Parameters
+    ----------
+    machine:
+        The victim system (the attacker is privileged on it).
+    frequency_ghz:
+        Core frequency to pin during the search.
+    start_mv / stop_mv / step_mv:
+        Offset descent range (negative mV), shallow to deep.
+    probe_iterations:
+        ``imul`` iterations per probe window.
+    core_index:
+        Core under attack.
+    """
+
+    machine: Machine
+    frequency_ghz: float
+    start_mv: int = -50
+    stop_mv: int = -300
+    step_mv: int = 5
+    probe_iterations: int = 200_000
+    core_index: int = 0
+    max_crashes: int = 3
+    probes: List[SearchPoint] = field(default_factory=list)
+
+    def find_faulting_offset(self) -> Optional[int]:
+        """Return the shallowest offset that produced faults, or None.
+
+        Each probe: pin the frequency, write the offset through Algo 1,
+        wait out the regulator, run the probe window.  Crashes are
+        tolerated up to ``max_crashes`` (the machine reboots); a deployed
+        countermeasure makes every probe come back clean, ending the
+        search with None.
+        """
+        settle = self.machine.model.regulator_latency_s * 1.2
+        crashes = 0
+        self.machine.cpupower.frequency_set(self.frequency_ghz, core_index=self.core_index)
+        for offset in range(self.start_mv, self.stop_mv - 1, -self.step_mv):
+            self.machine.write_voltage_offset(offset, self.core_index)
+            self.machine.advance(settle)
+            try:
+                report = self.machine.run_imul_window(
+                    self.core_index, iterations=self.probe_iterations
+                )
+            except MachineCheckError:
+                self.probes.append(SearchPoint(self.frequency_ghz, offset, 0, True))
+                crashes += 1
+                self.machine.reboot(settle_s=settle)
+                self.machine.cpupower.frequency_set(
+                    self.frequency_ghz, core_index=self.core_index
+                )
+                if crashes >= self.max_crashes:
+                    return None
+                continue
+            self.probes.append(
+                SearchPoint(self.frequency_ghz, offset, report.fault_count, False)
+            )
+            if report.fault_count > 0:
+                return offset
+        return None
+
+    def restore(self) -> None:
+        """Put the core back to a zero offset (cover the tracks)."""
+        self.machine.write_voltage_offset(0, self.core_index)
+        self.machine.advance(self.machine.model.regulator_latency_s * 1.2)
+
+
+@dataclass
+class AttackSurfaceScan:
+    """The full 2-D enumeration of observation O3.
+
+    The paper's root-cause observation is that an adversary can "search
+    through the entire space of frequency/voltage pairs which lead to
+    DVFS faults".  This scan performs exactly that search through the
+    public interfaces and reports the machine's *attack surface*: the set
+    of (frequency, offset) pairs at which the adversary observed faults.
+    Against a deployed countermeasure the surface collapses to zero —
+    the paper's prevention claim expressed as a measure.
+
+    Parameters
+    ----------
+    machine:
+        The victim system.
+    frequencies_ghz:
+        Frequencies to scan (defaults to every fourth table entry).
+    offsets_mv:
+        Offsets to scan at each frequency, shallow to deep.
+    probe_iterations:
+        ``imul`` iterations per probe window.
+    """
+
+    machine: Machine
+    frequencies_ghz: Optional[List[float]] = None
+    offsets_mv: Optional[List[int]] = None
+    probe_iterations: int = 300_000
+    core_index: int = 0
+    points: List[SearchPoint] = field(default_factory=list)
+
+    def run(self) -> "AttackSurfaceScan":
+        """Scan the grid; crashes reboot the box and end that frequency."""
+        table = self.machine.model.frequency_table
+        frequencies = (
+            self.frequencies_ghz
+            if self.frequencies_ghz is not None
+            else list(table.frequencies_ghz())[::4]
+        )
+        offsets = (
+            self.offsets_mv
+            if self.offsets_mv is not None
+            else list(range(-40, -301, -20))
+        )
+        settle = self.machine.model.regulator_latency_s * 1.2
+        for frequency in frequencies:
+            self.machine.cpupower.frequency_set(frequency, core_index=self.core_index)
+            for offset in offsets:
+                self.machine.write_voltage_offset(offset, self.core_index)
+                self.machine.advance(settle)
+                try:
+                    report = self.machine.run_imul_window(
+                        self.core_index, iterations=self.probe_iterations
+                    )
+                except MachineCheckError:
+                    self.points.append(SearchPoint(frequency, offset, 0, True))
+                    self.machine.reboot(settle_s=settle)
+                    self.machine.cpupower.frequency_set(
+                        frequency, core_index=self.core_index
+                    )
+                    break
+                self.points.append(
+                    SearchPoint(frequency, offset, report.fault_count, False)
+                )
+            self.machine.write_voltage_offset(0, self.core_index)
+            self.machine.advance(settle)
+        return self
+
+    def faulting_points(self) -> List[SearchPoint]:
+        """Grid points where exploitable faults were observed."""
+        return [p for p in self.points if p.faults > 0]
+
+    def crash_points(self) -> List[SearchPoint]:
+        """Grid points that crashed the machine."""
+        return [p for p in self.points if p.crashed]
+
+    @property
+    def attack_surface(self) -> int:
+        """Number of exploitable (frequency, offset) pairs found."""
+        return len(self.faulting_points())

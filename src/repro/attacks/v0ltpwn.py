@@ -1,0 +1,161 @@
+"""V0LTpwn (USENIX Security 2020): corrupting enclave computation state.
+
+Where Plundervolt targets cryptographic arithmetic for key extraction,
+V0LTpwn aims at *integrity of computation*: flipping bits in the results
+of vector (packed-multiply) instructions so an enclave computes — and
+acts on — wrong values.  We model the victim as an enclave payload that
+folds a stream of packed multiplies into a checksum and compares it with
+the known-good value; the attack succeeds when the comparison breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MachineCheckError
+from repro.attacks.base import AttackOutcome, DVFSAttack
+from repro.attacks.search import OffsetSearch
+from repro.faults.alu import FaultableALU
+from repro.sgx.enclave import Enclave
+from repro.testbench import Machine
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class ChecksumWitness:
+    """Result of one enclave checksum computation."""
+
+    checksum: int
+    ops: int
+    faulted_ops: int
+
+    def matches(self, expected: int) -> bool:
+        """Whether the computation retained its integrity."""
+        return self.checksum == expected
+
+
+class VectorChecksumPayload:
+    """The enclave-side victim: xor-fold of packed multiplies.
+
+    The payload issues ``ops`` packed-double multiplies through the fault
+    injector (sensitivity of ``vmulpd``) and xors the products together.
+    Faulted products flip bits in the checksum.
+    """
+
+    instruction = "vmulpd"
+
+    def __init__(self, ops: int = 262_144, *, seed: int = 99) -> None:
+        self.ops = ops
+        rng = np.random.default_rng(seed)
+        self._operands = [int(v) | 1 for v in rng.integers(1, 1 << 62, size=64)]
+        self.expected_checksum = self._fold(flips=())
+
+    def _fold(self, flips) -> int:
+        products = [
+            (self._operands[i % 64] * self._operands[(i + 1) % 64]) & _MASK64
+            for i in range(64)
+        ]
+        checksum = reduce(lambda a, b: a ^ b, products) & _MASK64
+        for bit in flips:
+            checksum ^= 1 << bit
+        return checksum
+
+    def __call__(self, alu: FaultableALU) -> ChecksumWitness:
+        """Run inside the enclave (via ``ecall``)."""
+        outcome = alu.injector.run_window(
+            alu.conditions_source(), self.ops, instruction=self.instruction
+        )
+        flips = tuple(event.flipped_bit for event in outcome.events)
+        alu.stats.imul_count += self.ops
+        alu.stats.fault_count += outcome.fault_count
+        return ChecksumWitness(
+            checksum=self._fold(flips),
+            ops=self.ops,
+            faulted_ops=outcome.fault_count,
+        )
+
+
+@dataclass
+class V0ltpwnConfig:
+    """Campaign parameters."""
+
+    frequency_ghz: float
+    offset_mv: Optional[int] = None
+    #: Depth added below the search's first faulting offset (see
+    #: PlundervoltConfig.depth_bonus_mv).
+    depth_bonus_mv: int = 8
+    max_attempts: int = 60
+    attempt_duration_s: float = 5e-4
+    core_index: int = 0
+
+
+class V0ltpwnAttack(DVFSAttack):
+    """Undervolt until the enclave's checksum integrity breaks."""
+
+    name = "v0ltpwn"
+
+    def __init__(
+        self,
+        machine: Machine,
+        enclave: Enclave,
+        payload: VectorChecksumPayload,
+        config: V0ltpwnConfig,
+    ) -> None:
+        self._machine = machine
+        self._enclave = enclave
+        self._payload = payload
+        self._config = config
+
+    def mount(self) -> AttackOutcome:
+        """Run the campaign; success == a corrupted checksum observed."""
+        outcome = AttackOutcome(attack=self.name, succeeded=False)
+        machine = self._machine
+        config = self._config
+        start_time = machine.now
+        settle = machine.model.regulator_latency_s * 1.2
+
+        offset = config.offset_mv
+        if offset is None:
+            search = OffsetSearch(
+                machine, frequency_ghz=config.frequency_ghz, core_index=config.core_index
+            )
+            offset = search.find_faulting_offset()
+            outcome.crashes += sum(1 for p in search.probes if p.crashed)
+            if offset is None:
+                outcome.note("no faulting operating point found")
+                outcome.duration_s = machine.now - start_time
+                return outcome
+            offset -= config.depth_bonus_mv
+
+        machine.cpupower.frequency_set(config.frequency_ghz, core_index=config.core_index)
+        for _ in range(config.max_attempts):
+            outcome.attempts += 1
+            if not machine.write_voltage_offset(offset, config.core_index):
+                outcome.writes_blocked += 1
+            machine.advance(settle)
+            try:
+                witness = self._enclave.ecall(self._payload)
+            except MachineCheckError:
+                outcome.crashes += 1
+                machine.reboot(settle_s=settle)
+                machine.cpupower.frequency_set(
+                    config.frequency_ghz, core_index=config.core_index
+                )
+                continue
+            machine.advance(config.attempt_duration_s)
+            outcome.faults_observed += witness.faulted_ops
+            if not witness.matches(self._payload.expected_checksum):
+                outcome.succeeded = True
+                outcome.recovered_secret = witness.checksum
+                outcome.note(f"integrity broken after {outcome.attempts} attempts")
+                break
+
+        machine.write_voltage_offset(0, config.core_index)
+        machine.advance(settle)
+        outcome.duration_s = machine.now - start_time
+        return outcome

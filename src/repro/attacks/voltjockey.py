@@ -1,0 +1,154 @@
+"""VoltJockey-style attack: exploiting the frequency/voltage *pair*.
+
+VoltJockey (CCS 2019) showed that faults need not come from moving the
+voltage under a fixed frequency — moving the *frequency* under a fixed
+(already reduced) voltage violates the same inequality (Eq. 3), because
+the two parameters are independently controllable (observation O3).
+
+Our adaptation to the Intel substrate is the adversarially *ordered*
+variant, and it is deliberately the hardest case for a polling defense:
+
+1. at a low frequency, apply an undervolt that is **safe for that
+   frequency** — the polling module correctly leaves it alone;
+2. wait for the regulator to actually apply it;
+3. jump the core to a high frequency (a single ``wrmsr`` to 0x199 for a
+   privileged attacker — no slow path to hide the transition in);
+4. the *already applied* voltage is now unsafe for the new frequency, and
+   the victim faults until the next poll detects the pair and the (fast)
+   raise settles.
+
+Unlike the 0x150 route — where the polling period undercuts the
+regulator's apply delay and prevention is total — this ordering leaves a
+window of one polling period plus the raise latency.  Quantifying that
+window is the point of the turnaround ablation, and closing it is what
+the Sec. 5 microcode/MSR deployments are for (they bound the offset
+itself, making step 1 impossible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AttackError, MachineCheckError
+from repro.attacks.base import AttackOutcome, DVFSAttack
+from repro.testbench import Machine
+
+
+@dataclass
+class VoltJockeyConfig:
+    """Campaign parameters."""
+
+    low_frequency_ghz: float
+    high_frequency_ghz: float
+    #: Offset that is safe at the low frequency but unsafe at the high
+    #: one; None derives it from attacker reconnaissance.
+    offset_mv: Optional[int] = None
+    #: Victim instructions executed after the frequency jump, in chunks so
+    #: the polling module can interleave.
+    victim_iterations: int = 4_000_000
+    chunk_iterations: int = 100_000
+    repetitions: int = 5
+    core_index: int = 0
+
+
+class VoltJockeyAttack(DVFSAttack):
+    """The frequency-jump-onto-undervolt campaign."""
+
+    name = "voltjockey"
+
+    def __init__(self, machine: Machine, config: VoltJockeyConfig) -> None:
+        if config.high_frequency_ghz <= config.low_frequency_ghz:
+            raise AttackError("the attack requires a jump to a higher frequency")
+        self._machine = machine
+        self._config = config
+
+    def _recon_offset(self) -> Optional[int]:
+        """Attacker reconnaissance: an offset safe at f_low, faulting at f_high.
+
+        Uses the attacker's own (ground-truth-free) probing: find the
+        first faulting offset at the high frequency, go 10 mV deeper to
+        sit inside the fault band, and confirm the low frequency tolerates
+        it.  All probing happens through the same public interfaces.
+        """
+        from repro.attacks.search import OffsetSearch
+
+        machine = self._machine
+        config = self._config
+        high_search = OffsetSearch(
+            machine, frequency_ghz=config.high_frequency_ghz, core_index=config.core_index
+        )
+        onset = high_search.find_faulting_offset()
+        high_search.restore()
+        if onset is None:
+            return None
+        candidate = onset - 10
+        low_search = OffsetSearch(
+            machine,
+            frequency_ghz=config.low_frequency_ghz,
+            start_mv=candidate,
+            stop_mv=candidate,
+            step_mv=1,
+            core_index=config.core_index,
+        )
+        low_fault = low_search.find_faulting_offset()
+        low_search.restore()
+        if low_fault is not None:
+            return None  # candidate is not safe at the low frequency
+        return candidate
+
+    def mount(self) -> AttackOutcome:
+        """Run the frequency-jump campaign."""
+        outcome = AttackOutcome(attack=self.name, succeeded=False)
+        machine = self._machine
+        config = self._config
+        start_time = machine.now
+        settle = machine.model.regulator_latency_s * 1.2
+
+        offset = config.offset_mv
+        if offset is None:
+            offset = self._recon_offset()
+            if offset is None:
+                outcome.note("reconnaissance found no cross-frequency offset")
+                outcome.duration_s = machine.now - start_time
+                return outcome
+            outcome.note(f"cross-frequency offset: {offset} mV")
+
+        for _ in range(config.repetitions):
+            outcome.attempts += 1
+            # 1-2: pre-position a low-frequency-safe undervolt, fully applied.
+            machine.cpupower.frequency_set(
+                config.low_frequency_ghz, core_index=config.core_index
+            )
+            if not machine.write_voltage_offset(offset, config.core_index):
+                outcome.writes_blocked += 1
+            machine.advance(settle)
+            applied = machine.processor.core(config.core_index).applied_offset_mv(machine.now)
+            if applied > offset + 1:
+                outcome.note(
+                    f"pre-positioning defeated: applied offset {applied:.0f} mV "
+                    f"instead of {offset} mV"
+                )
+                continue
+            # 3: the frequency jump (privileged direct wrmsr, instant).
+            ratio = round(config.high_frequency_ghz * 10)
+            machine.processor.wrmsr(config.core_index, 0x199, (ratio & 0xFF) << 8)
+            # 4: victim executes in chunks while the defense reacts.
+            executed = 0
+            while executed < config.victim_iterations:
+                chunk = min(config.chunk_iterations, config.victim_iterations - executed)
+                try:
+                    report = machine.run_imul_window(config.core_index, iterations=chunk)
+                except MachineCheckError:
+                    outcome.crashes += 1
+                    machine.reboot(settle_s=settle)
+                    break
+                outcome.faults_observed += report.fault_count
+                executed += chunk
+            # Restore for the next repetition.
+            machine.write_voltage_offset(0, config.core_index)
+            machine.advance(settle)
+
+        outcome.succeeded = outcome.faults_observed > 0
+        outcome.duration_s = machine.now - start_time
+        return outcome

@@ -1,0 +1,47 @@
+"""SPEC2017-style workload suite and the Table 2 overhead harness."""
+
+from repro.bench.overhead import (
+    PAPER_TABLE2,
+    PAPER_TABLE2_BY_NAME,
+    ComparisonRow,
+    PaperRow,
+    compare_with_paper,
+    paper_mean_base_overhead,
+    paper_mean_peak_overhead,
+)
+from repro.bench.runner import BenchmarkRow, OverheadReport, SpecOverheadRunner
+from repro.bench.stats import (
+    OverheadStatistics,
+    bootstrap_mean_ci,
+    geometric_mean,
+    summarize_overhead,
+)
+from repro.bench.spec2017 import (
+    PAPER_MEAN_OVERHEAD,
+    SPEC2017_BY_NAME,
+    SPEC2017_SUITE,
+    SPECBenchmark,
+    suite_names,
+)
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE2_BY_NAME",
+    "ComparisonRow",
+    "PaperRow",
+    "compare_with_paper",
+    "paper_mean_base_overhead",
+    "paper_mean_peak_overhead",
+    "BenchmarkRow",
+    "OverheadReport",
+    "SpecOverheadRunner",
+    "OverheadStatistics",
+    "bootstrap_mean_ci",
+    "geometric_mean",
+    "summarize_overhead",
+    "PAPER_MEAN_OVERHEAD",
+    "SPEC2017_BY_NAME",
+    "SPEC2017_SUITE",
+    "SPECBenchmark",
+    "suite_names",
+]

@@ -1,0 +1,100 @@
+"""Paper-reference data for Table 2 and measured-vs-paper comparison.
+
+The full Table 2 of the paper is transcribed here so the benchmark
+harness and ``EXPERIMENTS.md`` can put the reproduced numbers side by
+side with the published ones.  All values are as printed in the paper
+(slowdowns are negative percentages; the with-polling score is the larger
+time-like value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.bench.runner import OverheadReport
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One published Table 2 row."""
+
+    name: str
+    base_without: float
+    base_with: float
+    base_slowdown_pct: float
+    peak_without: float
+    peak_with: float
+    peak_slowdown_pct: float
+
+
+#: Table 2 as published (Comet Lake, microcode 0xf4).
+PAPER_TABLE2: Tuple[PaperRow, ...] = (
+    PaperRow("503.bwaves", 628.59, 628.9, -0.04, 604.21, 606.84, -0.43),
+    PaperRow("507.cactuBSSN", 222.95, 223.03, -0.03, 202.87, 203.15, -0.13),
+    PaperRow("508.namd_r", 175.96, 177.03, -0.6, 179.55, 182.51, -1.64),
+    PaperRow("510.parest_r", 387.96, 388.41, -0.1, 324.46, 326.05, -0.49),
+    PaperRow("511.povray_r", 328.67, 330.89, -0.67, 267.29, 268.05, -0.28),
+    PaperRow("519.lbm_r", 224.08, 227.17, -1.37, 176.56, 176.72, -0.09),
+    PaperRow("521.wrf_r", 404.21, 404.62, -0.1, 428.21, 431.12, -0.67),
+    PaperRow("526.blender_r", 256.54, 257.71, -0.4, 239.52, 239.62, -0.04),
+    PaperRow("527.cam4_r", 315.77, 317.94, -0.68, 324.12, 328.14, -1.24),
+    PaperRow("538.imagick_r", 401.88, 403.56, -0.41, 318.06, 321.89, -1.2),
+    PaperRow("544.nab_r", 315.25, 316.44, -0.37, 282.02, 282.47, -0.15),
+    PaperRow("549.fotonik3d_r", 418.76, 420.44, -0.40, 415.46, 419.79, -1.04),
+    PaperRow("554.roms_r", 322.51, 324.92, -0.74, 279.39, 279.53, -0.05),
+    PaperRow("500.perlbench_r", 295.87511, 297.122, -0.42, 253.71, 264.47, -4.24),
+    PaperRow("502.gcc_r", 221.4159, 221.64, -0.10, 218.91, 220.74, -0.83),
+    PaperRow("505.mcf_r", 339.97, 344.05, -1.20, 297.68, 298.72, -0.34),
+    PaperRow("520.omnetpp_r", 509.805, 513.139, -0.65, 479.08, 484.51, -1.13),
+    PaperRow("523.xalancbmk_r", 287.7046, 288.331, -0.21, 283.57, 285.26, -0.59),
+    PaperRow("525.x264_r", 318.11903, 322.651603, -1.42, 290.76, 294.05, -1.13),
+    PaperRow("531.deepsjeng_r", 306.148284, 306.2156, -0.02, 284.09, 284.13, -0.01),
+    PaperRow("541.leela_r", 417.2528, 417.6199, -0.08, 383.03, 386.19, -0.82),
+    PaperRow("548.exchange2_r", 345.38, 345.85, -0.13, 248.6, 248.93, -0.13),
+    PaperRow("557.xz_r", 387.71, 387.9, -0.04, 373.41, 374.82, -0.37),
+)
+
+PAPER_TABLE2_BY_NAME: Dict[str, PaperRow] = {r.name: r for r in PAPER_TABLE2}
+
+
+def paper_mean_base_overhead() -> float:
+    """Arithmetic mean of the published base-column slowdown magnitudes."""
+    return float(np.mean([abs(r.base_slowdown_pct) for r in PAPER_TABLE2])) / 100.0
+
+
+def paper_mean_peak_overhead() -> float:
+    """Arithmetic mean of the published peak-column slowdown magnitudes."""
+    return float(np.mean([abs(r.peak_slowdown_pct) for r in PAPER_TABLE2])) / 100.0
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Measured vs published slowdowns for one benchmark."""
+
+    name: str
+    measured_base_pct: float
+    paper_base_pct: float
+    measured_peak_pct: float
+    paper_peak_pct: float
+
+
+def compare_with_paper(report: OverheadReport) -> Tuple[ComparisonRow, ...]:
+    """Line the reproduced Table 2 up against the published one."""
+    rows = []
+    for measured in report.rows:
+        paper = PAPER_TABLE2_BY_NAME.get(measured.name)
+        if paper is None:
+            continue
+        rows.append(
+            ComparisonRow(
+                name=measured.name,
+                measured_base_pct=measured.base_slowdown * 100.0,
+                paper_base_pct=paper.base_slowdown_pct,
+                measured_peak_pct=measured.peak_slowdown * 100.0,
+                paper_peak_pct=paper.peak_slowdown_pct,
+            )
+        )
+    return tuple(rows)

@@ -1,0 +1,85 @@
+"""Aggregate statistics for benchmark reports.
+
+The paper reports a single headline figure (0.28%); a careful artifact
+also reports the geometric mean (SPEC's own aggregate convention) and a
+bootstrap confidence interval so readers can judge whether the measured
+overhead is distinguishable from run-to-run noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.bench.runner import OverheadReport
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("geometric mean of an empty sequence")
+    if np.any(array <= 0):
+        raise ConfigurationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("bootstrap over an empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    means = np.empty(resamples)
+    for i in range(resamples):
+        means[i] = rng.choice(array, size=array.size, replace=True).mean()
+    lower = float(np.percentile(means, (1.0 - confidence) / 2 * 100))
+    upper = float(np.percentile(means, (1.0 + confidence) / 2 * 100))
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class OverheadStatistics:
+    """Aggregate view of one Table 2 measurement."""
+
+    mean_base: float
+    mean_peak: float
+    geomean_base: float
+    ci_base_low: float
+    ci_base_high: float
+
+    def summary(self) -> str:
+        """One-line rendering for reports."""
+        return (
+            f"base mean {self.mean_base * 100:.2f}% "
+            f"(95% CI [{self.ci_base_low * 100:.2f}%, {self.ci_base_high * 100:.2f}%], "
+            f"geomean {self.geomean_base * 100:.2f}%), "
+            f"peak mean {self.mean_peak * 100:.2f}%"
+        )
+
+
+def summarize_overhead(report: OverheadReport, *, seed: int = 0) -> OverheadStatistics:
+    """Compute the aggregate statistics for an overhead report."""
+    base = [abs(row.base_slowdown) for row in report.rows]
+    peak = [abs(row.peak_slowdown) for row in report.rows]
+    if not base:
+        raise ConfigurationError("empty overhead report")
+    low, high = bootstrap_mean_ci(base, seed=seed)
+    return OverheadStatistics(
+        mean_base=float(np.mean(base)),
+        mean_peak=float(np.mean(peak)),
+        geomean_base=geometric_mean(base),
+        ci_base_low=low,
+        ci_base_high=high,
+    )

@@ -1,0 +1,439 @@
+"""Command-line interface.
+
+Exposes the reproduction's main flows without writing Python::
+
+    python -m repro list-cpus
+    python -m repro characterize --cpu "Comet Lake" --map
+    python -m repro characterize --cpu "Sky Lake" --json skylake.json
+    python -m repro attack --cpu "Comet Lake" --attack plundervolt
+    python -m repro attack --cpu "Comet Lake" --attack imul --protect
+    python -m repro spec
+    python -m repro maximal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.export import (
+    boundary_to_csv,
+    characterization_to_json,
+    overhead_to_csv,
+    write_text,
+)
+from repro.analysis.regions import summarize
+from repro.analysis.report import (
+    render_boundary_series,
+    render_characterization_map,
+    render_table,
+)
+from repro.core.adaptive import AdaptiveCharacterization
+from repro.core.characterization import CharacterizationFramework
+from repro.core.polling_module import PollingCountermeasure
+from repro.cpu.models import PAPER_MODELS, PAPER_MODEL_TUPLE, model_by_codename
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Plug Your Volt (DAC 2024) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=5, help="deterministic seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-cpus", help="list the simulated CPU models")
+
+    characterize = sub.add_parser(
+        "characterize", help="run Algorithm 2 and print the safe/unsafe boundary"
+    )
+    characterize.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    characterize.add_argument(
+        "--adaptive", action="store_true", help="bisection instead of the full grid"
+    )
+    characterize.add_argument("--map", action="store_true", help="print the ASCII map")
+    characterize.add_argument("--json", metavar="PATH", help="export bundle as JSON")
+    characterize.add_argument("--csv", metavar="PATH", help="export boundary as CSV")
+
+    attack = sub.add_parser("attack", help="mount an attack campaign")
+    attack.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    attack.add_argument(
+        "--attack",
+        choices=("imul", "plundervolt", "v0ltpwn", "voltjockey", "aes-dfa"),
+        default="imul",
+    )
+    attack.add_argument(
+        "--protect", action="store_true", help="deploy the polling module first"
+    )
+
+    spec = sub.add_parser("spec", help="reproduce Table 2 (SPEC2017 overhead)")
+    spec.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    spec.add_argument("--csv", metavar="PATH", help="export rows as CSV")
+
+    sub.add_parser("maximal", help="print each CPU's maximal safe state (Sec. 5)")
+
+    trace = sub.add_parser(
+        "trace", help="watch the countermeasure intercept one attack write"
+    )
+    trace.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    trace.add_argument("--offset", type=int, default=-250, help="attack offset (mV)")
+
+    energy = sub.add_parser(
+        "energy", help="power saved by safe-band undervolting per frequency"
+    )
+    energy.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+
+    verify = sub.add_parser(
+        "verify", help="deploy the module and run the acceptance test"
+    )
+    verify.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    verify.add_argument("--samples", type=int, default=10, help="unsafe cells to probe")
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate a paper artifact programmatically"
+    )
+    reproduce.add_argument(
+        "--experiment",
+        choices=("fig2", "fig3", "fig4", "table2", "prevention", "maximal"),
+        required=True,
+    )
+    reproduce.add_argument("--out", metavar="PATH", help="also write the artifact here")
+
+    status = sub.add_parser(
+        "status", help="render a /proc/cpuinfo-style snapshot of a protected machine"
+    )
+    status.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    return parser
+
+
+def _cmd_list_cpus() -> int:
+    rows = [
+        (
+            model.codename,
+            model.name,
+            f"0x{model.microcode:x}",
+            f"{model.frequency_table.min_ghz}-{model.frequency_table.max_ghz} GHz",
+        )
+        for model in PAPER_MODEL_TUPLE
+    ]
+    print(render_table(["codename", "model", "microcode", "frequency range"], rows))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    model = model_by_codename(args.cpu)
+    if args.adaptive:
+        outcome = AdaptiveCharacterization(model, seed=args.seed).run()
+        result = outcome.result
+        print(f"adaptive characterization: {outcome.probes} probes, "
+              f"{outcome.crashes} crashes")
+    else:
+        result = CharacterizationFramework(model, seed=args.seed).run()
+        print(f"full sweep: {len(result.cells)} cells, {result.crashes} crashes")
+    print(render_boundary_series(result))
+    summary = summarize(result)
+    print(f"\nmaximal safe state: {summary.maximal_safe_mv:.0f} mV")
+    if args.map:
+        print()
+        print(render_characterization_map(result))
+    if args.json:
+        path = write_text(args.json, characterization_to_json(result))
+        print(f"JSON bundle written to {path}")
+    if args.csv:
+        path = write_text(args.csv, boundary_to_csv(result))
+        print(f"boundary CSV written to {path}")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks import (
+        ImulCampaign,
+        PlundervoltAttack,
+        PlundervoltConfig,
+        RSACRTSigner,
+        RSAKey,
+        V0ltpwnAttack,
+        V0ltpwnConfig,
+        VectorChecksumPayload,
+        VoltJockeyAttack,
+        VoltJockeyConfig,
+    )
+    from repro.sgx import EnclaveHost
+    from repro.testbench import Machine
+
+    model = model_by_codename(args.cpu)
+    machine = Machine.build(model, seed=args.seed + 6)
+    if args.protect:
+        unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+        machine.modules.insmod(PollingCountermeasure(machine, unsafe))
+        print("polling countermeasure deployed")
+
+    base = model.frequency_table.base_ghz
+    if args.attack == "imul":
+        campaign = ImulCampaign(
+            machine,
+            frequency_ghz=base,
+            offsets_mv=tuple(range(-60, -301, -10)),
+            iterations_per_point=500_000,
+        )
+        outcome = campaign.mount()
+    elif args.attack == "plundervolt":
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("rsa")
+        outcome = PlundervoltAttack(
+            machine,
+            enclave,
+            RSACRTSigner(RSAKey.generate(512, seed=args.seed)),
+            message=0xDEADBEEF,
+            config=PlundervoltConfig(frequency_ghz=base),
+        ).mount()
+    elif args.attack == "v0ltpwn":
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("vec")
+        outcome = V0ltpwnAttack(
+            machine,
+            enclave,
+            VectorChecksumPayload(ops=500_000),
+            V0ltpwnConfig(frequency_ghz=base),
+        ).mount()
+    elif args.attack == "aes-dfa":
+        from repro.attacks import AESDFAAttack, AESDFAConfig
+
+        key = bytes(range(16))
+        outcome = AESDFAAttack(
+            machine, key, AESDFAConfig(frequency_ghz=base)
+        ).mount()
+    else:
+        low = model.frequency_table.min_ghz
+        high = model.frequency_table.max_ghz
+        outcome = VoltJockeyAttack(
+            machine, VoltJockeyConfig(low_frequency_ghz=low, high_frequency_ghz=high)
+        ).mount()
+
+    print(render_table(
+        ["attack", "succeeded", "faults", "attempts", "crashes", "writes blocked"],
+        [(
+            outcome.attack,
+            "yes" if outcome.succeeded else "no",
+            outcome.faults_observed,
+            outcome.attempts,
+            outcome.crashes,
+            outcome.writes_blocked,
+        )],
+    ))
+    for note in outcome.notes:
+        print(f"note: {note}")
+    return 0 if not outcome.succeeded else 1
+
+
+def _cmd_spec(args) -> int:
+    from repro.bench.runner import SpecOverheadRunner
+    from repro.testbench import Machine
+
+    model = model_by_codename(args.cpu)
+    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+    machine = Machine.build(model, seed=3)
+    module = PollingCountermeasure(machine, unsafe)
+    machine.modules.insmod(module)
+    report = SpecOverheadRunner(machine, module).run()
+    rows = [
+        (
+            row.name,
+            f"{row.base_without:.2f}",
+            f"{row.base_with:.2f}",
+            f"{row.base_slowdown * 100:+.2f}%",
+            f"{row.peak_slowdown * 100:+.2f}%",
+        )
+        for row in report.rows
+    ]
+    print(render_table(
+        ["benchmark", "base w/o", "base with", "base slowdown", "peak slowdown"],
+        rows,
+        title=f"SPEC2017 polling overhead — {model.codename}",
+    ))
+    print(f"\nmean base overhead: {report.mean_base_overhead * 100:.2f}% "
+          "(paper headline: 0.28%)")
+    if args.csv:
+        path = write_text(args.csv, overhead_to_csv(report))
+        print(f"CSV written to {path}")
+    return 0
+
+
+def _cmd_maximal(args) -> int:
+    rows = []
+    for codename in PAPER_MODELS:
+        model = model_by_codename(codename)
+        result = CharacterizationFramework(model, seed=args.seed).run()
+        rows.append((codename, f"{result.maximal_safe_offset_mv():.0f} mV"))
+    print(render_table(["CPU", "maximal safe state"], rows, title="Sec. 5"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis.timeline import VoltageTracer
+    from repro.testbench import Machine
+
+    model = model_by_codename(args.cpu)
+    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+    machine = Machine.build(model, seed=13)
+    module = PollingCountermeasure(machine, unsafe)
+    machine.modules.insmod(module)
+    tracer = VoltageTracer(machine, sample_period_s=100e-6)
+    tracer.start()
+    machine.write_voltage_offset(args.offset)
+    machine.advance(2.5e-3)
+    tracer.stop()
+    print(tracer.render())
+    print(f"\ndeepest offset ever applied: "
+          f"{tracer.deepest_applied_offset_mv():.0f} mV "
+          f"(attack target was {args.offset} mV)")
+    return 0
+
+
+def _cmd_energy(args) -> int:
+    from repro.cpu.power import CorePowerModel
+
+    model = model_by_codename(args.cpu)
+    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+    power = CorePowerModel(model)
+    rows = []
+    for frequency in model.frequency_table.frequencies_ghz()[::4]:
+        offset = unsafe.safe_offset_mv(frequency)
+        savings = power.undervolt_savings(frequency, offset)
+        rows.append(
+            (
+                f"{frequency:.1f}",
+                f"{offset:.0f}",
+                f"{power.power_at_offset_w(frequency, 0.0):.2f}",
+                f"{power.power_at_offset_w(frequency, offset):.2f}",
+                f"{savings * 100:.1f}%",
+            )
+        )
+    print(render_table(
+        ["freq (GHz)", "safe offset (mV)", "stock W", "undervolted W", "savings"],
+        rows,
+        title=f"Safe-band undervolting savings — {model.codename}",
+    ))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.verification import verify_deployment
+    from repro.testbench import Machine
+
+    model = model_by_codename(args.cpu)
+    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+    machine = Machine.build(model, seed=51)
+    machine.modules.insmod(PollingCountermeasure(machine, unsafe))
+    report = verify_deployment(machine, unsafe, samples=args.samples)
+    print(render_table(
+        ["freq (GHz)", "offset (mV)", "faults", "crashed", "detected"],
+        [
+            (f"{p.frequency_ghz:.1f}", p.offset_mv, p.faults, p.crashed, p.detected)
+            for p in report.probes
+        ],
+        title="Deployment verification probes",
+    ))
+    print(f"\n{report.summary()}")
+    return 0 if report.passed else 1
+
+
+def _cmd_reproduce(args) -> int:
+    from repro import experiments
+    from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE
+
+    if args.experiment in ("fig2", "fig3", "fig4"):
+        model = {"fig2": SKY_LAKE, "fig3": KABY_LAKE_R, "fig4": COMET_LAKE}[
+            args.experiment
+        ]
+        result = experiments.characterization(model, seed=args.seed)
+        text = (
+            render_characterization_map(result)
+            + "\n\n"
+            + render_boundary_series(result)
+        )
+    elif args.experiment == "table2":
+        report = experiments.table2_overhead()
+        text = render_table(
+            ["benchmark", "base slowdown", "peak slowdown"],
+            [
+                (r.name, f"{r.base_slowdown * 100:+.2f}%", f"{r.peak_slowdown * 100:+.2f}%")
+                for r in report.rows
+            ],
+            title=f"Table 2 — mean base overhead {report.mean_base_overhead * 100:.2f}%",
+        )
+    elif args.experiment == "prevention":
+        matrix = experiments.prevention_matrix()
+        text = render_table(
+            ["CPU", "defense", "attack", "faults", "succeeded"],
+            [
+                (
+                    c.codename,
+                    "polling" if c.protected else "none",
+                    c.outcome.attack,
+                    c.outcome.faults_observed,
+                    "yes" if c.outcome.succeeded else "no",
+                )
+                for c in matrix.cells
+            ],
+            title="Prevention matrix (Sec. 4.3)",
+        )
+    else:
+        deployments = experiments.maximal_safe_deployments()
+        text = render_table(
+            ["deployment", "window faults", "writes blocked"],
+            [
+                (d.deployment, d.outcome.faults_observed, d.outcome.writes_blocked)
+                for d in deployments
+            ],
+            title="Adaptive attack vs deployment depth (Sec. 5)",
+        )
+    print(text)
+    if args.out:
+        path = write_text(args.out, text)
+        print(f"\nartifact written to {path}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.kernel import render_system_status
+    from repro.testbench import Machine
+
+    model = model_by_codename(args.cpu)
+    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+    machine = Machine.build(model, seed=1)
+    machine.modules.insmod(PollingCountermeasure(machine, unsafe))
+    machine.advance(5e-3)
+    print(render_system_status(machine))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-cpus":
+        return _cmd_list_cpus()
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "spec":
+        return _cmd_spec(args)
+    if args.command == "maximal":
+        return _cmd_maximal(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "energy":
+        return _cmd_energy(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

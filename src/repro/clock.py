@@ -1,0 +1,40 @@
+"""Time sources.
+
+Hardware components (regulator, MSR synthesis) are *time-driven*: they
+take "now" from a clock callable instead of owning a scheduler.  Any
+zero-argument callable returning seconds works; :class:`ManualClock` is
+the trivial implementation used by unit tests, and the discrete-event
+simulator (:mod:`repro.kernel.sim`) exposes a compatible callable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class ManualClock:
+    """A clock advanced explicitly by the caller."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds; returns the new time."""
+        if delta < 0:
+            raise SimulationError("time cannot move backwards")
+        self._now += delta
+        return self._now
+
+    def set(self, now: float) -> None:
+        """Jump to an absolute time (must not be in the past)."""
+        if now < self._now:
+            raise SimulationError("time cannot move backwards")
+        self._now = float(now)

@@ -1,0 +1,82 @@
+"""The paper's contribution: safe/unsafe characterization and countermeasures.
+
+* :mod:`repro.core.encoding` — Algorithm 1 (MSR 0x150 value computation);
+* :mod:`repro.core.characterization` — Algorithm 2 (the DVFS/EXECUTE
+  thread pair sweeping the frequency x offset grid);
+* :mod:`repro.core.unsafe_states` — the unsafe-state set and the maximal
+  safe state of Sec. 5;
+* :mod:`repro.core.polling_module` — Algorithm 3 (the polling kernel
+  module);
+* :mod:`repro.core.policy` — restoration policies for remediation writes;
+* :mod:`repro.core.microcode_guard` — Sec. 5.1 microcode deployment;
+* :mod:`repro.core.msr_clamp` — Sec. 5.2 hardware MSR deployment.
+"""
+
+from repro.core.adaptive import (
+    AdaptiveCharacterization,
+    AdaptiveConfig,
+    AdaptiveOutcome,
+)
+from repro.core.characterization import (
+    CharacterizationConfig,
+    CharacterizationFramework,
+    CharacterizationResult,
+)
+from repro.core.encoding import (
+    CoreStatus,
+    decode_core_status,
+    decode_offset_mv,
+    offset_voltage,
+    read_request,
+)
+from repro.core.microcode_guard import MicrocodeGuard
+from repro.core.msr_clamp import VoltageOffsetLimit, install_msr_clamp
+from repro.core.policy import (
+    ClampToBoundary,
+    ClampToMaximalSafe,
+    RestoreToZero,
+    SafeStatePolicy,
+)
+from repro.core.polling_module import (
+    DEFAULT_PERIOD_S,
+    PollingCountermeasure,
+    PollingStats,
+    RemediationEvent,
+)
+from repro.core.unsafe_states import DEFAULT_SAFETY_MARGIN_MV, CellResult, UnsafeStateSet
+from repro.core.verification import (
+    VerificationProbe,
+    VerificationReport,
+    verify_deployment,
+)
+
+__all__ = [
+    "AdaptiveCharacterization",
+    "AdaptiveConfig",
+    "AdaptiveOutcome",
+    "CharacterizationConfig",
+    "CharacterizationFramework",
+    "CharacterizationResult",
+    "CoreStatus",
+    "decode_core_status",
+    "decode_offset_mv",
+    "offset_voltage",
+    "read_request",
+    "MicrocodeGuard",
+    "VoltageOffsetLimit",
+    "install_msr_clamp",
+    "ClampToBoundary",
+    "ClampToMaximalSafe",
+    "RestoreToZero",
+    "SafeStatePolicy",
+    "DEFAULT_PERIOD_S",
+    "PollingCountermeasure",
+    "PollingStats",
+    "RemediationEvent",
+    "CellResult",
+    "DEFAULT_SAFETY_MARGIN_MV",
+    "UnsafeStateSet",
+    "VerificationProbe",
+    "VerificationReport",
+    "verify_deployment",
+]

@@ -1,0 +1,248 @@
+"""Adaptive characterization: a fast variant of Algorithm 2.
+
+The paper's sweep probes every 1 mV cell of every frequency — thorough,
+but on real hardware each cell costs a regulator settle plus a million
+``imul`` iterations, so a full grid takes hours and crashes the machine
+once per frequency.  Because the unsafe region is downward-closed in
+voltage (observation O3: lowering the voltage only inflates the
+violation), the per-frequency fault boundary can be found by **bisection**
+with confirmation repeats, cutting the probe count by more than an order
+of magnitude while keeping the derived unsafe set conservative.
+
+This is an extension beyond the paper (its "future work" flavour of
+reducing characterization turnaround); the ablation benchmark
+``test_bench_ablation_characterization_cost`` quantifies the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, MachineCheckError
+from repro.core.characterization import CharacterizationResult, CharacterizationConfig
+from repro.core.unsafe_states import UnsafeStateSet
+from repro.cpu.models import CPUModel
+from repro.faults.imul import ImulLoop
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import FaultModel
+
+if TYPE_CHECKING:
+    from repro.testbench import Machine
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Bisection parameters."""
+
+    #: Shallow end of the bracket (must be safe on any sane part).
+    start_mv: int = -1
+    #: Deep end of the bracket.
+    stop_mv: int = -300
+    #: Stop refining once the bracket is this tight.
+    resolution_mv: int = 1
+    #: EXECUTE-thread iterations per probe.
+    iterations: int = 1_000_000
+    #: Confirmation repeats at each probed cell: a cell counts as safe
+    #: only if *every* repeat is fault-free (guards against the ~e^-1
+    #: chance of sampling zero faults right at the onset).
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.start_mv >= 0 or self.stop_mv >= self.start_mv:
+            raise ConfigurationError("need start_mv < 0 and stop_mv < start_mv")
+        if self.resolution_mv <= 0 or self.iterations <= 0 or self.repeats <= 0:
+            raise ConfigurationError("resolution, iterations and repeats must be positive")
+
+
+@dataclass
+class AdaptiveOutcome:
+    """Result of an adaptive characterization."""
+
+    result: CharacterizationResult
+    probes: int = 0
+    crashes: int = 0
+    boundaries: List[tuple] = field(default_factory=list)
+
+
+class AdaptiveCharacterization:
+    """Bisection-based safe/unsafe boundary discovery."""
+
+    def __init__(
+        self,
+        model: CPUModel,
+        *,
+        config: Optional[AdaptiveConfig] = None,
+        seed: int = 2024,
+    ) -> None:
+        self.model = model
+        self.config = config or AdaptiveConfig()
+        self.seed = seed
+
+    def run(self) -> AdaptiveOutcome:
+        """Find each frequency's boundary by bisection with repeats."""
+        config = self.config
+        fault_model = FaultModel(self.model)
+        injector = FaultInjector(fault_model, np.random.default_rng(self.seed))
+        loop = ImulLoop(config.iterations)
+        unsafe = UnsafeStateSet(system=self.model.codename)
+        sweep_config = CharacterizationConfig(
+            offset_start_mv=config.start_mv,
+            offset_stop_mv=config.stop_mv,
+            iterations=config.iterations,
+        )
+        result = CharacterizationResult(
+            model=self.model, config=sweep_config, unsafe_states=unsafe
+        )
+        outcome = AdaptiveOutcome(result=result)
+
+        def probe(frequency: float, offset: int) -> str:
+            conditions = fault_model.conditions_for_offset(frequency, offset)
+            for _ in range(self.config.repeats):
+                outcome.probes += 1
+                try:
+                    report = loop.run(injector, conditions)
+                except MachineCheckError:
+                    self._record(outcome, frequency, offset, 0, crashed=True)
+                    return "crash"
+                if report.fault_count > 0:
+                    self._record(
+                        outcome, frequency, offset, report.fault_count, crashed=False
+                    )
+                    return "fault"
+            self._record(outcome, frequency, offset, 0, crashed=False, safe=True)
+            return "safe"
+
+        self._sweep(probe, outcome)
+        return outcome
+
+    def run_on_machine(self, machine: "Machine", *, core_index: int = 0) -> AdaptiveOutcome:
+        """Event-mode bisection: probe through a live machine's interfaces.
+
+        Each probe pins the frequency via cpupower, writes the offset via
+        MSR 0x150, waits out the regulator and runs the EXECUTE window —
+        the procedure a deployed characterization robot would follow.
+        Crashes reboot the machine and count as unsafe.
+        """
+        config = self.config
+        unsafe = UnsafeStateSet(system=self.model.codename)
+        sweep_config = CharacterizationConfig(
+            offset_start_mv=config.start_mv,
+            offset_stop_mv=config.stop_mv,
+            iterations=config.iterations,
+        )
+        result = CharacterizationResult(
+            model=self.model, config=sweep_config, unsafe_states=unsafe
+        )
+        outcome = AdaptiveOutcome(result=result)
+        settle = self.model.regulator_latency_s * 1.2
+
+        def probe(frequency: float, offset: int) -> str:
+            machine.cpupower.frequency_set(frequency, core_index=core_index)
+            machine.write_voltage_offset(offset, core_index)
+            machine.advance(settle)
+            for _ in range(self.config.repeats):
+                outcome.probes += 1
+                try:
+                    report = machine.run_imul_window(
+                        core_index, iterations=self.config.iterations
+                    )
+                except MachineCheckError:
+                    self._record(outcome, frequency, offset, 0, crashed=True)
+                    machine.reboot(settle_s=settle)
+                    machine.cpupower.frequency_set(frequency, core_index=core_index)
+                    return "crash"
+                if report.fault_count > 0:
+                    self._record(
+                        outcome, frequency, offset, report.fault_count, crashed=False
+                    )
+                    break
+            else:
+                self._record(outcome, frequency, offset, 0, crashed=False, safe=True)
+                machine.write_voltage_offset(0, core_index)
+                machine.advance(settle)
+                return "safe"
+            machine.write_voltage_offset(0, core_index)
+            machine.advance(settle)
+            return "fault"
+
+        self._sweep(probe, outcome)
+        machine.write_voltage_offset(0, core_index)
+        machine.advance(settle)
+        return outcome
+
+    # -- internals ---------------------------------------------------------------
+
+    def _record(
+        self, outcome, frequency, offset, fault_count, *, crashed, safe=False
+    ) -> None:
+        from repro.core.unsafe_states import CellResult
+
+        if crashed:
+            outcome.crashes += 1
+            outcome.result.crashes += 1
+            outcome.result.unsafe_states.add_crash(frequency, offset)
+        elif not safe:
+            outcome.result.unsafe_states.add_unsafe(frequency, offset)
+        outcome.result.cells.append(
+            CellResult(frequency, offset, fault_count, crashed=crashed)
+        )
+
+    def _sweep(self, probe, outcome) -> None:
+        """Warm-started per-frequency bisection over the whole table."""
+        previous_boundary: Optional[int] = None
+        for frequency in self.model.frequency_table.frequencies_ghz():
+            verdict = self._bisect_frequency(
+                frequency, probe, outcome, previous_boundary
+            )
+            if verdict is not None:
+                outcome.boundaries.append((frequency, verdict))
+                previous_boundary = verdict
+
+    def _bisect_frequency(
+        self,
+        frequency,
+        probe_fn,
+        outcome,
+        previous_boundary: Optional[int] = None,
+    ) -> Optional[int]:
+        """Bisect for the shallowest faulting offset at one frequency.
+
+        With a ``previous_boundary`` (the neighbouring frequency's result)
+        the bracket warm-starts around it: boundaries move only a few mV
+        per 0.1 GHz, so the deep probe lands in the *fault band* instead
+        of the crash region — the trick that makes the adaptive variant
+        cheap in reboots, not just in probes.
+        """
+        config = self.config
+        probe = lambda offset: probe_fn(frequency, offset)  # noqa: E731
+        if previous_boundary is None:
+            shallow = config.start_mv
+            deep = config.stop_mv
+            if probe(deep) == "safe":
+                return None  # nothing unsafe in range at this frequency
+        else:
+            shallow = min(config.start_mv, previous_boundary + 40)
+            deep = max(config.stop_mv, previous_boundary - 15)
+            # Grow the deep end until it is confirmed unsafe.
+            while probe(deep) == "safe":
+                if deep <= config.stop_mv:
+                    return None
+                shallow = deep
+                deep = max(config.stop_mv, deep - 25)
+            # Grow the shallow end until it is confirmed safe.
+            while shallow < config.start_mv and probe(shallow) != "safe":
+                deep = shallow
+                shallow = min(config.start_mv, shallow + 40)
+        while shallow - deep > config.resolution_mv:
+            middle = (shallow + deep) // 2
+            if probe(middle) == "safe":
+                shallow = middle
+            else:
+                deep = middle
+        # `deep` is the shallowest offset confirmed unsafe.
+        return deep

@@ -1,0 +1,84 @@
+"""Algorithm 1: voltage-offset computation, plus readout decoding.
+
+This module is the countermeasure-side view of the MSR encodings.  The
+``offset_voltage`` procedure is a line-for-line transcription of Algo 1:
+
+    1: procedure OFFSET_VOLTAGE(offset, plane)
+    2:   set val <- (offset*1024/1000)
+    3:   set val <- 0xFFE00000 and ((val and 0xFFF) left-shift 21)
+    4:   set val <- val or 0x8000001100000000
+    5:   set val <- val or (plane left-shift 40)
+    6:   return val
+
+The decode helpers interpret what the polling module reads back from
+MSR 0x150 (current voltage offset) and MSR 0x198 (current frequency and
+voltage) in Algo 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidPlaneError, InvalidVoltageOffsetError
+from repro.cpu import ocm, perf_status
+
+_MASK64 = (1 << 64) - 1
+
+
+def offset_voltage(offset_mv: float, plane: int = 0) -> int:
+    """Algorithm 1 of the paper, bit for bit.
+
+    Parameters
+    ----------
+    offset_mv:
+        Signed voltage offset in millivolts (negative = undervolt).
+    plane:
+        Voltage plane per Table 1 (0 = CPU core).
+
+    Raises
+    ------
+    InvalidVoltageOffsetError
+        If the offset does not fit the signed 11-bit field.
+    InvalidPlaneError
+        If the plane index is outside Table 1's range.
+    """
+    if not 0 <= plane <= 4:
+        raise InvalidPlaneError(f"plane {plane} outside Table 1 range 0-4")
+    val = int(offset_mv * 1024 / 1000)                      # line 2
+    if not ocm.MIN_OFFSET_UNITS <= val <= ocm.MAX_OFFSET_UNITS:
+        raise InvalidVoltageOffsetError(
+            f"offset {offset_mv} mV does not fit the 11-bit field"
+        )
+    val = 0xFFE00000 & ((val & 0xFFF) << 21)                # line 3
+    val = val | 0x8000001100000000                          # line 4
+    val = val | (plane << 40)                               # line 5
+    return val & _MASK64                                    # line 6
+
+
+def read_request(plane: int = 0) -> int:
+    """The 0x150 command requesting a read-back of a plane's offset."""
+    return ocm.encode_read_request(plane)
+
+
+def decode_offset_mv(msr150_value: int) -> float:
+    """Millivolt offset carried in bits [31:21] of a 0x150 value."""
+    return ocm.units_to_mv(ocm.decode_offset_field(msr150_value))
+
+
+@dataclass(frozen=True)
+class CoreStatus:
+    """What one polling iteration learns about a core (Algo 3, lines 4-5)."""
+
+    frequency_ghz: float
+    voltage_volts: float
+    offset_mv: float
+
+
+def decode_core_status(msr198_value: int, msr150_value: int) -> CoreStatus:
+    """Combine the 0x198 and 0x150 readouts into a core status."""
+    status = perf_status.decode(msr198_value)
+    return CoreStatus(
+        frequency_ghz=status.frequency_ghz,
+        voltage_volts=status.voltage_volts,
+        offset_mv=decode_offset_mv(msr150_value),
+    )

@@ -1,0 +1,88 @@
+"""Sec. 5.1: deployment at the micro-architectural level (microcode).
+
+The microcode ROM stores the **maximal safe state**; whenever a ``wrmsr``
+targets MSR 0x150, a microcode conditional branch checks the requested
+offset against it and — if the write would put the system into an unsafe
+state — *ignores* the write, the same write-ignore behaviour Intel
+documents for several MSRs.
+
+In the simulation the "microcode sequencer" is a write hook inserted
+*ahead* of the overclocking-mailbox logic, so a rejected write never
+reaches the voltage regulator at all: the guard has zero turnaround time,
+unlike the polling module.  Only CPU vendors can deploy this on real
+silicon; here it demonstrates that the safe-state characterization is
+sufficient for such a deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, MSRWriteIgnoredError
+from repro.cpu import ocm
+from repro.cpu.msr import MSR_OC_MAILBOX
+from repro.cpu.processor import SimulatedProcessor
+
+
+@dataclass
+class MicrocodeGuard:
+    """A simulated microcode update enforcing the maximal safe state.
+
+    Parameters
+    ----------
+    maximal_safe_offset_mv:
+        The deepest offset safe at every frequency (from Algo 2's
+        characterization via
+        :meth:`~repro.core.unsafe_states.UnsafeStateSet.maximal_safe_offset_mv`).
+    raise_on_ignore:
+        Real microcode ignores the write silently; tests can set this to
+        surface an :class:`~repro.errors.MSRWriteIgnoredError` instead.
+    """
+
+    maximal_safe_offset_mv: float
+    raise_on_ignore: bool = False
+    ignored_writes: int = 0
+    ignored_log: List[tuple] = field(default_factory=list, repr=False)
+    _processor: Optional[SimulatedProcessor] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.maximal_safe_offset_mv > 0:
+            raise ConfigurationError("maximal safe offset must be <= 0 (an undervolt bound)")
+
+    @property
+    def applied(self) -> bool:
+        """Whether the microcode update is live on a processor."""
+        return self._processor is not None
+
+    def apply(self, processor: SimulatedProcessor) -> None:
+        """Load the microcode update (BIOS/UEFI load at reset, Sec. 5.1)."""
+        if self._processor is not None:
+            raise ConfigurationError("microcode guard already applied")
+        processor.msr.insert_write_hook(MSR_OC_MAILBOX, self._sequencer_hook)
+        self._processor = processor
+
+    def revert(self) -> None:
+        """Unload the update (a reset back to stock microcode)."""
+        if self._processor is None:
+            raise ConfigurationError("microcode guard not applied")
+        self._processor.msr.remove_write_hook(MSR_OC_MAILBOX, self._sequencer_hook)
+        self._processor = None
+
+    # -- the conditional microcode branch -------------------------------------
+
+    def _sequencer_hook(self, core_index: int, value: int) -> Optional[int]:
+        """Runs on every ``wrmsr 0x150`` before the mailbox logic."""
+        command = ocm.decode_command(value)
+        if not command.is_write:
+            return value
+        if command.offset_mv >= self.maximal_safe_offset_mv:
+            return value
+        self.ignored_writes += 1
+        self.ignored_log.append((core_index, command.offset_mv))
+        if self.raise_on_ignore:
+            raise MSRWriteIgnoredError(
+                f"microcode ignored offset {command.offset_mv:.0f} mV "
+                f"(maximal safe state {self.maximal_safe_offset_mv:.0f} mV)"
+            )
+        return None  # write-ignore: the request never reaches the regulator

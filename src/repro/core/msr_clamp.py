@@ -1,0 +1,124 @@
+"""Sec. 5.2: deployment at the hardware level (a model-specific register).
+
+The paper proposes a new MSR — called ``MSR_VOLTAGE_OFFSET_LIMIT`` here —
+following the semantics of the ``MSR_DRAM_POWER_LIMIT`` (0x618) /
+``MSR_DRAM_POWER_INFO`` (0x61C) pair: just as any DRAM power setting below
+``DRAM_MIN_PWR`` is *clamped* to it, any voltage offset written to 0x150
+deeper than the limit is clamped to the limit, making the register a
+hardware gatekeeper against unsafe states.
+
+Differences from the microcode deployment (Sec. 5.1):
+
+* writes are **clamped**, not ignored — an over-deep request still lands,
+  at the deepest safe value (maximal availability for benign undervolt);
+* the limit itself is software-visible in the new MSR and can be locked
+  (a write-once lock bit, as Intel uses for e.g. ``IA32_FEATURE_CONTROL``)
+  so a privileged adversary cannot lift it after boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.cpu import ocm
+from repro.cpu.msr import MSR_OC_MAILBOX, MSR_VOLTAGE_OFFSET_LIMIT
+from repro.cpu.processor import SimulatedProcessor
+
+#: Lock bit of the proposed register: once set, further limit changes are
+#: ignored until reset.
+LIMIT_LOCK_BIT = 1 << 63
+
+
+def encode_limit(offset_mv: float) -> int:
+    """Encode a limit into the proposed MSR (offset field as in 0x150)."""
+    return ocm.encode_offset_field(ocm.mv_to_units(offset_mv))
+
+
+def decode_limit(value: int) -> float:
+    """Extract the millivolt limit from the proposed MSR."""
+    return ocm.units_to_mv(ocm.decode_offset_field(value))
+
+
+@dataclass
+class VoltageOffsetLimit:
+    """The hardware clamp: MSR_VOLTAGE_OFFSET_LIMIT wired into ``wrmsr 0x150``.
+
+    Parameters
+    ----------
+    limit_mv:
+        Maximal safe state for the part (from Algo 2); vendor-fused.
+    """
+
+    limit_mv: float
+    clamped_writes: int = 0
+    _processor: Optional[SimulatedProcessor] = field(default=None, repr=False)
+    _locked: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.limit_mv > 0:
+            raise ConfigurationError("the offset limit must be <= 0 (an undervolt bound)")
+
+    @property
+    def applied(self) -> bool:
+        """Whether the clamp is live on a processor."""
+        return self._processor is not None
+
+    @property
+    def locked(self) -> bool:
+        """Whether the limit register is locked against changes."""
+        return self._locked
+
+    def apply(self, processor: SimulatedProcessor) -> None:
+        """Fuse the limit into the processor and arm the clamp."""
+        if self._processor is not None:
+            raise ConfigurationError("voltage-offset limit already applied")
+        processor.msr.poke(0, MSR_VOLTAGE_OFFSET_LIMIT, encode_limit(self.limit_mv))
+        processor.msr.add_write_hook(MSR_VOLTAGE_OFFSET_LIMIT, self._limit_write_hook)
+        processor.msr.insert_write_hook(MSR_OC_MAILBOX, self._clamp_hook)
+        self._processor = processor
+
+    def revert(self) -> None:
+        """Remove the clamp (simulating a part without the feature)."""
+        if self._processor is None:
+            raise ConfigurationError("voltage-offset limit not applied")
+        self._processor.msr.remove_write_hook(MSR_OC_MAILBOX, self._clamp_hook)
+        self._processor = None
+
+    def lock(self) -> None:
+        """Set the write-once lock: the limit can no longer be changed."""
+        self._locked = True
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _limit_write_hook(self, core_index: int, value: int) -> Optional[int]:
+        """Allow limit updates only while unlocked; honour the lock bit."""
+        if self._locked:
+            return None
+        if value & LIMIT_LOCK_BIT:
+            self._locked = True
+            value &= ~LIMIT_LOCK_BIT
+        self.limit_mv = decode_limit(value)
+        return value
+
+    def _clamp_hook(self, core_index: int, value: int) -> Optional[int]:
+        """Clamp over-deep offset writes to the limit (DRAM_MIN_PWR style)."""
+        command = ocm.decode_command(value)
+        if not command.is_write:
+            return value
+        if command.offset_mv >= self.limit_mv:
+            return value
+        self.clamped_writes += 1
+        return ocm.encode_write(self.limit_mv, int(command.plane))
+
+
+def install_msr_clamp(
+    processor: SimulatedProcessor, limit_mv: float, *, lock: bool = True
+) -> VoltageOffsetLimit:
+    """Convenience: fuse, arm and (by default) lock the clamp."""
+    clamp = VoltageOffsetLimit(limit_mv=limit_mv)
+    clamp.apply(processor)
+    if lock:
+        clamp.lock()
+    return clamp

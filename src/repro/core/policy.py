@@ -1,0 +1,81 @@
+"""Safe-state restoration policies.
+
+When Algo 3 finds a core in an unsafe state it must "write to 0x150 to
+force the system into safe state".  *Which* safe value to write is a
+policy decision the paper leaves open; we implement the three natural
+choices and make them pluggable so the ablation benchmarks can compare
+them:
+
+* :class:`RestoreToZero` — drop the offset entirely (most conservative,
+  denies benign undervolting while an attack is in progress);
+* :class:`ClampToBoundary` — restore to the deepest *safe* offset for the
+  core's current frequency (maximally preserves benign undervolting,
+  which is the availability property the paper emphasises);
+* :class:`ClampToMaximalSafe` — restore to the maximal safe state of
+  Sec. 5, the frequency-independent value deployable in microcode or as
+  an MSR clamp.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.encoding import CoreStatus
+from repro.core.unsafe_states import DEFAULT_SAFETY_MARGIN_MV, UnsafeStateSet
+
+
+class SafeStatePolicy(ABC):
+    """Chooses the offset Algo 3 writes when remediating a core."""
+
+    #: Policy name used in reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def safe_offset_mv(self, unsafe_states: UnsafeStateSet, status: CoreStatus) -> float:
+        """The offset (mV, <= 0) to force the core back to."""
+
+
+@dataclass
+class RestoreToZero(SafeStatePolicy):
+    """Reset the voltage offset to 0 mV (factory curve)."""
+
+    name: str = "restore-to-zero"
+
+    def safe_offset_mv(self, unsafe_states: UnsafeStateSet, status: CoreStatus) -> float:
+        """Always restore the factory voltage (offset 0)."""
+        return 0.0
+
+
+@dataclass
+class ClampToBoundary(SafeStatePolicy):
+    """Clamp to the deepest safe offset for the current frequency.
+
+    Keeps benign undervolting alive at full depth: a power-conscious
+    process undervolting within the safe band is untouched, and even a
+    remediated core retains as much undervolt as is safely possible.
+    """
+
+    margin_mv: float = DEFAULT_SAFETY_MARGIN_MV
+    name: str = "clamp-to-boundary"
+
+    def safe_offset_mv(self, unsafe_states: UnsafeStateSet, status: CoreStatus) -> float:
+        """Deepest safe offset for the core's current frequency."""
+        return unsafe_states.safe_offset_mv(status.frequency_ghz, margin_mv=self.margin_mv)
+
+
+@dataclass
+class ClampToMaximalSafe(SafeStatePolicy):
+    """Clamp to the maximal safe state (Sec. 5).
+
+    Frequency-independent, so the same constant works for every core at
+    every P-state — the property that lets the countermeasure migrate
+    into microcode (Sec. 5.1) or a hardware MSR (Sec. 5.2).
+    """
+
+    margin_mv: float = DEFAULT_SAFETY_MARGIN_MV
+    name: str = "clamp-to-maximal-safe"
+
+    def safe_offset_mv(self, unsafe_states: UnsafeStateSet, status: CoreStatus) -> float:
+        """The frequency-independent maximal safe state."""
+        return unsafe_states.maximal_safe_offset_mv(margin_mv=self.margin_mv)

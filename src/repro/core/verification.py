@@ -1,0 +1,143 @@
+"""Post-deployment verification: prove the module protects *this* machine.
+
+A real operator who insmods the countermeasure wants evidence, not
+faith: re-run a slice of the attack campaign against the live, protected
+machine and confirm zero faults.  This module packages that acceptance
+test — it samples characterized-unsafe cells (the shallowest boundary
+cells, the deepest probed cells, and random fills), mounts the Algo-2
+attack pattern against each, and reports what the victim observed.
+
+The same routine doubles as a regression check after microcode updates
+or policy changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError, MachineCheckError
+from repro.core.unsafe_states import UnsafeStateSet
+from repro.testbench import Machine
+
+
+@dataclass(frozen=True)
+class VerificationProbe:
+    """One attempted attack cell and what the victim saw."""
+
+    frequency_ghz: float
+    offset_mv: int
+    faults: int
+    crashed: bool
+    detected: bool
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a deployment verification run."""
+
+    probes: List[VerificationProbe] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        """Faults the victim observed across all probes."""
+        return sum(p.faults for p in self.probes)
+
+    @property
+    def crashes(self) -> int:
+        """Machine checks across all probes."""
+        return sum(p.crashed for p in self.probes)
+
+    @property
+    def passed(self) -> bool:
+        """Zero faults and zero crashes — the Sec. 4.3 acceptance bar."""
+        return self.total_faults == 0 and self.crashes == 0
+
+    def summary(self) -> str:
+        """One-line verdict for logs."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"deployment verification {verdict}: {len(self.probes)} unsafe cells "
+            f"probed, {self.total_faults} faults, {self.crashes} crashes"
+        )
+
+
+def _select_cells(
+    unsafe_states: UnsafeStateSet, samples: int, rng
+) -> List[Tuple[float, int]]:
+    """Pick verification cells: the global shallowest boundary, each
+    frequency-extreme, and random boundary cells in between."""
+    frequencies = unsafe_states.frequencies_ghz()
+    if not frequencies:
+        raise ConfigurationError("empty unsafe set: nothing to verify against")
+    cells: List[Tuple[float, int]] = []
+    shallowest = max(frequencies, key=lambda f: unsafe_states.boundary_mv(f))
+    anchors = {frequencies[0], frequencies[-1], shallowest}
+    for frequency in sorted(anchors):
+        cells.append((frequency, int(unsafe_states.boundary_mv(frequency)) - 5))
+    while len(cells) < samples:
+        frequency = frequencies[int(rng.integers(0, len(frequencies)))]
+        boundary = int(unsafe_states.boundary_mv(frequency))
+        depth = int(rng.integers(1, 20))
+        cells.append((frequency, boundary - depth))
+    return cells[:samples]
+
+
+def verify_deployment(
+    machine: Machine,
+    unsafe_states: UnsafeStateSet,
+    *,
+    samples: int = 10,
+    iterations_per_probe: int = 500_000,
+    core_index: int = 0,
+) -> VerificationReport:
+    """Attack the protected machine at known-unsafe cells; expect nothing.
+
+    Each probe follows the Algo-2 attack pattern (pin frequency, write
+    the unsafe offset, wait out the regulator, run the EXECUTE window).
+    With the countermeasure loaded every probe must come back clean; a
+    single fault or crash fails the report.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``samples`` is not positive or the unsafe set is empty.
+    """
+    if samples <= 0:
+        raise ConfigurationError("samples must be positive")
+    report = VerificationReport()
+    settle = machine.model.regulator_latency_s * 1.2
+    cells = _select_cells(unsafe_states, samples, machine.rng)
+    for frequency, offset in cells:
+        detections_before = _detection_count(machine)
+        machine.cpupower.frequency_set(frequency, core_index=core_index)
+        machine.write_voltage_offset(offset, core_index)
+        machine.advance(settle)
+        try:
+            window = machine.run_imul_window(core_index, iterations=iterations_per_probe)
+            faults, crashed = window.fault_count, False
+        except MachineCheckError:
+            faults, crashed = 0, True
+            machine.reboot(settle_s=settle)
+        report.probes.append(
+            VerificationProbe(
+                frequency_ghz=frequency,
+                offset_mv=offset,
+                faults=faults,
+                crashed=crashed,
+                detected=_detection_count(machine) > detections_before,
+            )
+        )
+        machine.write_voltage_offset(0, core_index)
+        machine.advance(settle)
+    return report
+
+
+def _detection_count(machine: Machine) -> int:
+    """Detections of the loaded polling module, 0 if none is loaded."""
+    from repro.sgx.attestation import COUNTERMEASURE_MODULE
+
+    if not machine.modules.is_loaded(COUNTERMEASURE_MODULE):
+        return 0
+    module = machine.modules.get(COUNTERMEASURE_MODULE)
+    return getattr(module, "stats").detections

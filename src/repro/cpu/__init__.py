@@ -1,0 +1,69 @@
+"""Simulated Intel processor substrate.
+
+Everything the countermeasure and the attacks see of "the hardware" lives
+here: frequency tables, factory V/f curves, the MSR file with the
+overclocking-mailbox protocol (MSR 0x150) and IA32_PERF_STATUS (0x198),
+the voltage regulator with settle latency, and the three CPU models the
+paper evaluates (Sky Lake i5-6500, Kaby Lake R i5-8250U, Comet Lake
+i7-10510U).
+"""
+
+from repro.cpu.core import Core
+from repro.cpu.frequency_table import FrequencyTable
+from repro.cpu.models import (
+    COMET_LAKE,
+    EXTENDED_MODELS,
+    ICE_LAKE,
+    KABY_LAKE_R,
+    PAPER_MODELS,
+    PAPER_MODEL_TUPLE,
+    SKY_LAKE,
+    CPUModel,
+    model_by_codename,
+)
+from repro.cpu.msr import (
+    IA32_PERF_CTL,
+    IA32_PERF_STATUS,
+    MSR_OC_MAILBOX,
+    MSR_PLATFORM_INFO,
+    MSR_VOLTAGE_OFFSET_LIMIT,
+    MSRFile,
+)
+from repro.cpu.ocm import VoltagePlane
+from repro.cpu.power import CorePowerModel, PowerParameters
+from repro.cpu.microcode import MicrocodeLoader, MicrocodeUpdate, guard_update
+from repro.cpu.thermal import ThermalModel, ThermalParameters
+from repro.cpu.processor import SimulatedProcessor
+from repro.cpu.vf_curve import VFCurve
+from repro.cpu.voltage_regulator import VoltageRegulator
+
+__all__ = [
+    "Core",
+    "FrequencyTable",
+    "COMET_LAKE",
+    "EXTENDED_MODELS",
+    "ICE_LAKE",
+    "KABY_LAKE_R",
+    "PAPER_MODELS",
+    "PAPER_MODEL_TUPLE",
+    "SKY_LAKE",
+    "CPUModel",
+    "model_by_codename",
+    "IA32_PERF_CTL",
+    "IA32_PERF_STATUS",
+    "MSR_OC_MAILBOX",
+    "MSR_PLATFORM_INFO",
+    "MSR_VOLTAGE_OFFSET_LIMIT",
+    "MSRFile",
+    "VoltagePlane",
+    "CorePowerModel",
+    "PowerParameters",
+    "ThermalModel",
+    "ThermalParameters",
+    "MicrocodeLoader",
+    "MicrocodeUpdate",
+    "guard_update",
+    "SimulatedProcessor",
+    "VFCurve",
+    "VoltageRegulator",
+]

@@ -1,0 +1,98 @@
+"""P-state frequency tables.
+
+The operational frequency of a processor is limited to a vendor-defined
+range of discrete values, the *frequency table* (Sec. 2.2).  The paper's
+characterization (Algo 2) enumerates "possible core frequencies at a
+resolution of 0.1 GHz" — exactly the granularity of the hardware P-state
+ratio, which is a multiple of the 100 MHz bus clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.units import BUS_CLOCK_GHZ, ghz_to_ratio, ratio_to_ghz
+
+
+@dataclass(frozen=True)
+class FrequencyTable:
+    """The discrete set of core frequencies a processor supports.
+
+    Parameters
+    ----------
+    min_ghz:
+        Lowest operating frequency (lowest P-state).
+    max_ghz:
+        Highest operating frequency (max single-core turbo).
+    base_ghz:
+        The advertised base (nominal, non-turbo) frequency.
+    """
+
+    min_ghz: float
+    max_ghz: float
+    base_ghz: float
+
+    def __post_init__(self) -> None:
+        if not self.min_ghz <= self.base_ghz <= self.max_ghz:
+            raise ConfigurationError(
+                f"base frequency {self.base_ghz} GHz must lie within "
+                f"[{self.min_ghz}, {self.max_ghz}] GHz"
+            )
+        if self.min_ghz <= 0:
+            raise ConfigurationError("minimum frequency must be positive")
+        for name, value in (("min", self.min_ghz), ("max", self.max_ghz), ("base", self.base_ghz)):
+            ratio = value / BUS_CLOCK_GHZ
+            if abs(ratio - round(ratio)) > 1e-9:
+                raise ConfigurationError(
+                    f"{name} frequency {value} GHz is not a multiple of the "
+                    f"{BUS_CLOCK_GHZ} GHz bus clock"
+                )
+
+    @property
+    def min_ratio(self) -> int:
+        """Lowest P-state ratio (multiples of the bus clock)."""
+        return ghz_to_ratio(self.min_ghz)
+
+    @property
+    def max_ratio(self) -> int:
+        """Highest P-state ratio."""
+        return ghz_to_ratio(self.max_ghz)
+
+    @property
+    def base_ratio(self) -> int:
+        """Ratio of the advertised base frequency."""
+        return ghz_to_ratio(self.base_ghz)
+
+    def __len__(self) -> int:
+        return self.max_ratio - self.min_ratio + 1
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.frequencies_ghz())
+
+    def __contains__(self, frequency_ghz: object) -> bool:
+        if not isinstance(frequency_ghz, (int, float)):
+            return False
+        ratio = frequency_ghz / BUS_CLOCK_GHZ
+        if abs(ratio - round(ratio)) > 1e-9:
+            return False
+        return self.min_ratio <= round(ratio) <= self.max_ratio
+
+    def frequencies_ghz(self) -> Sequence[float]:
+        """All supported frequencies, ascending, at 0.1 GHz resolution."""
+        return tuple(ratio_to_ghz(r) for r in range(self.min_ratio, self.max_ratio + 1))
+
+    def validate(self, frequency_ghz: float) -> float:
+        """Return the frequency unchanged, or raise :class:`FrequencyError`."""
+        if frequency_ghz not in self:
+            raise FrequencyError(
+                f"{frequency_ghz} GHz is not in the frequency table "
+                f"[{self.min_ghz}, {self.max_ghz}] GHz @ {BUS_CLOCK_GHZ} GHz steps"
+            )
+        return frequency_ghz
+
+    def clamp(self, frequency_ghz: float) -> float:
+        """Snap an arbitrary frequency onto the nearest table entry."""
+        ratio = max(self.min_ratio, min(self.max_ratio, round(frequency_ghz / BUS_CLOCK_GHZ)))
+        return ratio_to_ghz(ratio)

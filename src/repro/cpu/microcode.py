@@ -1,0 +1,89 @@
+"""Microcode update carrier: how Sec. 5.1 actually ships.
+
+The paper notes that microcode updates "are loaded through BIOS/UEFI and
+need to be loaded once the processor resets" and that the updated
+revision is attestable.  This module models that delivery path: an
+update package carries a revision and an install payload; the loader
+refuses stale revisions, resets the processor (updates apply at reset),
+bumps the visible microcode revision, and runs the payload — typically a
+:class:`~repro.core.microcode_guard.MicrocodeGuard` installation.
+
+The revision is what :mod:`repro.sgx.attestation` reports, so a remote
+verifier can demand the guard-carrying microcode the same way it demands
+the kernel module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.cpu.processor import SimulatedProcessor
+
+#: Install payload: receives the processor after reset.
+InstallHook = Callable[[SimulatedProcessor], None]
+
+
+@dataclass(frozen=True)
+class MicrocodeUpdate:
+    """A signed-update-blob analogue."""
+
+    revision: int
+    description: str
+    install: InstallHook
+
+    def __post_init__(self) -> None:
+        if self.revision <= 0:
+            raise ConfigurationError("microcode revision must be positive")
+
+
+@dataclass
+class MicrocodeLoader:
+    """BIOS/UEFI-side loader applying updates at processor reset."""
+
+    processor: SimulatedProcessor
+    history: List[int] = field(default_factory=list)
+
+    def load(self, update: MicrocodeUpdate) -> None:
+        """Apply an update: reset, bump the revision, run the payload.
+
+        Raises
+        ------
+        ConfigurationError
+            If the update's revision does not exceed the current one
+            (real loaders refuse downgrades).
+        """
+        current = self.processor.microcode_revision
+        if update.revision <= current:
+            raise ConfigurationError(
+                f"refusing microcode downgrade: 0x{update.revision:x} <= 0x{current:x}"
+            )
+        self.processor.reboot()  # updates take effect at reset
+        self.processor.microcode_revision = update.revision
+        update.install(self.processor)
+        self.history.append(update.revision)
+
+
+def guard_update(
+    maximal_safe_offset_mv: float,
+    *,
+    revision: Optional[int] = None,
+    base_revision: int = 0,
+) -> MicrocodeUpdate:
+    """Package a Sec. 5.1 write-ignore guard as a microcode update.
+
+    ``revision`` defaults to one past ``base_revision`` (pass the
+    processor's current revision).
+    """
+    from repro.core.microcode_guard import MicrocodeGuard
+
+    guard = MicrocodeGuard(maximal_safe_offset_mv)
+    return MicrocodeUpdate(
+        revision=revision if revision is not None else base_revision + 1,
+        description=(
+            f"OCM write-ignore at maximal safe state "
+            f"{maximal_safe_offset_mv:.0f} mV"
+        ),
+        install=guard.apply,
+    )

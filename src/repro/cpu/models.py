@@ -1,0 +1,203 @@
+"""Catalog of simulated Intel CPU models.
+
+The paper evaluates three generations (Sec. 4.2):
+
+* Intel Core i5-6500  @ 3.20 GHz — codename Sky Lake,   microcode 0xf0
+* Intel Core i5-8250U @ 1.60 GHz — codename Kaby Lake R, microcode 0xf4
+* Intel Core i7-10510U @ 1.80 GHz — codename Comet Lake,  microcode 0xf4
+
+Each :class:`CPUModel` bundles everything the simulation needs: the
+frequency table, the silicon process, the critical-path delay that fixes
+the part's V/f curve, the process-variation spread that smears the fault
+boundary, and the latencies (regulator ramp, MSR ioctl) that determine the
+countermeasure's turnaround time (Sec. 5).
+
+The numeric parameters are calibrated so the *shape* of the safe/unsafe
+characterization matches the published figures: a safe undervolt band at
+every frequency, a fault band a few tens of millivolts wide below it, a
+crash beyond that, and a boundary that moves towards shallower offsets as
+frequency rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cpu.frequency_table import FrequencyTable
+from repro.cpu.vf_curve import VFCurve
+from repro.timing.constants import INTEL_10NM, INTEL_14NM, INTEL_14NM_PLUS, ProcessCharacteristics
+from repro.timing.path import CriticalPath, scaled_path
+from repro.timing.safety import SafetyAnalyzer
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Static description of one simulated processor model."""
+
+    name: str
+    codename: str
+    microcode: int
+    core_count: int
+    frequency_table: FrequencyTable
+    process: ProcessCharacteristics
+    #: Critical-path delay (ps) at the process reference voltage.
+    path_delay_ps: float
+    #: Fraction of the timing budget the factory reserves as margin.
+    guardband: float
+    #: Minimum operating voltage of the factory V/f curve.
+    v_floor_volts: float
+    #: Fixed voltage guardband (V) added on top of the timing-derived curve.
+    v_margin_volts: float
+    #: Std-dev (mV) of the per-path critical-voltage spread from process
+    #: variation; controls the width of the fault band before crash.
+    sigma_mv: float
+    #: Fraction of critical paths that must be violated before corruption
+    #: reaches control logic and the machine crashes.
+    crash_fraction: float
+    #: Latency (s) between a write to MSR 0x150 and the regulator settling
+    #: when the voltage is being lowered (the slow direction).
+    regulator_latency_s: float
+    #: Settle latency (s) when the voltage is being raised (regulators
+    #: prioritise upward slew, so remediation writes apply quickly).
+    regulator_raise_latency_s: float
+    #: Latency (s) of one MSR read/write through the kernel msr driver.
+    msr_ioctl_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.core_count <= 0:
+            raise ConfigurationError("core_count must be positive")
+        if not 0.0 < self.crash_fraction <= 1.0:
+            raise ConfigurationError("crash_fraction must lie in (0, 1]")
+        if self.sigma_mv <= 0:
+            raise ConfigurationError("sigma_mv must be positive")
+        if self.regulator_latency_s < 0 or self.msr_ioctl_latency_s < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    def critical_path(self) -> CriticalPath:
+        """The model's critical path at reference voltage."""
+        return scaled_path(self.path_delay_ps, self.process)
+
+    def safety_analyzer(self) -> SafetyAnalyzer:
+        """Ground-truth timing analyzer for the model."""
+        return SafetyAnalyzer(self.critical_path())
+
+    def vf_curve(self) -> VFCurve:
+        """Factory voltage/frequency curve for the model."""
+        return VFCurve(
+            analyzer=self.safety_analyzer(),
+            table=self.frequency_table,
+            guardband=self.guardband,
+            v_floor_volts=self.v_floor_volts,
+            v_margin_volts=self.v_margin_volts,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable identification string."""
+        return (
+            f"{self.name} (codename: {self.codename}, "
+            f"microcode version: 0x{self.microcode:x}, {self.core_count} cores)"
+        )
+
+
+SKY_LAKE = CPUModel(
+    name="Intel(R) Core(TM) i5-6500 CPU @ 3.20GHz",
+    codename="Sky Lake",
+    microcode=0xF0,
+    core_count=4,
+    frequency_table=FrequencyTable(min_ghz=0.8, max_ghz=3.6, base_ghz=3.2),
+    process=INTEL_14NM,
+    path_delay_ps=269.0,
+    guardband=0.09,
+    v_floor_volts=0.80,
+    v_margin_volts=0.075,
+    sigma_mv=10.0,
+    crash_fraction=0.75,
+    regulator_latency_s=680e-6,
+    regulator_raise_latency_s=85e-6,
+    msr_ioctl_latency_s=0.8e-6,
+)
+
+KABY_LAKE_R = CPUModel(
+    name="Intel(R) Core(TM) i5-8250U CPU @ 1.60GHz",
+    codename="Kaby Lake R",
+    microcode=0xF4,
+    core_count=4,
+    frequency_table=FrequencyTable(min_ghz=0.4, max_ghz=3.4, base_ghz=1.6),
+    process=INTEL_14NM_PLUS,
+    path_delay_ps=254.0,
+    guardband=0.09,
+    v_floor_volts=0.76,
+    v_margin_volts=0.080,
+    sigma_mv=12.0,
+    crash_fraction=0.75,
+    regulator_latency_s=700e-6,
+    regulator_raise_latency_s=90e-6,
+    msr_ioctl_latency_s=0.9e-6,
+)
+
+COMET_LAKE = CPUModel(
+    name="Intel(R) Core(TM) i7-10510U CPU @ 1.80GHz",
+    codename="Comet Lake",
+    microcode=0xF4,
+    core_count=4,
+    frequency_table=FrequencyTable(min_ghz=0.4, max_ghz=4.9, base_ghz=1.8),
+    process=INTEL_14NM_PLUS,
+    path_delay_ps=193.0,
+    guardband=0.10,
+    v_floor_volts=0.73,
+    v_margin_volts=0.072,
+    sigma_mv=11.0,
+    crash_fraction=0.75,
+    regulator_latency_s=650e-6,
+    regulator_raise_latency_s=75e-6,
+    msr_ioctl_latency_s=0.7e-6,
+)
+
+ICE_LAKE = CPUModel(
+    name="Intel(R) Core(TM) i7-1065G7 CPU @ 1.30GHz",
+    codename="Ice Lake",
+    microcode=0xB8,
+    core_count=4,
+    frequency_table=FrequencyTable(min_ghz=0.4, max_ghz=3.9, base_ghz=1.3),
+    process=INTEL_10NM,
+    path_delay_ps=232.0,
+    guardband=0.10,
+    v_floor_volts=0.66,
+    v_margin_volts=0.060,
+    sigma_mv=12.0,
+    crash_fraction=0.75,
+    regulator_latency_s=620e-6,
+    regulator_raise_latency_s=70e-6,
+    msr_ioctl_latency_s=0.7e-6,
+)
+
+#: All models evaluated in the paper, keyed by codename.
+PAPER_MODELS: Dict[str, CPUModel] = {
+    SKY_LAKE.codename: SKY_LAKE,
+    KABY_LAKE_R.codename: KABY_LAKE_R,
+    COMET_LAKE.codename: COMET_LAKE,
+}
+
+#: The three paper models as an ordered tuple (publication order).
+PAPER_MODEL_TUPLE: Tuple[CPUModel, ...] = (SKY_LAKE, KABY_LAKE_R, COMET_LAKE)
+
+#: Extended catalog: the paper's parts plus post-publication silicon the
+#: pipeline generalises to (not part of any reproduced figure).
+EXTENDED_MODELS: Dict[str, CPUModel] = {**PAPER_MODELS, ICE_LAKE.codename: ICE_LAKE}
+
+
+def model_by_codename(codename: str) -> CPUModel:
+    """Look up one of the paper's CPU models by codename.
+
+    Raises
+    ------
+    ConfigurationError
+        If the codename is not in the catalog.
+    """
+    try:
+        return EXTENDED_MODELS[codename]
+    except KeyError:
+        known = ", ".join(sorted(EXTENDED_MODELS))
+        raise ConfigurationError(f"unknown CPU codename {codename!r}; known: {known}") from None

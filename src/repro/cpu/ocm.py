@@ -1,0 +1,188 @@
+"""Overclocking-mailbox (MSR 0x150) bit-level semantics.
+
+Table 1 of the paper (matching the Plundervolt reverse engineering):
+
+===========  =============  ======================================
+Bits         Function       Explanation
+===========  =============  ======================================
+0 - 20       (reserved)
+21 - 31      offset         voltage offset, two's complement,
+                            units of 1/1024 V (~1 mV)
+32           write-enable   part of the command byte
+33 - 39      (reserved)     remainder of the command byte
+40 - 42      plane select   0 = core, 1 = GPU, 2 = cache,
+                            3 = uncore, 4 = analog I/O
+43 - 62      (reserved)
+63           fixed          must be 1 for the command to be accepted
+===========  =============  ======================================
+
+Commands: byte ``0x11`` in bits [39:32] writes the offset for the selected
+plane; byte ``0x10`` requests a read — a subsequent ``rdmsr`` of 0x150
+then returns the plane's current offset in bits [31:21].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import InvalidPlaneError, InvalidVoltageOffsetError, OCMProtocolError
+
+_MASK64 = (1 << 64) - 1
+
+#: Bit positions / masks for the 0x150 fields.
+OFFSET_SHIFT = 21
+OFFSET_FIELD_MASK = 0xFFE00000  # bits 31:21
+COMMAND_SHIFT = 32
+COMMAND_MASK = 0xFF
+PLANE_SHIFT = 40
+PLANE_MASK = 0x7
+BUSY_BIT = 1 << 63
+
+#: Command bytes observed by the Plundervolt reverse engineering.
+COMMAND_WRITE = 0x11
+COMMAND_READ = 0x10
+
+#: ``0x8000001100000000`` — the constant from Algo 1, line 4: busy bit set
+#: plus the write command byte.
+WRITE_COMMAND_BASE = BUSY_BIT | (COMMAND_WRITE << COMMAND_SHIFT)
+
+#: Read-request base: busy bit plus the read command byte.
+READ_COMMAND_BASE = BUSY_BIT | (COMMAND_READ << COMMAND_SHIFT)
+
+#: Voltage-offset resolution: units of 1/1024 V.
+UNITS_PER_VOLT = 1024
+
+#: Encodable offset range for the 11-bit two's-complement field, in units.
+MIN_OFFSET_UNITS = -(1 << 10)
+MAX_OFFSET_UNITS = (1 << 10) - 1
+
+
+class VoltagePlane(enum.IntEnum):
+    """Voltage domains selectable through bits [42:40] (Table 1)."""
+
+    CORE = 0
+    GPU = 1
+    CACHE = 2
+    UNCORE = 3
+    ANALOG_IO = 4
+
+
+def mv_to_units(offset_mv: float) -> int:
+    """Convert a millivolt offset to mailbox units (1/1024 V).
+
+    Algo 1, line 2 computes ``offset * 1024 / 1000`` with integer
+    truncation; we follow the same convention so encoded values match the
+    paper bit for bit.
+    """
+    return int(offset_mv * UNITS_PER_VOLT / 1000)
+
+
+def units_to_mv(units: int) -> float:
+    """Convert mailbox units back to millivolts."""
+    return units * 1000.0 / UNITS_PER_VOLT
+
+
+def encode_offset_field(units: int) -> int:
+    """Place a two's-complement unit count into bits [31:21].
+
+    Raises
+    ------
+    InvalidVoltageOffsetError
+        If the value does not fit the signed 11-bit field.
+    """
+    if not MIN_OFFSET_UNITS <= units <= MAX_OFFSET_UNITS:
+        raise InvalidVoltageOffsetError(
+            f"offset {units} units outside [{MIN_OFFSET_UNITS}, {MAX_OFFSET_UNITS}]"
+        )
+    return ((units & 0x7FF) << OFFSET_SHIFT) & OFFSET_FIELD_MASK
+
+
+def decode_offset_field(value: int) -> int:
+    """Extract the signed unit count from bits [31:21] of a 0x150 value."""
+    raw = (value >> OFFSET_SHIFT) & 0x7FF
+    if raw & 0x400:  # sign bit of the 11-bit field
+        raw -= 0x800
+    return raw
+
+
+def encode_write(offset_mv: float, plane: int) -> int:
+    """Algorithm 1 of the paper: build the 64-bit write command.
+
+    ``set val <- (offset*1024/1000)``
+    ``set val <- 0xFFE00000 and ((val and 0xFFF) left-shift 21)``
+    ``set val <- val or 0x8000001100000000``
+    ``set val <- val or (plane left-shift 40)``
+    """
+    if not 0 <= plane <= PLANE_MASK or plane not in tuple(VoltagePlane):
+        raise InvalidPlaneError(f"plane {plane} outside Table 1 range 0-4")
+    units = mv_to_units(offset_mv)
+    value = encode_offset_field(units)
+    value |= WRITE_COMMAND_BASE
+    value |= plane << PLANE_SHIFT
+    return value & _MASK64
+
+
+def encode_read_request(plane: int) -> int:
+    """Build the read-request command for a plane."""
+    if plane not in tuple(VoltagePlane):
+        raise InvalidPlaneError(f"plane {plane} outside Table 1 range 0-4")
+    return (READ_COMMAND_BASE | (plane << PLANE_SHIFT)) & _MASK64
+
+
+@dataclass(frozen=True)
+class OCMCommand:
+    """A decoded 0x150 command."""
+
+    command: int
+    plane: VoltagePlane
+    offset_mv: float
+    offset_units: int
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this command writes a new offset."""
+        return self.command == COMMAND_WRITE
+
+    @property
+    def is_read_request(self) -> bool:
+        """Whether this command requests a read-back."""
+        return self.command == COMMAND_READ
+
+
+def decode_command(value: int) -> OCMCommand:
+    """Decode a value written to 0x150 into its protocol fields.
+
+    Raises
+    ------
+    OCMProtocolError
+        If bit 63 is clear or the command byte is not a known command.
+    InvalidPlaneError
+        If the plane select is outside the Table 1 range.
+    """
+    if not value & BUSY_BIT:
+        raise OCMProtocolError("bit 63 must be set for 0x150 commands (Sec. 2.3)")
+    command = (value >> COMMAND_SHIFT) & COMMAND_MASK
+    if command not in (COMMAND_WRITE, COMMAND_READ):
+        raise OCMProtocolError(f"unknown OCM command byte 0x{command:02x}")
+    plane_bits = (value >> PLANE_SHIFT) & PLANE_MASK
+    try:
+        plane = VoltagePlane(plane_bits)
+    except ValueError:
+        raise InvalidPlaneError(f"plane {plane_bits} outside Table 1 range 0-4") from None
+    units = decode_offset_field(value)
+    return OCMCommand(
+        command=command,
+        plane=plane,
+        offset_mv=units_to_mv(units),
+        offset_units=units,
+    )
+
+
+def encode_response(offset_units: int, plane: VoltagePlane) -> int:
+    """Build the value ``rdmsr 0x150`` returns after a command completes.
+
+    Hardware clears the busy bit to signal completion and leaves the
+    offset/plane fields populated.
+    """
+    return (encode_offset_field(offset_units) | (int(plane) << PLANE_SHIFT)) & _MASK64

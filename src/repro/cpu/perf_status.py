@@ -1,0 +1,57 @@
+"""IA32_PERF_STATUS (MSR 0x198) field codec.
+
+The paper's polling countermeasure reads 0x198 to learn the current core
+frequency (and the current operating voltage, Sec. 2.3).  On real parts
+the register carries:
+
+* bits [15:8]  — current P-state ratio (frequency = ratio x 100 MHz),
+* bits [47:32] — current core voltage in units of 1/8192 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import PERF_STATUS_UNITS_PER_VOLT, ratio_to_ghz
+
+_MASK64 = (1 << 64) - 1
+
+RATIO_SHIFT = 8
+RATIO_MASK = 0xFF
+VOLTAGE_SHIFT = 32
+VOLTAGE_MASK = 0xFFFF
+
+
+@dataclass(frozen=True)
+class PerfStatus:
+    """Decoded contents of IA32_PERF_STATUS."""
+
+    ratio: int
+    voltage_volts: float
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current core frequency implied by the P-state ratio."""
+        return ratio_to_ghz(self.ratio)
+
+
+def encode(ratio: int, voltage_volts: float) -> int:
+    """Build the 64-bit register value from live core state."""
+    if not 0 <= ratio <= RATIO_MASK:
+        raise ConfigurationError(f"P-state ratio {ratio} outside 8-bit field")
+    if voltage_volts < 0:
+        raise ConfigurationError("voltage must be non-negative")
+    units = int(round(voltage_volts * PERF_STATUS_UNITS_PER_VOLT))
+    if units > VOLTAGE_MASK:
+        raise ConfigurationError(
+            f"voltage {voltage_volts:.3f} V overflows the 16-bit field"
+        )
+    return ((ratio << RATIO_SHIFT) | (units << VOLTAGE_SHIFT)) & _MASK64
+
+
+def decode(value: int) -> PerfStatus:
+    """Extract ratio and voltage from a register value."""
+    ratio = (value >> RATIO_SHIFT) & RATIO_MASK
+    units = (value >> VOLTAGE_SHIFT) & VOLTAGE_MASK
+    return PerfStatus(ratio=ratio, voltage_volts=units / PERF_STATUS_UNITS_PER_VOLT)

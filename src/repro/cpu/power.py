@@ -1,0 +1,116 @@
+"""Core power model: what benign undervolting is *for*.
+
+The paper's availability argument (Sec. 1) is that access-control
+defenses deny benign software the power savings DVFS exists to provide.
+This model quantifies those savings so the comparison benchmarks can put
+a number on the denial:
+
+* dynamic power:  ``P_dyn = C_eff * f * V^2`` (switching capacitance
+  times frequency times voltage squared — Sec. 2.2's "directly
+  proportional to the clock frequency and voltage");
+* static power:   ``P_leak = I_0 * V * exp((V - V_ref) / V_slope)``
+  (sub-threshold leakage grows super-linearly with the supply);
+* energy for a fixed amount of work at frequency ``f`` is power times
+  ``work / f`` — running slower saves power but not necessarily energy,
+  which is why undervolting at a *fixed* frequency is the interesting
+  benign operation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.cpu.models import CPUModel
+from repro.cpu.vf_curve import VFCurve
+
+
+@dataclass(frozen=True)
+class PowerParameters:
+    """Electrical parameters of the power model for one core."""
+
+    #: Effective switched capacitance, nF (order 1 nF for a client core).
+    c_eff_nf: float = 1.1
+    #: Leakage scale current at the reference voltage, A.
+    leak_i0_a: float = 0.9
+    #: Reference voltage for the leakage exponent, V.
+    leak_v_ref: float = 1.0
+    #: Exponential slope of leakage vs voltage, V.
+    leak_v_slope: float = 0.28
+
+    def __post_init__(self) -> None:
+        if self.c_eff_nf <= 0 or self.leak_i0_a < 0 or self.leak_v_slope <= 0:
+            raise ConfigurationError("power parameters must be positive")
+
+
+class CorePowerModel:
+    """Power/energy estimates for one CPU model's core."""
+
+    def __init__(self, model: CPUModel, parameters: PowerParameters | None = None) -> None:
+        self.model = model
+        self.parameters = parameters or PowerParameters()
+        self._vf: VFCurve = model.vf_curve()
+
+    def dynamic_power_w(self, frequency_ghz: float, voltage_volts: float) -> float:
+        """Switching power at an operating point (W)."""
+        if voltage_volts < 0:
+            raise ConfigurationError("voltage must be non-negative")
+        c_eff = self.parameters.c_eff_nf * 1e-9
+        return c_eff * frequency_ghz * 1e9 * voltage_volts**2
+
+    def static_power_w(self, voltage_volts: float) -> float:
+        """Leakage power at a supply voltage (W)."""
+        p = self.parameters
+        return p.leak_i0_a * voltage_volts * math.exp(
+            (voltage_volts - p.leak_v_ref) / p.leak_v_slope
+        )
+
+    def total_power_w(self, frequency_ghz: float, voltage_volts: float) -> float:
+        """Dynamic plus static power (W)."""
+        return self.dynamic_power_w(frequency_ghz, voltage_volts) + self.static_power_w(
+            voltage_volts
+        )
+
+    def power_at_offset_w(self, frequency_ghz: float, offset_mv: float) -> float:
+        """Total power at a frequency with a software undervolt applied."""
+        voltage = self._vf.effective_voltage(frequency_ghz, offset_mv)
+        return self.total_power_w(frequency_ghz, voltage)
+
+    def undervolt_savings(self, frequency_ghz: float, offset_mv: float) -> float:
+        """Fractional power saved by an undervolt at fixed frequency.
+
+        This is exactly what an access-control defense denies a benign
+        process: the same work at the same speed, for less power.
+        """
+        baseline = self.power_at_offset_w(frequency_ghz, 0.0)
+        undervolted = self.power_at_offset_w(frequency_ghz, offset_mv)
+        return 1.0 - undervolted / baseline
+
+    def energy_for_work_j(
+        self, cycles: float, frequency_ghz: float, offset_mv: float = 0.0
+    ) -> float:
+        """Energy (J) to retire a fixed cycle count at an operating point."""
+        if cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        duration_s = cycles / (frequency_ghz * 1e9)
+        return self.power_at_offset_w(frequency_ghz, offset_mv) * duration_s
+
+    def best_safe_operating_point(
+        self, boundary_lookup, *, margin_mv: float = 15.0
+    ) -> tuple:
+        """Most power-efficient safe (frequency, offset) for fixed work.
+
+        Given a per-frequency safe-boundary lookup (e.g.
+        ``UnsafeStateSet.safe_offset_mv``), scans the frequency table for
+        the point minimising energy per cycle while staying safe.
+        Returns ``(frequency_ghz, offset_mv, energy_per_gigacycle_j)``.
+        """
+        best = None
+        for frequency in self.model.frequency_table.frequencies_ghz():
+            offset = boundary_lookup(frequency, margin_mv=margin_mv)
+            energy = self.energy_for_work_j(1e9, frequency, offset)
+            if best is None or energy < best[2]:
+                best = (frequency, offset, energy)
+        assert best is not None
+        return best

@@ -1,0 +1,170 @@
+"""The simulated multi-core processor.
+
+Wires cores, the MSR file and the overclocking-mailbox protocol together:
+
+* ``wrmsr 0x150`` runs the OCM protocol (:mod:`repro.cpu.ocm`) and lands
+  in the per-core voltage regulator with settle latency;
+* ``rdmsr 0x150`` returns the mailbox response (current target offset);
+* ``rdmsr 0x198`` synthesises IA32_PERF_STATUS from live core state —
+  current ratio and *electrically effective* voltage;
+* ``wrmsr 0x199`` switches the P-state (the path the cpufreq driver uses);
+* microcode hooks can be installed around ``wrmsr`` to realise the
+  Sec. 5.1 deployment, and the Sec. 5.2 clamp MSR is pre-defined.
+
+The processor is deliberately ignorant of the fault model: faults are a
+property of *executing instructions* under given conditions and live in
+:mod:`repro.faults`, combined with the processor by the test bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import CoreIndexError
+from repro.cpu import ocm
+from repro.cpu import perf_status
+from repro.cpu.core import Core
+from repro.cpu.models import CPUModel
+from repro.cpu.msr import (
+    IA32_PERF_CTL,
+    IA32_PERF_STATUS,
+    MSR_DRAM_POWER_INFO,
+    MSR_DRAM_POWER_LIMIT,
+    MSR_OC_MAILBOX,
+    MSR_PLATFORM_INFO,
+    MSR_VOLTAGE_OFFSET_LIMIT,
+    MSRFile,
+)
+from repro.units import ratio_to_ghz
+
+
+class SimulatedProcessor:
+    """A multi-core processor instance for one :class:`CPUModel`.
+
+    Parameters
+    ----------
+    model:
+        Static CPU description (frequency table, latencies, physics).
+    clock:
+        Zero-argument callable returning the current time in seconds;
+        supplied by the test bench (manual clock or event simulator).
+    """
+
+    def __init__(
+        self,
+        model: CPUModel,
+        clock: Callable[[], float],
+        *,
+        shared_voltage_plane: bool = False,
+    ) -> None:
+        self.model = model
+        self._clock = clock
+        #: Real client parts expose one package-wide core-voltage plane:
+        #: a 0x150 write from ANY core moves EVERY core's voltage.  The
+        #: default per-core mode is strictly more general (see
+        #: repro.cpu.core); the shared mode enables the cross-core attack
+        #: scenarios (attacker thread on one core, victim on another).
+        self.shared_voltage_plane = shared_voltage_plane
+        self.vf_curve = model.vf_curve()
+        #: Currently loaded microcode revision (updates bump it at reset).
+        self.microcode_revision = model.microcode
+        self.cores: List[Core] = [
+            Core(index=i, model=model, vf_curve=self.vf_curve)
+            for i in range(model.core_count)
+        ]
+        self.msr = MSRFile()
+        self.reboot_count = 0
+        self._define_msrs()
+
+    # -- construction ---------------------------------------------------------
+
+    def _define_msrs(self) -> None:
+        table = self.model.frequency_table
+        platform_info = (table.base_ratio & 0xFF) << 8
+        self.msr.define(MSR_PLATFORM_INFO, writable=False, reset_value=platform_info)
+        self.msr.define(MSR_OC_MAILBOX)
+        self.msr.define(IA32_PERF_STATUS, writable=False)
+        self.msr.define(IA32_PERF_CTL)
+        self.msr.define(MSR_DRAM_POWER_LIMIT)
+        self.msr.define(MSR_DRAM_POWER_INFO)
+        self.msr.define(MSR_VOLTAGE_OFFSET_LIMIT)
+        self.msr.add_write_hook(MSR_OC_MAILBOX, self._ocm_write_hook)
+        self.msr.add_read_hook(IA32_PERF_STATUS, self._perf_status_read_hook)
+        self.msr.add_write_hook(IA32_PERF_CTL, self._perf_ctl_write_hook)
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time seen by the processor."""
+        return self._clock()
+
+    # -- core access -----------------------------------------------------------
+
+    def core(self, index: int) -> Core:
+        """Fetch a core by index."""
+        try:
+            return self.cores[index]
+        except IndexError:
+            raise CoreIndexError(
+                f"core {index} out of range (have {len(self.cores)})"
+            ) from None
+
+    # -- MSR access (the rdmsr/wrmsr instructions) ------------------------------
+
+    def rdmsr(self, core_index: int, address: int) -> int:
+        """Architectural ``rdmsr`` on a core."""
+        self.core(core_index)
+        return self.msr.read(core_index, address)
+
+    def wrmsr(self, core_index: int, address: int, value: int) -> bool:
+        """Architectural ``wrmsr``; returns False if microcode ignored it."""
+        self.core(core_index)
+        return self.msr.write(core_index, address, value)
+
+    # -- hook implementations ----------------------------------------------------
+
+    def _ocm_write_hook(self, core_index: int, value: int) -> Optional[int]:
+        """Run the overclocking-mailbox protocol for a 0x150 write."""
+        command = ocm.decode_command(value)
+        core = self.core(core_index)
+        if command.is_write:
+            targets = self.cores if self.shared_voltage_plane else [core]
+            for target in targets:
+                target.request_offset(command.plane, command.offset_mv, self.now)
+            responded_units = command.offset_units
+        else:
+            responded_units = ocm.mv_to_units(core.target_offset_mv(command.plane))
+        # The stored value is the mailbox response: busy bit cleared,
+        # offset/plane fields reflecting the plane's target offset.
+        return ocm.encode_response(responded_units, command.plane)
+
+    def _perf_status_read_hook(self, core_index: int, _stored: int) -> int:
+        """Synthesise IA32_PERF_STATUS from live core state."""
+        core = self.core(core_index)
+        return perf_status.encode(core.ratio, core.effective_voltage(self.now))
+
+    def _perf_ctl_write_hook(self, core_index: int, value: int) -> Optional[int]:
+        """Apply a requested P-state ratio from IA32_PERF_CTL bits [15:8]."""
+        ratio = (value >> 8) & 0xFF
+        frequency = self.model.frequency_table.clamp(ratio_to_ghz(ratio))
+        self.core(core_index).set_frequency(frequency, self.now)
+        return value
+
+    # -- convenience views used by workloads and analysis ------------------------
+
+    def conditions(self, core_index: int):
+        """Operating conditions of one core right now."""
+        return self.core(core_index).conditions(self.now)
+
+    def reboot(self) -> None:
+        """Crash recovery: reset cores and MSR state, count the event.
+
+        The characterization framework (Sec. 4.2) keeps probing deeper
+        undervolts "until we observe a system crash"; each crash lands
+        here.
+        """
+        for core in self.cores:
+            core.reset()
+        self.msr.reset()
+        self.reboot_count += 1

@@ -1,0 +1,79 @@
+"""P-state / C-state machinery.
+
+Sec. 1 of the paper: at any point a core is either executing (a P-state,
+with a frequency drawn from the frequency table) or idle (a C-state, with
+execution units power-gated).  DVFS is the interface for traversing the
+P-state spectrum.  The countermeasure must keep working regardless of
+which P-state a benign workload selects — that availability is precisely
+its advantage over access-control defenses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cpu.frequency_table import FrequencyTable
+from repro.units import ghz_to_ratio
+
+
+class CState(enum.IntEnum):
+    """Idle states, deeper numbers = more aggressively power-gated."""
+
+    C0 = 0  # executing (i.e. in a P-state)
+    C1 = 1  # halt
+    C3 = 3  # clocks gated, caches flushed progressively
+    C6 = 6  # core power-gated, state saved
+
+
+@dataclass
+class PStateMachine:
+    """Tracks one core's position on the P/C-state spectrum.
+
+    Records every transition so tests and the analysis layer can assert
+    that benign DVFS activity continued while a countermeasure was active.
+    """
+
+    table: FrequencyTable
+    ratio: int = field(init=False)
+    c_state: CState = field(init=False, default=CState.C0)
+    transitions: List[Tuple[float, str]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.ratio = self.table.base_ratio
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current operating frequency in GHz."""
+        return self.ratio / 10.0
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the core is in a C-state deeper than C0."""
+        return self.c_state is not CState.C0
+
+    def set_frequency(self, frequency_ghz: float, now: float = 0.0) -> None:
+        """Move to the P-state for a frequency in the table."""
+        self.table.validate(frequency_ghz)
+        self.ratio = ghz_to_ratio(frequency_ghz)
+        self.transitions.append((now, f"P:{frequency_ghz:.1f}GHz"))
+
+    def enter_idle(self, c_state: CState, now: float = 0.0) -> None:
+        """Enter an idle state."""
+        if c_state is CState.C0:
+            raise ConfigurationError("use wake() to return to C0")
+        self.c_state = c_state
+        self.transitions.append((now, f"C:{c_state.name}"))
+
+    def wake(self, now: float = 0.0) -> None:
+        """Return to C0 (executing) at the current P-state."""
+        self.c_state = CState.C0
+        self.transitions.append((now, "C:C0"))
+
+    def reset(self) -> None:
+        """Return to the base P-state, awake, with history cleared."""
+        self.ratio = self.table.base_ratio
+        self.c_state = CState.C0
+        self.transitions.clear()

@@ -1,0 +1,106 @@
+"""First-order thermal model: power -> die temperature -> timing.
+
+Closes the physical loop between :mod:`repro.cpu.power` and the
+temperature-aware timing model: dissipated power heats the die through a
+thermal resistance, and the die temperature relaxes exponentially toward
+the steady state with one RC time constant,
+
+    T_ss(P)  = T_ambient + P * R_th
+    T(t)     = T_ss + (T(t0) - T_ss) * exp(-(t - t0) / tau)
+
+The model is *time-driven* like the voltage regulator: callers notify it
+of operating-point changes and query the temperature at arbitrary times.
+It is an analysis tool — experiments use it to drive
+:meth:`~repro.faults.margin.FaultModel.set_temperature` and study how a
+sustained workload's self-heating moves the fault boundary (see the
+thermal-drift benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.cpu.models import CPUModel
+from repro.cpu.power import CorePowerModel
+
+
+@dataclass
+class ThermalParameters:
+    """RC constants of the die/heatsink stack."""
+
+    #: Ambient (idle) die temperature.
+    ambient_c: float = 40.0
+    #: Junction-to-ambient thermal resistance, Kelvin per Watt.
+    r_th_k_per_w: float = 6.0
+    #: Thermal time constant, seconds (small mobile package).
+    tau_s: float = 4.0
+    #: Throttle trip point (PROCHOT); queries report at most this value.
+    t_junction_max_c: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.r_th_k_per_w <= 0 or self.tau_s <= 0:
+            raise ConfigurationError("thermal resistance and tau must be positive")
+        if self.t_junction_max_c <= self.ambient_c:
+            raise ConfigurationError("Tj,max must exceed the ambient temperature")
+
+
+@dataclass
+class ThermalModel:
+    """Per-core die temperature driven by the power model."""
+
+    model: CPUModel
+    parameters: ThermalParameters = field(default_factory=ThermalParameters)
+    _power: CorePowerModel = field(init=False, repr=False)
+    _anchor_time_s: float = 0.0
+    _anchor_temp_c: float = field(init=False)
+    _steady_state_c: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._power = CorePowerModel(self.model)
+        self._anchor_temp_c = self.parameters.ambient_c
+        self._steady_state_c = self.parameters.ambient_c
+
+    def steady_state_c(self, frequency_ghz: float, offset_mv: float) -> float:
+        """Equilibrium die temperature at an operating point."""
+        watts = self._power.power_at_offset_w(frequency_ghz, offset_mv)
+        return min(
+            self.parameters.ambient_c + watts * self.parameters.r_th_k_per_w,
+            self.parameters.t_junction_max_c,
+        )
+
+    def set_operating_point(
+        self, frequency_ghz: float, offset_mv: float, now: float
+    ) -> None:
+        """Record an operating-point change; the RC curve re-anchors."""
+        self._anchor_temp_c = self.temperature_c(now)
+        self._anchor_time_s = now
+        self._steady_state_c = self.steady_state_c(frequency_ghz, offset_mv)
+
+    def idle(self, now: float) -> None:
+        """Drop to idle dissipation (relax toward ambient)."""
+        self._anchor_temp_c = self.temperature_c(now)
+        self._anchor_time_s = now
+        self._steady_state_c = self.parameters.ambient_c
+
+    def temperature_c(self, now: float) -> float:
+        """Die temperature at time ``now``."""
+        if now < self._anchor_time_s:
+            raise ConfigurationError("thermal queries cannot go backwards in time")
+        elapsed = now - self._anchor_time_s
+        decay = math.exp(-elapsed / self.parameters.tau_s)
+        temperature = self._steady_state_c + (self._anchor_temp_c - self._steady_state_c) * decay
+        return min(temperature, self.parameters.t_junction_max_c)
+
+    def time_to_reach_c(self, target_c: float, now: float) -> float:
+        """Seconds until the die first reaches ``target_c`` (inf if never)."""
+        current = self.temperature_c(now)
+        target_gap = self._steady_state_c - target_c
+        current_gap = self._steady_state_c - current
+        if current_gap == 0.0 or (target_c - current) * (self._steady_state_c - current) <= 0:
+            return 0.0 if current >= target_c else math.inf
+        ratio = target_gap / current_gap
+        if ratio <= 0:
+            return math.inf
+        return -self.parameters.tau_s * math.log(ratio)

@@ -1,0 +1,20 @@
+"""Baseline countermeasures the paper compares against.
+
+* :mod:`repro.defenses.access_control` — Intel SA-00289: lock the OCM
+  while SGX runs (protects, but denies benign DVFS);
+* :mod:`repro.defenses.minefield` — Minefield-style deflection traps
+  (tolerates faults, but breaks under single-/zero-stepping).
+"""
+
+from repro.defenses.access_control import ACCESS_CONTROL_OVERHEAD, AccessControlDefense
+from repro.defenses.base import Defense, DefenseProfile
+from repro.defenses.minefield import MinefieldDefense, WindowVerdict
+
+__all__ = [
+    "ACCESS_CONTROL_OVERHEAD",
+    "AccessControlDefense",
+    "Defense",
+    "DefenseProfile",
+    "MinefieldDefense",
+    "WindowVerdict",
+]

@@ -1,0 +1,101 @@
+"""Intel's SA-00289 response: access-control on the DVFS interface.
+
+Under fixes to CVE-2019-11157 Intel disabled the overclocking mailbox
+(and folded its disabled status into SGX attestation), "ensuring that the
+OCM is not accessible to a non-SGX context at a time when SGX context is
+in execution" (Sec. 1).  The model:
+
+* while any enclave is alive, every 0x150 command — including *benign*
+  undervolt requests from non-SGX processes — is dropped;
+* the OCM-disabled status is reported to the attestation service so the
+  :data:`~repro.sgx.attestation.INTEL_SA_00289_POLICY` verifier accepts
+  the platform;
+* each dynamic check rides a microcode assist, charged as a small
+  per-``wrmsr`` overhead plus a standing cost (the paper cites [15] for
+  the complexity of such run-time access control).
+
+The drawback the paper hammers on is availability: the count of blocked
+*benign* requests is recorded and surfaced by the comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.cpu import ocm
+from repro.cpu.msr import MSR_OC_MAILBOX
+from repro.defenses.base import Defense, DefenseProfile
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveHost
+from repro.testbench import Machine
+
+#: Standing overhead of the microcode-assisted access checks (fraction of
+#: machine throughput), from the complexity argument of [15].
+ACCESS_CONTROL_OVERHEAD = 0.004
+
+
+@dataclass
+class AccessControlDefense(Defense):
+    """OCM lock-out while SGX contexts are alive."""
+
+    machine: Machine
+    enclave_host: EnclaveHost
+    attestation: Optional[AttestationService] = None
+    name: str = field(default="intel-sa-00289", init=False)
+    blocked_writes: int = 0
+    blocked_benign_requests: int = 0
+    _deployed: bool = field(default=False, repr=False)
+
+    def _sgx_active(self) -> bool:
+        return bool(self.enclave_host.active_enclaves())
+
+    # -- Defense interface -------------------------------------------------------
+
+    def deploy(self) -> None:
+        """Install the microcode access check on MSR 0x150."""
+        if self._deployed:
+            raise ConfigurationError("access-control defense already deployed")
+        self.machine.processor.msr.insert_write_hook(MSR_OC_MAILBOX, self._gate_hook)
+        if self.attestation is not None:
+            self.attestation.set_ocm_disabled(True)
+        self._deployed = True
+
+    def withdraw(self) -> None:
+        """Remove the access check."""
+        if not self._deployed:
+            raise ConfigurationError("access-control defense not deployed")
+        self.machine.processor.msr.remove_write_hook(MSR_OC_MAILBOX, self._gate_hook)
+        if self.attestation is not None:
+            self.attestation.set_ocm_disabled(False)
+        self._deployed = False
+
+    def profile(self) -> DefenseProfile:
+        """Property sheet for the comparison table."""
+        return DefenseProfile(
+            name=self.name,
+            prevents_fault_injection=True,
+            benign_dvfs_available=False,
+            robust_to_single_stepping=True,
+            hardware_deployable=False,
+            overhead_fraction=ACCESS_CONTROL_OVERHEAD,
+            notes=[
+                f"blocked {self.blocked_writes} OCM commands, "
+                f"{self.blocked_benign_requests} of them benign"
+            ],
+        )
+
+    # -- the gate -------------------------------------------------------------------
+
+    def _gate_hook(self, core_index: int, value: int) -> Optional[int]:
+        """Drop every OCM command while an SGX context is operational."""
+        if not self._sgx_active():
+            return value
+        command = ocm.decode_command(value)
+        self.blocked_writes += 1
+        if command.is_write and -80.0 <= command.offset_mv <= 0.0:
+            # Heuristic benign-request tally: shallow power-saving
+            # undervolts are what legitimate software asks for.
+            self.blocked_benign_requests += 1
+        return None

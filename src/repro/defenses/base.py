@@ -1,0 +1,67 @@
+"""Common defense interface.
+
+All three countermeasure philosophies the paper discusses are implemented
+behind one interface so the comparison benchmark can tabulate them
+uniformly:
+
+* access control (Intel SA-00289): restrict who may touch the DVFS
+  interface — :mod:`repro.defenses.access_control`;
+* deflection (Minefield): let the fault happen but stop its
+  weaponization — :mod:`repro.defenses.minefield`;
+* safe-state enforcement (this paper): keep the system out of unsafe
+  states — :mod:`repro.core.polling_module` and the Sec. 5 deployments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class DefenseProfile:
+    """Comparable properties of a deployed defense (the paper's Sec. 1
+    discussion rendered as data)."""
+
+    name: str
+    #: Does the defense stop fault *injection* (vs only weaponization)?
+    prevents_fault_injection: bool
+    #: Can benign non-SGX processes still use DVFS while SGX runs?
+    benign_dvfs_available: bool
+    #: Does protection survive a single-/zero-stepping adversary?
+    robust_to_single_stepping: bool
+    #: Could a CPU vendor implement it below the kernel (microcode/MSR)?
+    hardware_deployable: bool
+    #: Steady-state performance overhead (fraction, e.g. 0.0028).
+    overhead_fraction: float
+    notes: List[str] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for tabular reporting."""
+        return {
+            "defense": self.name,
+            "prevents_injection": self.prevents_fault_injection,
+            "benign_dvfs": self.benign_dvfs_available,
+            "single_step_robust": self.robust_to_single_stepping,
+            "hw_deployable": self.hardware_deployable,
+            "overhead": self.overhead_fraction,
+        }
+
+
+class Defense(ABC):
+    """A deployable countermeasure."""
+
+    name: str = "defense"
+
+    @abstractmethod
+    def deploy(self) -> None:
+        """Activate the defense on its machine."""
+
+    @abstractmethod
+    def withdraw(self) -> None:
+        """Deactivate the defense."""
+
+    @abstractmethod
+    def profile(self) -> DefenseProfile:
+        """The defense's comparable property sheet."""

@@ -1,0 +1,137 @@
+"""Minefield (USENIX Security 2022): deflection via trap instructions.
+
+The compiler extension sprinkles highly fault-sensitive *dummy* ("mine")
+instructions through enclave code.  A DVFS fault is statistically more
+likely to detonate a mine than to hit the payload instruction the
+attacker wants; a detonated mine traps and the enclave aborts before the
+fault can be weaponised.  The fault still *happens* — Minefield deflects
+its consequences rather than preventing it.
+
+The failure mode the paper builds its threat model around (Sec. 4.1): the
+defense "does not assume an adversary which has the capability of DVFS
+faulting as well as interrupting SGX enclaves post a single instruction
+execution".  With SGX-Step the attacker confines the unsafe state to
+exactly the victim instruction's slot; the mines execute under safe
+conditions and never detonate, and zero-stepping gives unbounded retries.
+
+Model: an instrumented window of ``real_ops`` instructions carries
+``density * real_ops`` mines whose fault sensitivity exceeds the
+payload's by ``mine_sensitivity_boost``.  The first fault in the window
+decides the outcome: mine -> DETECTED, payload -> EXPLOITED.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.defenses.base import Defense, DefenseProfile
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import OperatingConditions
+
+
+class WindowVerdict(enum.Enum):
+    """Outcome of one protected execution window under attack."""
+
+    NO_FAULT = "no-fault"
+    DETECTED = "detected"  # a mine detonated; enclave aborted
+    EXPLOITED = "exploited"  # the payload faulted before any mine
+
+
+@dataclass
+class MinefieldDefense(Defense):
+    """Compiler-inserted mines around fault-sensitive code.
+
+    Parameters
+    ----------
+    density:
+        Mines per payload instruction (the paper's evaluation of [15]
+        explores densities up to every-instruction placement).
+    mine_sensitivity_boost:
+        How much more fault-prone a mine is than the payload instruction
+        (mines are crafted as worst-case carry chains).
+    """
+
+    density: float = 1.0
+    mine_sensitivity_boost: float = 2.0
+    name: str = field(default="minefield", init=False)
+    detections: int = 0
+    exploits: int = 0
+    _deployed: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.density < 0:
+            raise ConfigurationError("mine density must be non-negative")
+        if self.mine_sensitivity_boost <= 0:
+            raise ConfigurationError("mine sensitivity boost must be positive")
+
+    # -- Defense interface ---------------------------------------------------------
+
+    def deploy(self) -> None:
+        """Compile-in the mines (no machine-level hook needed)."""
+        self._deployed = True
+
+    def withdraw(self) -> None:
+        """Build without instrumentation."""
+        self._deployed = False
+
+    def profile(self) -> DefenseProfile:
+        """Property sheet for the comparison table."""
+        return DefenseProfile(
+            name=self.name,
+            prevents_fault_injection=False,
+            benign_dvfs_available=True,
+            robust_to_single_stepping=False,
+            hardware_deployable=False,
+            overhead_fraction=self.overhead_fraction(),
+            notes=[f"{self.detections} detections, {self.exploits} exploitable faults"],
+        )
+
+    def overhead_fraction(self) -> float:
+        """Instruction-count inflation from the inserted mines."""
+        return self.density / (1.0 + self.density) if self._deployed else 0.0
+
+    # -- attack-window simulation -----------------------------------------------------
+
+    def mine_hit_probability(self) -> float:
+        """Probability that a given fault detonates a mine first.
+
+        Mines outnumber sensitivity-weighted payload instructions by
+        ``density * boost`` to 1.
+        """
+        if not self._deployed or self.density == 0.0:
+            return 0.0
+        weighted_mines = self.density * self.mine_sensitivity_boost
+        return weighted_mines / (weighted_mines + 1.0)
+
+    def run_protected_window(
+        self,
+        injector: FaultInjector,
+        conditions: OperatingConditions,
+        real_ops: int,
+        *,
+        single_stepped: bool = False,
+    ) -> WindowVerdict:
+        """One attack attempt against an instrumented window.
+
+        With ``single_stepped`` the adversary confines the unsafe state to
+        the payload instruction's slot: only the payload is exposed, the
+        mines run safe, and detection is impossible — the bypass the
+        paper's threat model insists on covering.
+        """
+        if single_stepped or not self._deployed:
+            exposed_ops = real_ops
+            mine_first_p = 0.0
+        else:
+            exposed_ops = int(real_ops * (1.0 + self.density))
+            mine_first_p = self.mine_hit_probability()
+        outcome = injector.run_window(conditions, exposed_ops, instruction="imul")
+        if outcome.fault_count == 0:
+            return WindowVerdict.NO_FAULT
+        rng = injector.rng  # shares the scenario's seeded generator
+        if mine_first_p > 0.0 and rng.random() < mine_first_p:
+            self.detections += 1
+            return WindowVerdict.DETECTED
+        self.exploits += 1
+        return WindowVerdict.EXPLOITED

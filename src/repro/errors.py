@@ -1,0 +1,99 @@
+"""Exception hierarchy for the Plug Your Volt reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class MSRError(ReproError):
+    """Base class for model-specific-register access failures."""
+
+
+class UnknownMSRError(MSRError):
+    """A read or write targeted an MSR that the processor does not define."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"unknown MSR 0x{address:x}")
+        self.address = address
+
+
+class MSRPermissionError(MSRError):
+    """An MSR access was rejected (e.g. write to a read-only register)."""
+
+
+class MSRWriteIgnoredError(MSRError):
+    """A write was silently dropped by a microcode guard.
+
+    The real microcode-sequencer deployment described in Sec. 5.1 of the
+    paper *ignores* offending writes; the simulated guard can be configured
+    either to mimic that silent behaviour or to raise this error so tests
+    can observe the rejection.
+    """
+
+
+class OCMProtocolError(MSRError):
+    """A write to MSR 0x150 did not follow the overclocking-mailbox protocol."""
+
+
+class InvalidVoltageOffsetError(ReproError):
+    """A voltage offset was outside the encodable 11-bit range."""
+
+
+class InvalidPlaneError(ReproError):
+    """A voltage plane index was outside the range defined by Table 1."""
+
+
+class FrequencyError(ReproError):
+    """A requested core frequency is not in the processor frequency table."""
+
+
+class CoreIndexError(ReproError):
+    """A core index referenced a core the processor does not have."""
+
+
+class MachineCheckError(ReproError):
+    """The simulated machine crashed (undervolted past the crash boundary).
+
+    Mirrors the system crashes the paper observes while characterizing the
+    *width* of the unsafe region (Sec. 4.2).
+    """
+
+    def __init__(self, message: str, frequency_ghz: float, offset_mv: int) -> None:
+        super().__init__(message)
+        self.frequency_ghz = frequency_ghz
+        self.offset_mv = offset_mv
+
+
+class KernelModuleError(ReproError):
+    """Loading, unloading or running a kernel module failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class EnclaveError(ReproError):
+    """An SGX enclave operation failed."""
+
+
+class AttestationError(EnclaveError):
+    """Attestation report verification failed."""
+
+
+class AttackError(ReproError):
+    """An attack implementation was misused (not: the attack was defeated)."""
+
+
+class CharacterizationError(ReproError):
+    """The safe/unsafe state characterization could not be completed."""

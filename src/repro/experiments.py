@@ -1,0 +1,275 @@
+"""Programmatic regeneration of the paper's experiments.
+
+Every table and figure can be reproduced through one function call, so
+downstream users can embed the experiments in their own pipelines
+(notebooks, CI, parameter studies) without going through pytest.  The
+benchmark targets under ``benchmarks/`` call these functions and add the
+shape assertions and on-disk artifacts.
+
+All functions are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks import (
+    AESDFAAttack,
+    AESDFAConfig,
+    AttackOutcome,
+    ImulCampaign,
+    PlundervoltAttack,
+    PlundervoltConfig,
+    RSACRTSigner,
+    RSAKey,
+    V0ltpwnAttack,
+    V0ltpwnConfig,
+    VectorChecksumPayload,
+    VoltJockeyAttack,
+    VoltJockeyConfig,
+)
+from repro.bench.runner import OverheadReport, SpecOverheadRunner
+from repro.core import (
+    CharacterizationFramework,
+    CharacterizationResult,
+    MicrocodeGuard,
+    PollingCountermeasure,
+    install_msr_clamp,
+)
+from repro.cpu import COMET_LAKE, PAPER_MODEL_TUPLE, CPUModel
+from repro.sgx import EnclaveHost
+from repro.testbench import Machine
+
+#: Seed used by all canonical reproductions (matches the benchmarks).
+CANONICAL_SEED = 5
+
+#: Attack attempts per defense in the comparison harness.
+COMPARISON_ATTEMPTS = 40
+
+_CHARACTERIZATION_CACHE: Dict[Tuple[str, int], CharacterizationResult] = {}
+
+
+def characterization(model: CPUModel, *, seed: int = CANONICAL_SEED) -> CharacterizationResult:
+    """Figs. 2-4: the full Algo 2 sweep for one CPU model (cached)."""
+    key = (model.codename, seed)
+    if key not in _CHARACTERIZATION_CACHE:
+        _CHARACTERIZATION_CACHE[key] = CharacterizationFramework(model, seed=seed).run()
+    return _CHARACTERIZATION_CACHE[key]
+
+
+def protected_machine(
+    model: CPUModel, *, seed: int = 11, characterization_seed: int = CANONICAL_SEED
+) -> Tuple[Machine, PollingCountermeasure]:
+    """A machine with the polling countermeasure deployed."""
+    machine = Machine.build(model, seed=seed)
+    module = PollingCountermeasure(
+        machine, characterization(model, seed=characterization_seed).unsafe_states
+    )
+    machine.modules.insmod(module)
+    return machine, module
+
+
+def table2_overhead(*, seed: int = 3) -> OverheadReport:
+    """Table 2: SPEC2017 overhead of the polling module on Comet Lake."""
+    machine, module = protected_machine(COMET_LAKE, seed=seed)
+    return SpecOverheadRunner(machine, module).run()
+
+
+@dataclass
+class PreventionCell:
+    """One (CPU, defense, attack) cell of the prevention matrix."""
+
+    codename: str
+    protected: bool
+    outcome: AttackOutcome
+
+
+@dataclass
+class PreventionMatrix:
+    """The Sec. 4.3 evaluation across CPUs, defenses and attacks."""
+
+    cells: List[PreventionCell] = field(default_factory=list)
+
+    def outcomes(self, *, codename: Optional[str] = None, protected: Optional[bool] = None):
+        """Filter cells by CPU and/or defense state."""
+        selected = self.cells
+        if codename is not None:
+            selected = [c for c in selected if c.codename == codename]
+        if protected is not None:
+            selected = [c for c in selected if c.protected == protected]
+        return selected
+
+    @property
+    def protected_faults(self) -> int:
+        """Total victim faults across all protected cells (claim: 0)."""
+        return sum(c.outcome.faults_observed for c in self.outcomes(protected=True))
+
+
+#: The victim RSA key used by the canonical prevention run.
+PREVENTION_RSA_KEY = RSAKey.generate(512, seed=42)
+#: The victim AES key used by the canonical prevention run.
+PREVENTION_AES_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def prevention_matrix(
+    *, seed: int = 11, include_aes: bool = True
+) -> PreventionMatrix:
+    """Sec. 4.3: attack campaigns vs the polling module on all three CPUs."""
+    matrix = PreventionMatrix()
+    for model in PAPER_MODEL_TUPLE:
+        base = model.frequency_table.base_ghz
+        boundary = int(characterization(model).unsafe_states.boundary_mv(base))
+        offsets = (
+            boundary + 20, boundary - 5, boundary - 10,
+            boundary - 15, boundary - 20, -300,
+        )
+        for protected in (False, True):
+            if protected:
+                machine, _ = protected_machine(model, seed=seed)
+            else:
+                machine = Machine.build(model, seed=seed)
+            host = EnclaveHost(machine)
+            campaigns: List[AttackOutcome] = [
+                ImulCampaign(
+                    machine,
+                    frequency_ghz=base,
+                    offsets_mv=offsets,
+                    iterations_per_point=500_000,
+                ).mount(),
+                PlundervoltAttack(
+                    machine,
+                    host.create_enclave("rsa"),
+                    RSACRTSigner(PREVENTION_RSA_KEY),
+                    message=0xDEADBEEF,
+                    config=PlundervoltConfig(frequency_ghz=base, max_signing_attempts=40),
+                ).mount(),
+                V0ltpwnAttack(
+                    machine,
+                    host.create_enclave("vec"),
+                    VectorChecksumPayload(ops=500_000),
+                    V0ltpwnConfig(frequency_ghz=base, max_attempts=20),
+                ).mount(),
+            ]
+            if include_aes and model.codename == "Comet Lake":
+                campaigns.append(
+                    AESDFAAttack(
+                        machine, PREVENTION_AES_KEY, AESDFAConfig(frequency_ghz=base)
+                    ).mount()
+                )
+            for outcome in campaigns:
+                matrix.cells.append(
+                    PreventionCell(model.codename, protected, outcome)
+                )
+    return matrix
+
+
+@dataclass(frozen=True)
+class DeploymentOutcome:
+    """Adaptive frequency-jump attack vs one deployment depth."""
+
+    deployment: str
+    outcome: AttackOutcome
+
+
+def maximal_safe_deployments(*, seed: int = 9) -> List[DeploymentOutcome]:
+    """Sec. 5: the adaptive attack vs polling / microcode / MSR clamp."""
+    result = characterization(COMET_LAKE)
+    maximal = result.maximal_safe_offset_mv()
+    cross_offset = int(result.unsafe_states.boundary_mv(3.4)) - 10
+    outcomes = []
+    for deployment in ("polling only", "polling + microcode (5.1)", "polling + MSR clamp (5.2)"):
+        machine, _ = protected_machine(COMET_LAKE, seed=seed)
+        if "microcode" in deployment:
+            MicrocodeGuard(maximal).apply(machine.processor)
+        elif "clamp" in deployment:
+            install_msr_clamp(machine.processor, maximal)
+        outcome = VoltJockeyAttack(
+            machine,
+            VoltJockeyConfig(0.8, 3.4, offset_mv=cross_offset, repetitions=3),
+        ).mount()
+        outcomes.append(DeploymentOutcome(deployment, outcome))
+    return outcomes
+
+
+@dataclass
+class DefenseComparison:
+    """Sec. 1/4.1: the three philosophies measured on the same machine."""
+
+    #: Access control: were the attack and the benign request blocked?
+    sa00289_blocks_attack: bool = False
+    sa00289_blocks_benign: bool = False
+    #: Minefield: verdict counts without and with single-stepping.
+    minefield_detected_plain: int = 0
+    minefield_exploited_plain: int = 0
+    minefield_detected_stepped: int = 0
+    minefield_exploited_stepped: int = 0
+    minefield_overhead: float = 0.0
+    #: Polling: benign availability and the attack's applied end state.
+    polling_benign_accepted: bool = False
+    polling_benign_applied_mv: float = 0.0
+    polling_attack_applied_mv: float = 0.0
+    polling_overhead: float = 0.0
+
+
+def defense_comparison(*, seed: int = 41, attempts: int = COMPARISON_ATTEMPTS) -> DefenseComparison:
+    """Run the three-philosophy comparison (see the matching benchmark)."""
+    import numpy as np
+
+    from repro.defenses import AccessControlDefense, MinefieldDefense, WindowVerdict
+    from repro.faults.injector import FaultInjector
+    from repro.faults.margin import FaultModel
+
+    comparison = DefenseComparison()
+
+    # -- Intel SA-00289 ------------------------------------------------------
+    machine = Machine.build(COMET_LAKE, seed=seed)
+    host = EnclaveHost(machine)
+    access = AccessControlDefense(machine, host)
+    access.deploy()
+    host.create_enclave("app")
+    comparison.sa00289_blocks_attack = not machine.write_voltage_offset(-250)
+    comparison.sa00289_blocks_benign = not machine.write_voltage_offset(-30)
+
+    # -- Minefield -------------------------------------------------------------
+    fault_model = FaultModel(COMET_LAKE)
+    injector = FaultInjector(fault_model, np.random.default_rng(seed))
+    vcrit = fault_model.critical_voltage(2.0)
+    conditions = type(fault_model.conditions_for_offset(2.0, 0.0))(
+        2.0, vcrit - 0.003, -999
+    )
+    minefield = MinefieldDefense(density=2.0, mine_sensitivity_boost=2.0)
+    minefield.deploy()
+    comparison.minefield_overhead = minefield.overhead_fraction()
+    for stepped in (False, True):
+        for _ in range(attempts):
+            verdict = minefield.run_protected_window(
+                injector, conditions, 500_000, single_stepped=stepped
+            )
+            if verdict is WindowVerdict.DETECTED:
+                if stepped:
+                    comparison.minefield_detected_stepped += 1
+                else:
+                    comparison.minefield_detected_plain += 1
+            elif verdict is WindowVerdict.EXPLOITED:
+                if stepped:
+                    comparison.minefield_exploited_stepped += 1
+                else:
+                    comparison.minefield_exploited_plain += 1
+
+    # -- Plug Your Volt (polling) -------------------------------------------------
+    machine, module = protected_machine(COMET_LAKE, seed=seed)
+    host = EnclaveHost(machine)
+    host.create_enclave("app")
+    comparison.polling_benign_accepted = machine.write_voltage_offset(-30)
+    machine.advance(3e-3)
+    comparison.polling_benign_applied_mv = machine.processor.core(0).applied_offset_mv(
+        machine.now
+    )
+    machine.write_voltage_offset(-250)
+    machine.advance(3e-3)
+    comparison.polling_attack_applied_mv = machine.processor.core(0).applied_offset_mv(
+        machine.now
+    )
+    comparison.polling_overhead = module.duty_cycle() / len(machine.processor.cores)
+    return comparison

@@ -1,0 +1,26 @@
+"""Fault-injection substrate.
+
+Turns the timing physics into observable behaviour: the probability that
+an instruction retires with a corrupted result at given (frequency,
+voltage) conditions, concrete sampled bit flips, the crash boundary, and
+the victim payloads (the ``imul`` loop of Algo 2's EXECUTE thread, the
+RSA-CRT signer used to weaponise faults, and friends).
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector, WindowOutcome
+from repro.faults.margin import (
+    BASE_FAULT_RATE_PER_OP,
+    INSTRUCTION_SENSITIVITY,
+    FaultModel,
+    OperatingConditions,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "WindowOutcome",
+    "BASE_FAULT_RATE_PER_OP",
+    "INSTRUCTION_SENSITIVITY",
+    "FaultModel",
+    "OperatingConditions",
+]

@@ -1,0 +1,180 @@
+"""Sampling concrete faults from the probabilistic model.
+
+:class:`FaultInjector` turns the per-instruction fault probability of
+:class:`~repro.faults.margin.FaultModel` into concrete corrupted values
+for a window of executed instructions.  Corruption is modelled as single
+random bit flips in the 64-bit result — the behaviour Plundervolt observed
+for faulted ``imul`` (typically one flipped bit in the high half of the
+product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MachineCheckError
+from repro.faults.margin import FaultModel, OperatingConditions
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete injected fault."""
+
+    op_index: int
+    correct_value: int
+    faulty_value: int
+    flipped_bit: int
+
+
+@dataclass(frozen=True)
+class WindowOutcome:
+    """Result of executing a window of instructions at fixed conditions."""
+
+    ops: int
+    fault_count: int
+    crashed: bool
+    conditions: OperatingConditions
+    events: tuple  # tuple[FaultEvent, ...]
+
+    @property
+    def faulted(self) -> bool:
+        """Whether at least one fault landed in the window."""
+        return self.fault_count > 0
+
+
+class FaultInjector:
+    """Samples fault events for instruction windows.
+
+    Parameters
+    ----------
+    fault_model:
+        The CPU model's probabilistic fault behaviour.
+    rng:
+        Seeded generator owned by the enclosing scenario; all randomness
+        flows through it so experiments are reproducible.
+    max_recorded_events:
+        Cap on the number of concrete :class:`FaultEvent` records kept per
+        window (the *count* is always exact).
+    """
+
+    def __init__(
+        self,
+        fault_model: FaultModel,
+        rng: np.random.Generator,
+        *,
+        max_recorded_events: int = 16,
+    ) -> None:
+        if max_recorded_events < 0:
+            raise ConfigurationError("max_recorded_events must be non-negative")
+        self._fault_model = fault_model
+        self._rng = rng
+        self._max_recorded_events = max_recorded_events
+
+    @property
+    def fault_model(self) -> FaultModel:
+        """The underlying probabilistic fault model."""
+        return self._fault_model
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The scenario-owned random generator all sampling flows through."""
+        return self._rng
+
+    def flip_random_bit(self, value: int) -> FaultEvent:
+        """Corrupt a 64-bit value by flipping one random bit."""
+        bit = int(self._rng.integers(0, 64))
+        faulty = (value ^ (1 << bit)) & _MASK64
+        return FaultEvent(op_index=-1, correct_value=value & _MASK64,
+                          faulty_value=faulty, flipped_bit=bit)
+
+    def run_window(
+        self,
+        conditions: OperatingConditions,
+        ops: int,
+        *,
+        instruction: str = "imul",
+        correct_value: int = 0,
+        raise_on_crash: bool = True,
+    ) -> WindowOutcome:
+        """Execute ``ops`` instructions at fixed operating conditions.
+
+        Samples the number of faults from a binomial distribution and
+        materialises up to ``max_recorded_events`` concrete bit flips.
+
+        Raises
+        ------
+        MachineCheckError
+            If the conditions lie beyond the crash boundary and
+            ``raise_on_crash`` is true (default).  Characterization code
+            catches this to record a crash cell and reboot.
+        """
+        if ops < 0:
+            raise ConfigurationError("ops must be non-negative")
+        crashed = self._fault_model.is_crash(
+            conditions.frequency_ghz, conditions.voltage_volts
+        )
+        if crashed and raise_on_crash:
+            raise MachineCheckError(
+                f"machine check at {conditions.frequency_ghz:.1f} GHz / "
+                f"{conditions.voltage_volts * 1e3:.1f} mV "
+                f"(offset {conditions.offset_mv:+.0f} mV)",
+                frequency_ghz=conditions.frequency_ghz,
+                offset_mv=int(round(conditions.offset_mv)),
+            )
+        probability = self._fault_model.fault_probability(
+            conditions.frequency_ghz, conditions.voltage_volts, instruction=instruction
+        )
+        fault_count = 0
+        if ops > 0 and probability > 0.0:
+            fault_count = int(self._rng.binomial(ops, probability))
+        events: List[FaultEvent] = []
+        if fault_count:
+            recorded = min(fault_count, self._max_recorded_events)
+            indices = self._rng.choice(ops, size=recorded, replace=False)
+            for op_index in sorted(int(i) for i in indices):
+                flip = self.flip_random_bit(correct_value)
+                events.append(
+                    FaultEvent(
+                        op_index=op_index,
+                        correct_value=flip.correct_value,
+                        faulty_value=flip.faulty_value,
+                        flipped_bit=flip.flipped_bit,
+                    )
+                )
+        return WindowOutcome(
+            ops=ops,
+            fault_count=fault_count,
+            crashed=crashed,
+            conditions=conditions,
+            events=tuple(events),
+        )
+
+    def maybe_fault_value(
+        self,
+        conditions: OperatingConditions,
+        value: int,
+        *,
+        instruction: str = "imul",
+    ) -> Optional[FaultEvent]:
+        """Single-instruction variant: returns a fault event or ``None``.
+
+        Used by the RSA-CRT and single-stepping attack paths, where each
+        individual arithmetic operation matters.
+        """
+        if self._fault_model.is_crash(conditions.frequency_ghz, conditions.voltage_volts):
+            raise MachineCheckError(
+                "machine check during single-instruction execution",
+                frequency_ghz=conditions.frequency_ghz,
+                offset_mv=int(round(conditions.offset_mv)),
+            )
+        probability = self._fault_model.fault_probability(
+            conditions.frequency_ghz, conditions.voltage_volts, instruction=instruction
+        )
+        if probability <= 0.0 or self._rng.random() >= probability:
+            return None
+        return self.flip_random_bit(value)

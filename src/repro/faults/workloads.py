@@ -1,0 +1,72 @@
+"""Victim workloads beyond the plain ``imul`` loop.
+
+The characterization framework only needs the ``imul`` loop (it is the
+most fault-sensitive instruction, Sec. 4.2), but the attack evaluations
+exercise other payloads: multiplication-heavy vector code (V0LTpwn
+targets), AES rounds, and mixed integer workloads.  Each workload knows
+its dominant faultable instruction and its cycles-per-operation so the
+event simulator can place it on the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector, WindowOutcome
+from repro.faults.margin import INSTRUCTION_SENSITIVITY, OperatingConditions
+
+
+@dataclass(frozen=True)
+class InstructionWorkload:
+    """A tight loop dominated by one instruction class.
+
+    Parameters
+    ----------
+    name:
+        Human-readable workload name.
+    instruction:
+        Dominant faultable instruction (must be known to the fault model).
+    cycles_per_op:
+        Average retired-cycles per operation, used for wall-time placement
+        on the simulated timeline.
+    """
+
+    name: str
+    instruction: str
+    cycles_per_op: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.instruction not in INSTRUCTION_SENSITIVITY:
+            known = ", ".join(sorted(INSTRUCTION_SENSITIVITY))
+            raise ConfigurationError(
+                f"instruction {self.instruction!r} unknown to fault model; known: {known}"
+            )
+        if self.cycles_per_op <= 0:
+            raise ConfigurationError("cycles_per_op must be positive")
+
+    def duration_s(self, ops: int, frequency_ghz: float) -> float:
+        """Wall time of ``ops`` operations at a core frequency."""
+        return ops * self.cycles_per_op / (frequency_ghz * 1e9)
+
+    def execute(
+        self, injector: FaultInjector, conditions: OperatingConditions, ops: int
+    ) -> WindowOutcome:
+        """Run ``ops`` operations at fixed conditions."""
+        return injector.run_window(conditions, ops, instruction=self.instruction)
+
+
+#: The payloads used by the reproduced experiments.
+IMUL_LOOP = InstructionWorkload(name="imul loop", instruction="imul", cycles_per_op=1.0)
+VECTOR_MULTIPLY = InstructionWorkload(
+    name="packed double multiply", instruction="vmulpd", cycles_per_op=0.5
+)
+AES_ROUNDS = InstructionWorkload(name="AES-NI rounds", instruction="aesenc", cycles_per_op=1.0)
+SCALAR_FPU = InstructionWorkload(name="scalar FP multiply", instruction="mulsd", cycles_per_op=1.0)
+INTEGER_ALU = InstructionWorkload(name="integer ALU", instruction="add", cycles_per_op=0.25)
+
+WORKLOAD_CATALOG: Dict[str, InstructionWorkload] = {
+    w.name: w
+    for w in (IMUL_LOOP, VECTOR_MULTIPLY, AES_ROUNDS, SCALAR_FPU, INTEGER_ALU)
+}

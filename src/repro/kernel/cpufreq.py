@@ -1,0 +1,158 @@
+"""CPU frequency scaling: governors and the ``cpupower`` utility.
+
+Models the Linux ``cpufreq`` subsystem the paper leans on (Sec. 2.2): a
+scaling driver exposes per-core policies with minimum/maximum limits and a
+*governor* that picks the operating frequency; the ``cpupower`` utility
+(Algo 2, line 9) is the userspace path the DVFS thread uses to set test
+frequencies.
+
+The frequency path ends at ``IA32_PERF_CTL`` on the simulated processor —
+the same register real drivers program — so everything the countermeasure
+later observes through ``IA32_PERF_STATUS`` is consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.cpu.msr import IA32_PERF_CTL
+from repro.cpu.processor import SimulatedProcessor
+from repro.units import ghz_to_ratio
+
+
+class ScalingGovernor(enum.Enum):
+    """The governors the simulated driver provides (Sec. 2.2)."""
+
+    PERFORMANCE = "performance"
+    POWERSAVE = "powersave"
+    USERSPACE = "userspace"
+    ONDEMAND = "ondemand"
+
+
+@dataclass
+class CPUFreqPolicy:
+    """Per-core scaling policy (sysfs ``scaling_min/max_freq`` analogue)."""
+
+    min_ghz: float
+    max_ghz: float
+    governor: ScalingGovernor = ScalingGovernor.ONDEMAND
+
+    def clamp(self, frequency_ghz: float) -> float:
+        """Restrict a frequency to the policy window."""
+        return min(max(frequency_ghz, self.min_ghz), self.max_ghz)
+
+
+class CPUFreqDriver:
+    """The kernel scaling driver for one simulated processor."""
+
+    def __init__(self, processor: SimulatedProcessor) -> None:
+        self._processor = processor
+        table = processor.model.frequency_table
+        self.policies: Dict[int, CPUFreqPolicy] = {
+            core.index: CPUFreqPolicy(min_ghz=table.min_ghz, max_ghz=table.max_ghz)
+            for core in processor.cores
+        }
+        #: Every frequency transition requested through the driver,
+        #: (core, GHz) — lets tests assert benign DVFS kept working.
+        self.transition_log: List[tuple] = []
+
+    @property
+    def processor(self) -> SimulatedProcessor:
+        """The processor the driver manages."""
+        return self._processor
+
+    def available_frequencies(self) -> List[float]:
+        """The scaling_available_frequencies list (ascending GHz)."""
+        return list(self._processor.model.frequency_table.frequencies_ghz())
+
+    def set_governor(self, core_index: int, governor: ScalingGovernor) -> None:
+        """Select a governor for one core and apply its static choice."""
+        policy = self._policy(core_index)
+        policy.governor = governor
+        if governor is ScalingGovernor.PERFORMANCE:
+            self._program(core_index, policy.max_ghz)
+        elif governor is ScalingGovernor.POWERSAVE:
+            self._program(core_index, policy.min_ghz)
+
+    def set_policy_limits(self, core_index: int, *, min_ghz: float, max_ghz: float) -> None:
+        """Adjust the policy window (``scaling_min/max_freq``)."""
+        if min_ghz > max_ghz:
+            raise ConfigurationError("policy min must not exceed max")
+        table = self._processor.model.frequency_table
+        policy = self._policy(core_index)
+        policy.min_ghz = table.clamp(min_ghz)
+        policy.max_ghz = table.clamp(max_ghz)
+
+    def set_frequency(self, core_index: int, frequency_ghz: float) -> float:
+        """Userspace-governor frequency request; returns the programmed GHz."""
+        policy = self._policy(core_index)
+        if policy.governor is not ScalingGovernor.USERSPACE:
+            raise FrequencyError(
+                "explicit frequency requires the userspace governor "
+                f"(core {core_index} runs {policy.governor.value})"
+            )
+        return self._program(core_index, policy.clamp(frequency_ghz))
+
+    def report_load(self, core_index: int, utilization: float) -> float:
+        """Feed a load sample to the ondemand governor (0..1 utilization)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization must lie in [0, 1]")
+        policy = self._policy(core_index)
+        if policy.governor is not ScalingGovernor.ONDEMAND:
+            return self._processor.core(core_index).frequency_ghz
+        span = policy.max_ghz - policy.min_ghz
+        target = policy.min_ghz + span * utilization
+        return self._program(core_index, target)
+
+    # -- internals --------------------------------------------------------------
+
+    def _policy(self, core_index: int) -> CPUFreqPolicy:
+        try:
+            return self.policies[core_index]
+        except KeyError:
+            raise ConfigurationError(f"no policy for core {core_index}") from None
+
+    def _program(self, core_index: int, frequency_ghz: float) -> float:
+        table = self._processor.model.frequency_table
+        frequency = table.clamp(frequency_ghz)
+        ratio = ghz_to_ratio(frequency)
+        self._processor.wrmsr(core_index, IA32_PERF_CTL, (ratio & 0xFF) << 8)
+        self.transition_log.append((core_index, frequency))
+        return frequency
+
+
+class CPUPower:
+    """Facade mimicking the ``cpupower`` utility used by Algo 2, line 9."""
+
+    def __init__(self, driver: CPUFreqDriver) -> None:
+        self._driver = driver
+
+    def frequency_set(self, frequency_ghz: float, *, core_index: int | None = None) -> None:
+        """``cpupower frequency-set -f <freq>``: pin core(s) to a frequency.
+
+        Like the real tool, this switches the affected cores to the
+        userspace governor first.
+        """
+        cores = (
+            [core_index]
+            if core_index is not None
+            else [c.index for c in self._driver.processor.cores]
+        )
+        for index in cores:
+            self._driver.set_governor(index, ScalingGovernor.USERSPACE)
+            self._driver.set_frequency(index, frequency_ghz)
+
+    def frequency_info(self, core_index: int = 0) -> dict:
+        """``cpupower frequency-info`` essentials for one core."""
+        core = self._driver.processor.core(core_index)
+        policy = self._driver.policies[core_index]
+        return {
+            "current_ghz": core.frequency_ghz,
+            "governor": policy.governor.value,
+            "min_ghz": policy.min_ghz,
+            "max_ghz": policy.max_ghz,
+            "available": self._driver.available_frequencies(),
+        }

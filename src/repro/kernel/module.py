@@ -1,0 +1,87 @@
+"""Loadable kernel-module framework.
+
+The countermeasure "resides as a kernel module" (Sec. 4.3); the threat
+model explicitly allows the (privileged) adversary to load and unload
+modules, and counters that by folding the module's load state into the
+SGX attestation report (Sec. 4.1, "Note on adversarial control over
+unloading kernel modules").  The :class:`ModuleRegistry` is what the
+attestation layer consults.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import KernelModuleError
+
+
+class KernelModule(ABC):
+    """Base class for loadable modules."""
+
+    #: Module name as it would appear in ``lsmod``.
+    name: str = "module"
+
+    def __init__(self) -> None:
+        self._loaded = False
+
+    @property
+    def loaded(self) -> bool:
+        """Whether the module is currently inserted."""
+        return self._loaded
+
+    @abstractmethod
+    def on_load(self) -> None:
+        """Module init routine — start threads, install hooks."""
+
+    @abstractmethod
+    def on_unload(self) -> None:
+        """Module exit routine — stop threads, remove hooks."""
+
+
+@dataclass
+class ModuleRegistry:
+    """Tracks inserted modules (the simulated ``lsmod`` view).
+
+    The load/unload history is kept so experiments can show an adversary
+    unloading the countermeasure and attestation subsequently failing.
+    """
+
+    _modules: Dict[str, KernelModule] = field(default_factory=dict)
+    history: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    def insmod(self, module: KernelModule, now: float = 0.0) -> None:
+        """Insert a module; runs its init routine."""
+        if module.name in self._modules:
+            raise KernelModuleError(f"module {module.name!r} already loaded")
+        module.on_load()
+        module._loaded = True
+        self._modules[module.name] = module
+        self.history.append((now, "insmod", module.name))
+
+    def rmmod(self, name: str, now: float = 0.0) -> KernelModule:
+        """Remove a module by name; runs its exit routine."""
+        try:
+            module = self._modules.pop(name)
+        except KeyError:
+            raise KernelModuleError(f"module {name!r} not loaded") from None
+        module.on_unload()
+        module._loaded = False
+        self.history.append((now, "rmmod", name))
+        return module
+
+    def is_loaded(self, name: str) -> bool:
+        """Whether a module with this name is inserted."""
+        return name in self._modules
+
+    def loaded_modules(self) -> List[str]:
+        """Names of all inserted modules, sorted."""
+        return sorted(self._modules)
+
+    def get(self, name: str) -> KernelModule:
+        """Fetch a loaded module by name."""
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KernelModuleError(f"module {name!r} not loaded") from None

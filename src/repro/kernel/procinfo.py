@@ -1,0 +1,53 @@
+"""``/proc/cpuinfo``-style diagnostics for the simulated machine.
+
+Operators of the real artifact sanity-check a deployment by reading
+``/proc/cpuinfo``, ``lsmod`` and the module's sysfs tree; this module
+renders the equivalent snapshot of a :class:`~repro.testbench.Machine` —
+model identity, live microcode revision, per-core P-state/voltage, loaded
+modules — in one string.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.testbench import Machine
+
+
+def render_cpuinfo(machine: "Machine") -> str:
+    """The per-core ``/proc/cpuinfo`` analogue."""
+    model = machine.model
+    blocks = []
+    for core in machine.processor.cores:
+        now = machine.now
+        blocks.append(
+            "\n".join(
+                [
+                    f"processor\t: {core.index}",
+                    f"model name\t: {model.name}",
+                    f"microcode\t: 0x{machine.processor.microcode_revision:x}",
+                    f"cpu MHz\t\t: {core.frequency_ghz * 1000:.3f}",
+                    f"core voltage\t: {core.effective_voltage(now) * 1e3:.1f} mV",
+                    f"voltage offset\t: {core.applied_offset_mv(now):+.1f} mV "
+                    f"(target {core.target_offset_mv():+.1f} mV)",
+                    f"c-state\t\t: {core.pstate.c_state.name}",
+                ]
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_system_status(machine: "Machine") -> str:
+    """cpuinfo plus module list and driver counters — the full snapshot."""
+    lines = [render_cpuinfo(machine), ""]
+    modules = machine.modules.loaded_modules()
+    lines.append("loaded modules\t: " + (", ".join(modules) if modules else "(none)"))
+    stats = machine.msr_driver.stats
+    lines.append(
+        f"msr driver\t: {stats.reads} reads, {stats.writes} writes, "
+        f"{stats.ignored_writes} ignored, {stats.busy_seconds * 1e6:.1f} us busy"
+    )
+    lines.append(f"uptime\t\t: {machine.now * 1e3:.3f} ms, "
+                 f"crashes: {machine.crash_count}")
+    return "\n".join(lines)

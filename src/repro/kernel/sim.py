@@ -1,0 +1,212 @@
+"""Discrete-event simulator.
+
+Carries the temporal semantics the countermeasure's correctness argument
+rests on: MSR ioctl latency, voltage-regulator settle time, polling
+period and victim execution all live on one timeline, so the
+"turnaround time" discussion of Sec. 5 is directly measurable.
+
+Two scheduling styles are supported:
+
+* callbacks — ``schedule(delay, fn)`` / ``schedule_recurring(period, fn)``;
+* cooperative tasks — ``spawn(generator)`` where the generator yields the
+  number of seconds to sleep before being resumed (a SimPy-style
+  coroutine, used for the DVFS/EXECUTE/polling threads).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("callback", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+
+class RecurringEvent:
+    """Handle for a periodically re-armed callback."""
+
+    def __init__(self, simulator: "Simulator", period: float, callback: Callable[[], None]) -> None:
+        if period <= 0:
+            raise SimulationError("recurring period must be positive")
+        self._simulator = simulator
+        self._period = period
+        self._callback = callback
+        self._cancelled = False
+        self._current: Optional[Event] = None
+        self.fire_count = 0
+        self._arm()
+
+    def _arm(self) -> None:
+        self._current = self._simulator.schedule(self._period, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        self._callback()
+        if not self._cancelled:
+            self._arm()
+
+    def cancel(self) -> None:
+        """Stop future firings."""
+        self._cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+
+    @property
+    def period(self) -> float:
+        """Interval between firings, seconds."""
+        return self._period
+
+
+#: A cooperative task body: yields sleep durations in seconds.
+TaskBody = Generator[float, None, Any]
+
+
+class Task:
+    """A spawned cooperative task."""
+
+    def __init__(self, simulator: "Simulator", body: TaskBody, name: str) -> None:
+        self._simulator = simulator
+        self._body = body
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Stop resuming the task (it never runs again)."""
+        self._cancelled = True
+        self.done = True
+
+    def _step(self) -> None:
+        if self._cancelled or self.done:
+            return
+        try:
+            delay = next(self._body)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            return
+        except BaseException as error:  # noqa: BLE001 - surfaced via .error
+            self.done = True
+            self.error = error
+            raise
+        if delay < 0:
+            self.done = True
+            self.error = SimulationError("task yielded a negative delay")
+            raise self.error
+        self._simulator.schedule(delay, self._step)
+
+
+class Simulator:
+    """Priority-queue discrete-event simulator with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self.processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def clock(self) -> Callable[[], float]:
+        """A time-source callable for time-driven hardware components."""
+        return lambda: self._now
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        event = Event(self._now + delay, callback)
+        heapq.heappush(self._heap, _QueueEntry(event.time, next(self._sequence), event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at an absolute time (>= now)."""
+        return self.schedule(time - self._now, callback)
+
+    def schedule_recurring(self, period: float, callback: Callable[[], None]) -> RecurringEvent:
+        """Run ``callback`` every ``period`` seconds until cancelled."""
+        return RecurringEvent(self, period, callback)
+
+    def spawn(self, body: TaskBody, *, name: str = "task") -> Task:
+        """Start a cooperative task; its first step runs at the current time."""
+        task = Task(self, body, name)
+        self.schedule(0.0, task._step)
+        return task
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next event; returns False if the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            if entry.time < self._now:
+                raise SimulationError("event queue produced a time in the past")
+            self._now = entry.time
+            self.processed_events += 1
+            entry.event.callback()
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Process events up to and including ``time``; clock ends at ``time``."""
+        if time < self._now:
+            raise SimulationError("cannot run into the past")
+        while self._heap:
+            head = self._heap[0]
+            if head.event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        self._now = time
+
+    def run(self, *, max_events: int = 10_000_000) -> None:
+        """Drain the event queue entirely (bounded by ``max_events``)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+
+    def run_while(self, predicate: Callable[[], bool], *, max_events: int = 10_000_000) -> None:
+        """Process events while ``predicate()`` holds and events remain."""
+        processed = 0
+        while predicate() and self.step():
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")

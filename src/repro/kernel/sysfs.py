@@ -1,0 +1,112 @@
+"""A sysfs-style runtime interface for kernel modules.
+
+Real kernel modules expose parameters and statistics under
+``/sys/module/<name>/parameters/``; administrators retune them without
+reloading.  The simulated equivalent is a string-keyed attribute tree
+with read/write permission bits, wired to live module state through
+getter/setter callables.
+
+:func:`expose_polling_module` publishes the paper's module: the polling
+period is runtime-adjustable (the ablation benchmark shows why an
+administrator might touch it), the policy and statistics are read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError, KernelModuleError
+
+
+@dataclass
+class SysfsAttribute:
+    """One file under the module's sysfs directory."""
+
+    name: str
+    reader: Callable[[], str]
+    writer: Optional[Callable[[str], None]] = None
+
+    @property
+    def writable(self) -> bool:
+        """Whether the attribute accepts stores (mode 0644 vs 0444)."""
+        return self.writer is not None
+
+
+@dataclass
+class SysfsDirectory:
+    """``/sys/module/<name>`` for one module."""
+
+    module_name: str
+    _attributes: Dict[str, SysfsAttribute] = field(default_factory=dict)
+
+    def add(self, attribute: SysfsAttribute) -> None:
+        """Publish an attribute."""
+        self._attributes[attribute.name] = attribute
+
+    def ls(self) -> list:
+        """Attribute names, sorted (the directory listing)."""
+        return sorted(self._attributes)
+
+    def read(self, name: str) -> str:
+        """``cat`` an attribute."""
+        try:
+            return self._attributes[name].reader()
+        except KeyError:
+            raise KernelModuleError(
+                f"no sysfs attribute {name!r} under {self.module_name}"
+            ) from None
+
+    def write(self, name: str, value: str) -> None:
+        """``echo value >`` an attribute."""
+        try:
+            attribute = self._attributes[name]
+        except KeyError:
+            raise KernelModuleError(
+                f"no sysfs attribute {name!r} under {self.module_name}"
+            ) from None
+        if attribute.writer is None:
+            raise KernelModuleError(f"sysfs attribute {name!r} is read-only")
+        attribute.writer(value)
+
+
+def expose_polling_module(module) -> SysfsDirectory:
+    """Publish a :class:`~repro.core.polling_module.PollingCountermeasure`.
+
+    Attributes:
+
+    * ``period_us``    (rw) — polling period; stores re-arm the kthread;
+    * ``policy``       (ro) — active restoration policy name;
+    * ``polls``        (ro) — loop iterations so far;
+    * ``detections``   (ro) — unsafe states found;
+    * ``remediations`` (ro) — corrective writes issued;
+    * ``maximal_safe_mv`` (ro) — the Sec. 5 constant for this system.
+    """
+    directory = SysfsDirectory(module_name=module.name)
+
+    def read_period() -> str:
+        return f"{module.period_s * 1e6:.0f}"
+
+    def write_period(value: str) -> None:
+        try:
+            period_us = float(value)
+        except ValueError:
+            raise ConfigurationError(f"invalid period {value!r}") from None
+        if period_us <= 0:
+            raise ConfigurationError("period must be positive")
+        module.set_period(period_us * 1e-6)
+
+    directory.add(SysfsAttribute("period_us", read_period, write_period))
+    directory.add(SysfsAttribute("policy", lambda: module.policy.name))
+    directory.add(SysfsAttribute("polls", lambda: str(module.stats.polls)))
+    directory.add(SysfsAttribute("detections", lambda: str(module.stats.detections)))
+    directory.add(
+        SysfsAttribute("remediations", lambda: str(len(module.stats.remediations)))
+    )
+    directory.add(
+        SysfsAttribute(
+            "maximal_safe_mv",
+            lambda: f"{module.unsafe_states.maximal_safe_offset_mv():.0f}",
+        )
+    )
+    return directory

@@ -1,0 +1,140 @@
+"""A continuously executing victim thread on the event timeline.
+
+The paper's EXECUTE thread runs "in parallel to the DVFS thread without
+blocking" (Sec. 4.2).  :class:`ContinuousVictim` is that thread as a
+cooperative simulator task: it executes ``imul`` chunks back to back,
+sampling the core's live conditions at each chunk start, accumulating a
+fault (and crash) record with timestamps.
+
+Because the victim occupies the timeline *between* attacker writes and
+defender polls, it observes exactly the windows that matter: if an
+unsafe voltage is ever electrically effective while a chunk retires,
+faults appear in the trace — a strictly more honest probe than running
+discrete windows after explicit ``advance()`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.errors import MachineCheckError
+from repro.faults.margin import INSTRUCTION_SENSITIVITY
+from repro.kernel.sim import Task
+
+if TYPE_CHECKING:  # avoid a circular import through the kernel package
+    from repro.testbench import Machine
+
+
+@dataclass(frozen=True)
+class FaultBurst:
+    """Faults observed in one victim chunk."""
+
+    time_s: float
+    frequency_ghz: float
+    offset_mv: float
+    fault_count: int
+
+
+@dataclass
+class VictimTrace:
+    """Everything the victim observed over its lifetime."""
+
+    chunks: int = 0
+    ops: int = 0
+    total_faults: int = 0
+    crashes: int = 0
+    bursts: List[FaultBurst] = field(default_factory=list)
+
+    def fault_windows(self) -> List[FaultBurst]:
+        """Only the chunks where faults landed."""
+        return [b for b in self.bursts if b.fault_count > 0]
+
+
+class ContinuousVictim:
+    """Spawns an endless imul loop on the machine's simulator.
+
+    Parameters
+    ----------
+    machine:
+        The simulated system.
+    core_index:
+        Core the victim is pinned to.
+    chunk_ops:
+        Instructions per chunk; the chunk duration is the victim's
+        sampling resolution for condition changes.
+    instruction:
+        Dominant instruction class of the victim loop.
+    survive_crashes:
+        If true, a machine check reboots the box and the victim resumes
+        (the characterization robot's behaviour); if false the victim
+        stops at the first crash.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        *,
+        core_index: int = 0,
+        chunk_ops: int = 100_000,
+        instruction: str = "imul",
+        survive_crashes: bool = True,
+    ) -> None:
+        if instruction not in INSTRUCTION_SENSITIVITY:
+            raise ValueError(f"unknown instruction {instruction!r}")
+        self._machine = machine
+        self._core_index = core_index
+        self._chunk_ops = chunk_ops
+        self._instruction = instruction
+        self._survive_crashes = survive_crashes
+        self.trace = VictimTrace()
+        self._task: Optional[Task] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the victim task is live on the simulator."""
+        return self._task is not None and not self._task.done
+
+    def start(self) -> None:
+        """Spawn the victim loop."""
+        self._task = self._machine.simulator.spawn(self._body(), name="execute-thread")
+
+    def stop(self) -> None:
+        """Cancel the victim loop."""
+        if self._task is not None:
+            self._task.cancel()
+
+    # -- the loop body -----------------------------------------------------------
+
+    def _body(self):
+        machine = self._machine
+        while True:
+            conditions = machine.conditions(self._core_index)
+            duration = self._chunk_ops / (conditions.frequency_ghz * 1e9)
+            try:
+                outcome = machine.injector.run_window(
+                    conditions, self._chunk_ops, instruction=self._instruction
+                )
+            except MachineCheckError:
+                self.trace.crashes += 1
+                machine.processor.reboot()
+                machine.crash_count += 1
+                if not self._survive_crashes:
+                    return self.trace
+                yield 50e-3  # reboot time before execution resumes
+                continue
+            self.trace.chunks += 1
+            self.trace.ops += outcome.ops
+            if outcome.fault_count:
+                self.trace.total_faults += outcome.fault_count
+                self.trace.bursts.append(
+                    FaultBurst(
+                        time_s=machine.now,
+                        frequency_ghz=conditions.frequency_ghz,
+                        offset_mv=conditions.offset_mv,
+                        fault_count=outcome.fault_count,
+                    )
+                )
+            yield duration

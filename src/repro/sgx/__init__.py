@@ -1,0 +1,39 @@
+"""SGX substrate: enclaves, attestation, single-/zero-stepping.
+
+Provides the trusted-computing context the paper's threat model is set
+in: enclaves whose arithmetic runs on the (fault-exposed) physical core,
+attestation reports carrying either Intel's OCM-disabled bit or the
+paper's proposed countermeasure-module-loaded bit, and the SGX-Step-style
+stepping tools that break deflection defenses.
+"""
+
+from repro.sgx.attestation import (
+    COUNTERMEASURE_MODULE,
+    INTEL_SA_00289_POLICY,
+    PLUG_YOUR_VOLT_POLICY,
+    AttestationReport,
+    AttestationService,
+    VerifierPolicy,
+    verify_report,
+)
+from repro.sgx.enclave import Enclave, EnclaveHost, EnclaveStats
+from repro.sgx.provisioning import ProvisioningRecord, RemoteProvisioner
+from repro.sgx.stepping import SingleStepper, SteppingTrace, ZeroStepper
+
+__all__ = [
+    "COUNTERMEASURE_MODULE",
+    "INTEL_SA_00289_POLICY",
+    "PLUG_YOUR_VOLT_POLICY",
+    "AttestationReport",
+    "AttestationService",
+    "VerifierPolicy",
+    "verify_report",
+    "Enclave",
+    "EnclaveHost",
+    "EnclaveStats",
+    "ProvisioningRecord",
+    "RemoteProvisioner",
+    "SingleStepper",
+    "SteppingTrace",
+    "ZeroStepper",
+]

@@ -1,0 +1,149 @@
+"""SGX remote attestation with countermeasure-state reporting.
+
+Two attestation policies are modelled, mirroring the paper's discussion:
+
+* **Intel's fix for CVE-2019-11157** ([12], the access-control defense):
+  the report carries the *disabled status of the overclocking mailbox*;
+  a remote verifier refuses enclaves on machines where the OCM is live.
+* **The paper's proposal** (Sec. 4.1): the OCM status is *removed* from
+  the report and replaced by the *load state of the polling
+  countermeasure's kernel module*.  Benign non-SGX processes keep full
+  DVFS access while the verifier still gets its guarantee — and an
+  adversary who unloads the module is caught at (re-)attestation.
+
+Hyper-threading status is included as well, since folding such platform
+facts into attestation is established practice (the paper cites [29]).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AttestationError
+from repro.sgx.enclave import Enclave
+from repro.testbench import Machine
+
+#: Module name the paper's countermeasure registers under.
+COUNTERMEASURE_MODULE = "plug_your_volt"
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """A (simplified) SGX quote over enclave and platform state."""
+
+    enclave_measurement: str
+    cpu_model: str
+    microcode: int
+    ocm_disabled: bool
+    countermeasure_loaded: bool
+    hyperthreading_enabled: bool
+    nonce: int
+    mac: str
+
+    @staticmethod
+    def _mac_input(
+        enclave_measurement: str,
+        cpu_model: str,
+        microcode: int,
+        ocm_disabled: bool,
+        countermeasure_loaded: bool,
+        hyperthreading_enabled: bool,
+        nonce: int,
+    ) -> bytes:
+        return (
+            f"{enclave_measurement}|{cpu_model}|{microcode}|{ocm_disabled}"
+            f"|{countermeasure_loaded}|{hyperthreading_enabled}|{nonce}"
+        ).encode()
+
+    def verify_integrity(self) -> bool:
+        """Check the quote's MAC (the hardware-key HMAC analogue)."""
+        expected = hashlib.sha256(
+            b"platform-attestation-key:"
+            + self._mac_input(
+                self.enclave_measurement,
+                self.cpu_model,
+                self.microcode,
+                self.ocm_disabled,
+                self.countermeasure_loaded,
+                self.hyperthreading_enabled,
+                self.nonce,
+            )
+        ).hexdigest()
+        return expected == self.mac
+
+
+class AttestationService:
+    """Generates quotes from live machine state (the QE analogue)."""
+
+    def __init__(self, machine: Machine, *, hyperthreading_enabled: bool = False) -> None:
+        self._machine = machine
+        self._hyperthreading_enabled = hyperthreading_enabled
+        self._ocm_disabled = False
+
+    def set_ocm_disabled(self, disabled: bool) -> None:
+        """Record the OCM enable state (set by the access-control defense)."""
+        self._ocm_disabled = disabled
+
+    def generate(self, enclave: Enclave, nonce: int = 0) -> AttestationReport:
+        """Produce a quote for an enclave over current platform state."""
+        countermeasure_loaded = self._machine.modules.is_loaded(COUNTERMEASURE_MODULE)
+        fields = (
+            enclave.measurement,
+            self._machine.model.name,
+            self._machine.processor.microcode_revision,
+            self._ocm_disabled,
+            countermeasure_loaded,
+            self._hyperthreading_enabled,
+            nonce,
+        )
+        mac = hashlib.sha256(
+            b"platform-attestation-key:" + AttestationReport._mac_input(*fields)
+        ).hexdigest()
+        return AttestationReport(
+            enclave_measurement=fields[0],
+            cpu_model=fields[1],
+            microcode=fields[2],
+            ocm_disabled=fields[3],
+            countermeasure_loaded=fields[4],
+            hyperthreading_enabled=fields[5],
+            nonce=fields[6],
+            mac=mac,
+        )
+
+
+@dataclass(frozen=True)
+class VerifierPolicy:
+    """What a remote client demands before provisioning secrets."""
+
+    #: Intel's SA-00289 stance: refuse unless the OCM is disabled.
+    require_ocm_disabled: bool = False
+    #: The paper's stance: refuse unless the polling module is loaded.
+    require_countermeasure: bool = False
+    #: Demand SMT off (established practice per [29]).
+    require_hyperthreading_disabled: bool = False
+    expected_measurement: Optional[str] = None
+
+
+#: The two stances compared throughout the evaluation.
+INTEL_SA_00289_POLICY = VerifierPolicy(require_ocm_disabled=True)
+PLUG_YOUR_VOLT_POLICY = VerifierPolicy(require_countermeasure=True)
+
+
+def verify_report(report: AttestationReport, policy: VerifierPolicy) -> None:
+    """Remote-verifier check; raises :class:`AttestationError` on refusal."""
+    if not report.verify_integrity():
+        raise AttestationError("attestation MAC check failed")
+    if policy.expected_measurement and report.enclave_measurement != policy.expected_measurement:
+        raise AttestationError("enclave measurement mismatch")
+    if policy.require_ocm_disabled and not report.ocm_disabled:
+        raise AttestationError(
+            "platform rejected: overclocking mailbox is enabled (SA-00289 policy)"
+        )
+    if policy.require_countermeasure and not report.countermeasure_loaded:
+        raise AttestationError(
+            "platform rejected: polling countermeasure module not loaded"
+        )
+    if policy.require_hyperthreading_disabled and report.hyperthreading_enabled:
+        raise AttestationError("platform rejected: hyper-threading is enabled")

@@ -1,0 +1,141 @@
+"""Simulated SGX enclaves.
+
+The paper's threat model (Sec. 4.1) assumes a privileged adversary who
+cannot read or tamper with enclave memory/execution directly, but *can*
+mount DVFS attacks while the enclave runs: the enclave's arithmetic
+executes on the shared physical core and inherits its (possibly unsafe)
+operating conditions.  That is exactly what this model captures — an
+enclave payload runs on a :class:`~repro.faults.alu.FaultableALU` bound to
+the enclave's core, so undervolting the core faults the *trusted*
+computation while the isolation boundary stays intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import EnclaveError
+from repro.faults.alu import FaultableALU
+from repro.testbench import Machine
+
+#: Payloads receive the enclave's faultable ALU and arbitrary arguments.
+EnclaveCall = Callable[..., Any]
+
+
+@dataclass
+class EnclaveStats:
+    """Per-enclave execution counters."""
+
+    ecalls: int = 0
+    aexits: int = 0  # asynchronous exits (interrupts, single-stepping)
+
+
+@dataclass
+class Enclave:
+    """A trusted execution context pinned to one core.
+
+    Parameters
+    ----------
+    machine:
+        The simulated system hosting the enclave.
+    core_index:
+        Physical core the enclave's thread runs on.
+    name:
+        Identity folded into the enclave measurement.
+    """
+
+    machine: Machine
+    core_index: int
+    name: str = "enclave"
+    stats: EnclaveStats = field(default_factory=EnclaveStats)
+    _destroyed: bool = field(default=False, repr=False)
+    _step_hooks: List[Callable[[], None]] = field(default_factory=list, repr=False)
+
+    @property
+    def measurement(self) -> str:
+        """MRENCLAVE analogue: a digest of the enclave identity."""
+        return hashlib.sha256(self.name.encode()).hexdigest()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the enclave can still be entered."""
+        return not self._destroyed
+
+    def alu(self) -> FaultableALU:
+        """A faultable ALU bound to the enclave's core, live conditions."""
+        return FaultableALU(
+            injector=self.machine.injector,
+            conditions_source=lambda: self.machine.conditions(self.core_index),
+        )
+
+    def ecall(self, payload: EnclaveCall, *args: Any, **kwargs: Any) -> Any:
+        """Enter the enclave and run a trusted payload.
+
+        The payload receives the enclave's :class:`FaultableALU` as its
+        first argument; all its multiplications are therefore exposed to
+        the core's live DVFS conditions.
+
+        Raises
+        ------
+        EnclaveError
+            If the enclave was destroyed.
+        MachineCheckError
+            Propagated if the core crashes mid-computation.
+        """
+        if self._destroyed:
+            raise EnclaveError(f"enclave {self.name!r} was destroyed")
+        self.stats.ecalls += 1
+        return payload(self.alu(), *args, **kwargs)
+
+    def destroy(self) -> None:
+        """Tear the enclave down (EREMOVE)."""
+        self._destroyed = True
+
+    # -- single-stepping support (used by repro.sgx.stepping) --------------------
+
+    def add_step_hook(self, hook: Callable[[], None]) -> None:
+        """Install an AEX hook fired once per stepped instruction.
+
+        This is the adversary's lever, not the enclave's: SGX-Step arms
+        the APIC timer so the enclave exits after every instruction; the
+        hook models whatever the attacker does during that window.
+        """
+        self._step_hooks.append(hook)
+
+    def remove_step_hook(self, hook: Callable[[], None]) -> None:
+        """Remove a previously installed AEX hook."""
+        self._step_hooks.remove(hook)
+
+    def fire_aex(self) -> None:
+        """One asynchronous enclave exit (interrupt delivery)."""
+        self.stats.aexits += 1
+        for hook in list(self._step_hooks):
+            hook()
+
+
+@dataclass
+class EnclaveHost:
+    """The untrusted application part that owns enclave lifecycles."""
+
+    machine: Machine
+    enclaves: List[Enclave] = field(default_factory=list)
+
+    def create_enclave(self, name: str, core_index: int = 0) -> Enclave:
+        """ECREATE + EINIT: spin up an enclave on a core."""
+        self.machine.processor.core(core_index)  # validate the index
+        enclave = Enclave(machine=self.machine, core_index=core_index, name=name)
+        self.enclaves.append(enclave)
+        return enclave
+
+    def active_enclaves(self) -> List[Enclave]:
+        """Enclaves that have not been destroyed."""
+        return [e for e in self.enclaves if e.alive]
+
+    def find(self, name: str) -> Optional[Enclave]:
+        """Look up a live enclave by name."""
+        for enclave in self.enclaves:
+            if enclave.name == name and enclave.alive:
+                return enclave
+        return None

@@ -1,0 +1,107 @@
+"""Secret provisioning: what attestation is *for*.
+
+The paper's attestation argument (Sec. 4.1) only matters because a
+remote party withholds something valuable until the platform proves its
+state.  This module closes that loop: a :class:`RemoteProvisioner` holds
+a secret (e.g. the RSA signing key of the Plundervolt scenario), demands
+a fresh attestation quote satisfying its policy, and releases the secret
+sealed to the enclave's measurement.  Unloading the countermeasure
+module between provisioning rounds is therefore not just *detectable* —
+it costs the platform its secrets.
+
+Freshness is enforced with single-use nonces, so a quote recorded while
+the module was loaded cannot be replayed after unloading it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.errors import AttestationError
+from repro.sgx.attestation import AttestationReport, VerifierPolicy, verify_report
+from repro.sgx.enclave import Enclave
+
+
+@dataclass
+class ProvisioningRecord:
+    """Audit trail entry for one provisioning attempt."""
+
+    nonce: int
+    measurement: str
+    granted: bool
+    reason: str
+
+
+@dataclass
+class RemoteProvisioner:
+    """A relying party that releases secrets against attestation.
+
+    Parameters
+    ----------
+    secret:
+        The payload to provision (any bytes; sealed per enclave).
+    policy:
+        The verifier policy quotes must satisfy (e.g.
+        :data:`~repro.sgx.attestation.PLUG_YOUR_VOLT_POLICY`).
+    seed:
+        Seed for nonce generation (deterministic experiments).
+    """
+
+    secret: bytes
+    policy: VerifierPolicy
+    seed: int = 0
+    audit_log: list = field(default_factory=list)
+    _pending_nonces: Set[int] = field(default_factory=set, repr=False)
+    _provisioned: Dict[str, bytes] = field(default_factory=dict, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def challenge(self) -> int:
+        """Issue a fresh single-use nonce for the next quote."""
+        nonce = int(self._rng.integers(1, 2**62))
+        self._pending_nonces.add(nonce)
+        return nonce
+
+    def provision(self, report: AttestationReport) -> bytes:
+        """Release the secret against a fresh, policy-satisfying quote.
+
+        Raises
+        ------
+        AttestationError
+            On nonce reuse/forgery or any policy violation.
+        """
+        if report.nonce not in self._pending_nonces:
+            self._log(report, False, "stale or unknown nonce")
+            raise AttestationError("quote is not fresh: unknown or reused nonce")
+        self._pending_nonces.discard(report.nonce)
+        try:
+            verify_report(report, self.policy)
+        except AttestationError as error:
+            self._log(report, False, str(error))
+            raise
+        self._log(report, True, "provisioned")
+        self._provisioned[report.enclave_measurement] = self.secret
+        return self.secret
+
+    def is_provisioned(self, enclave: Enclave) -> bool:
+        """Whether an enclave (by measurement) has received the secret."""
+        return enclave.measurement in self._provisioned
+
+    def revoke(self, enclave: Enclave) -> None:
+        """Forget a previously provisioned enclave (key rotation)."""
+        self._provisioned.pop(enclave.measurement, None)
+
+    def _log(self, report: AttestationReport, granted: bool, reason: str) -> None:
+        self.audit_log.append(
+            ProvisioningRecord(
+                nonce=report.nonce,
+                measurement=report.enclave_measurement,
+                granted=granted,
+                reason=reason,
+            )
+        )

@@ -1,0 +1,105 @@
+"""SGX-Step-style single-stepping and zero-stepping.
+
+The paper's threat-model discussion (Sec. 4.1) hinges on these tools: the
+Minefield-style deflection defense does *not* include single-stepping in
+its threat model, and an adversary armed with SGX-Step [27] can isolate
+exactly the instruction to fault, injecting the unsafe state only while
+that instruction executes and restoring safety before any trap
+instruction runs.  Zero-stepping [17] additionally gives the adversary
+unbounded time between fault injection and any deflection firing.
+
+The model: a stepped enclave execution is a sequence of abstract
+instruction slots.  :class:`SingleStepper` lets the adversary register
+per-slot callbacks (arm the APIC timer, take an AEX, do something, resume)
+so an attack can confine its DVFS manipulation to one slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import AttackError
+from repro.sgx.enclave import Enclave
+
+#: A per-slot adversary callback: receives the slot index before the
+#: instruction in that slot executes; returns nothing.
+StepCallback = Callable[[int], None]
+
+
+@dataclass
+class SteppingTrace:
+    """What the adversary observed/drove during a stepped execution."""
+
+    slots: int = 0
+    aex_count: int = 0
+    targeted_slots: List[int] = field(default_factory=list)
+
+
+@dataclass
+class SingleStepper:
+    """Drives an enclave one instruction at a time (SGX-Step analogue).
+
+    Parameters
+    ----------
+    enclave:
+        The victim enclave (its AEX counter is advanced per step).
+    before_slot:
+        Adversary callback fired before each instruction slot executes.
+    after_slot:
+        Adversary callback fired after each slot retires.
+    """
+
+    enclave: Enclave
+    before_slot: Optional[StepCallback] = None
+    after_slot: Optional[StepCallback] = None
+    trace: SteppingTrace = field(default_factory=SteppingTrace)
+
+    def run(self, instruction_slots: Sequence[Callable[[], None]]) -> SteppingTrace:
+        """Execute a slotted payload under single-stepping.
+
+        Each element of ``instruction_slots`` is one enclave instruction;
+        the APIC timer interrupts after every one, giving the adversary
+        its ``before_slot``/``after_slot`` windows.
+        """
+        if not instruction_slots:
+            raise AttackError("nothing to step: empty instruction sequence")
+        for index, instruction in enumerate(instruction_slots):
+            if self.before_slot is not None:
+                self.before_slot(index)
+            instruction()
+            self.enclave.fire_aex()
+            self.trace.aex_count += 1
+            if self.after_slot is not None:
+                self.after_slot(index)
+            self.trace.slots += 1
+        return self.trace
+
+
+@dataclass
+class ZeroStepper:
+    """Zero-stepping: replay a slot without architectural progress.
+
+    Modelled as the ability to re-run one instruction slot arbitrarily
+    many times (the enclave state is rolled back each time), giving the
+    adversary unbounded fault attempts on a single instruction — the
+    property that breaks deflection defenses relying on a trap *after*
+    the faulted instruction.
+    """
+
+    enclave: Enclave
+    max_replays: int = 10_000
+
+    def replay_until(
+        self,
+        instruction: Callable[[], object],
+        success: Callable[[object], bool],
+    ) -> tuple:
+        """Replay ``instruction`` until ``success(result)``; returns
+        ``(result, attempts)`` or ``(None, attempts)`` on exhaustion."""
+        for attempt in range(1, self.max_replays + 1):
+            self.enclave.fire_aex()
+            result = instruction()
+            if success(result):
+                return result, attempt
+        return None, self.max_replays

@@ -1,0 +1,31 @@
+"""Circuit-timing substrate: Eq. 1-3 of the paper as an executable model.
+
+The subpackage provides
+
+* :class:`~repro.timing.constants.ProcessCharacteristics` — per-process
+  constants (``Vth``, ``alpha``, ``T_setup``, ``T_eps``, retention floor),
+* :class:`~repro.timing.delay_model.DelayModel` — alpha-power-law voltage
+  to gate-delay scaling,
+* :class:`~repro.timing.path.CriticalPath` — the F1/comb/F2 pair of Fig. 1,
+* :class:`~repro.timing.safety.SafetyAnalyzer` — the safe/unsafe predicate
+  (Eq. 2/Eq. 3) and its inversions (critical voltage, crash voltage,
+  factory design voltage, max safe frequency).
+"""
+
+from repro.timing.constants import INTEL_14NM, INTEL_14NM_PLUS, ProcessCharacteristics
+from repro.timing.delay_model import DelayModel
+from repro.timing.path import CriticalPath, scaled_path
+from repro.timing.safety import OperatingPoint, SafetyAnalyzer, TimingBudget, budget_for
+
+__all__ = [
+    "INTEL_14NM",
+    "INTEL_14NM_PLUS",
+    "ProcessCharacteristics",
+    "DelayModel",
+    "CriticalPath",
+    "scaled_path",
+    "OperatingPoint",
+    "SafetyAnalyzer",
+    "TimingBudget",
+    "budget_for",
+]

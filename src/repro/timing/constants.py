@@ -1,0 +1,107 @@
+"""Process-technology constants for the circuit-timing model.
+
+The paper (Sec. 3) reasons about a single flip-flop pair ``F1 -> comb ->
+F2`` driven by a common clock, with the constraint
+
+    T_src + T_prop <= T_clk - T_setup - T_eps          (Eq. 1 / Eq. 2)
+
+Undervolting slows transistor switching and therefore inflates ``T_src``
+and ``T_prop``; frequency scaling changes ``T_clk``; ``T_setup`` and
+``T_eps`` are voltage-independent.  This module collects the constants
+that parametrize that relationship for a given process node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessCharacteristics:
+    """Voltage/timing characteristics of a silicon process.
+
+    Parameters
+    ----------
+    vth_volts:
+        Effective transistor threshold voltage.  Gate delay diverges as
+        the supply approaches this value.
+    alpha:
+        Velocity-saturation exponent of the alpha-power-law delay model
+        (``~1.3`` for deeply scaled CMOS, ``2.0`` for long-channel).
+    t_setup_ps:
+        Setup time of the capturing flip-flop F2 (``T_setup`` in Eq. 1).
+    t_eps_ps:
+        Maximum clock uncertainty (``T_eps`` in Eq. 1): skew, jitter and
+        distribution-network variation, modelled as a worst-case early
+        clock arrival.
+    v_retention_volts:
+        Minimum supply at which sequential state is retained at all.
+        Below this the machine crashes outright regardless of frequency.
+    reference_voltage_volts:
+        Voltage at which critical-path delays are specified.
+    reference_temperature_c:
+        Die temperature at which critical-path delays are specified.
+    vth_temp_coeff_v_per_c:
+        Threshold-voltage temperature coefficient (negative: Vth drops as
+        the die heats, which *speeds up* near-threshold logic).
+    mobility_temp_exponent:
+        Carrier-mobility degradation exponent: drive current scales as
+        ``(T/T_ref)^-exponent``, slowing logic as the die heats.  The two
+        temperature effects oppose each other — the well-known
+        *temperature inversion* at low supply voltages.
+    """
+
+    vth_volts: float = 0.55
+    alpha: float = 1.3
+    t_setup_ps: float = 15.0
+    t_eps_ps: float = 8.0
+    v_retention_volts: float = 0.58
+    reference_voltage_volts: float = 1.00
+    reference_temperature_c: float = 60.0
+    vth_temp_coeff_v_per_c: float = -0.0008
+    mobility_temp_exponent: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.vth_volts <= 0:
+            raise ConfigurationError("vth_volts must be positive")
+        if self.alpha < 1.0:
+            raise ConfigurationError("alpha must be >= 1 for a physical delay model")
+        if self.t_setup_ps < 0 or self.t_eps_ps < 0:
+            raise ConfigurationError("setup time and clock uncertainty must be non-negative")
+        if self.v_retention_volts <= self.vth_volts:
+            raise ConfigurationError(
+                "retention voltage must exceed the threshold voltage "
+                f"({self.v_retention_volts} <= {self.vth_volts})"
+            )
+        if self.reference_voltage_volts <= self.vth_volts:
+            raise ConfigurationError("reference voltage must exceed the threshold voltage")
+        if self.mobility_temp_exponent < 0:
+            raise ConfigurationError("mobility exponent must be non-negative")
+
+    def vth_at(self, temperature_c: float) -> float:
+        """Effective threshold voltage at a die temperature."""
+        return self.vth_volts + self.vth_temp_coeff_v_per_c * (
+            temperature_c - self.reference_temperature_c
+        )
+
+
+#: Default characteristics loosely modelling Intel 14 nm (Sky Lake family).
+INTEL_14NM = ProcessCharacteristics()
+
+#: Slightly leakier variant used for the 14nm+ / 14nm++ refreshes.
+INTEL_14NM_PLUS = ProcessCharacteristics(vth_volts=0.53, alpha=1.32, v_retention_volts=0.56)
+
+#: A 10 nm-class node: lower threshold, tighter setup, more clock
+#: uncertainty from the denser distribution network.  Used by the
+#: extended (non-paper) CPU catalog to show the pipeline generalising
+#: across process nodes.
+INTEL_10NM = ProcessCharacteristics(
+    vth_volts=0.48,
+    alpha=1.25,
+    t_setup_ps=12.0,
+    t_eps_ps=9.0,
+    v_retention_volts=0.51,
+    reference_voltage_volts=0.95,
+)

@@ -1,0 +1,118 @@
+"""Alpha-power-law gate-delay model.
+
+The delay of a CMOS gate as a function of its supply voltage ``V`` is well
+approximated by Sakurai and Newton's alpha-power law::
+
+    d(V)  =  k * V / (V - Vth)^alpha
+
+The model captures exactly the behaviour the paper relies on (Sec. 3.2,
+observation O3): lowering the supply voltage shrinks the gate overdrive
+``V - Vth``, slows transistor switching, and inflates ``T_src`` and
+``T_prop`` — while leaving ``T_clk``, ``T_setup`` and ``T_eps`` untouched.
+
+All delays in this module are *relative*: :class:`DelayModel` exposes a
+scale factor normalised to 1.0 at the process reference voltage, and the
+critical-path model (:mod:`repro.timing.path`) multiplies it into absolute
+picosecond figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.timing.constants import ProcessCharacteristics
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Voltage-to-delay scaling for a given silicon process."""
+
+    process: ProcessCharacteristics
+
+    def raw_delay(self, voltage_volts: float, temperature_c: float | None = None) -> float:
+        """Un-normalised alpha-power-law delay at a voltage and temperature.
+
+        ``d(V, T) = (T/T_ref)^mu * V / (V - Vth(T))^alpha`` — carrier
+        mobility degrades with absolute temperature while the threshold
+        voltage drops, producing the temperature-inversion behaviour of
+        real silicon (heat slows logic at high supply, can speed it up
+        near threshold).
+
+        Raises
+        ------
+        ConfigurationError
+            If the voltage does not exceed the (temperature-adjusted)
+            threshold voltage; gates simply do not switch there and no
+            finite delay exists.
+        """
+        process = self.process
+        if temperature_c is None:
+            temperature_c = process.reference_temperature_c
+        vth = process.vth_at(temperature_c)
+        overdrive = voltage_volts - vth
+        if overdrive <= 0:
+            raise ConfigurationError(
+                f"supply voltage {voltage_volts:.3f} V does not exceed "
+                f"threshold {vth:.3f} V at {temperature_c:.0f} C"
+            )
+        kelvin_ratio = (temperature_c + 273.15) / (process.reference_temperature_c + 273.15)
+        mobility_factor = kelvin_ratio ** process.mobility_temp_exponent
+        return mobility_factor * voltage_volts / (overdrive ** process.alpha)
+
+    def scale(self, voltage_volts: float, temperature_c: float | None = None) -> float:
+        """Delay multiplier relative to the reference voltage/temperature.
+
+        ``scale(reference_voltage) == 1.0`` at the reference temperature;
+        the factor grows monotonically as the voltage drops towards
+        ``Vth``.
+        """
+        return self.raw_delay(voltage_volts, temperature_c) / self.raw_delay(
+            self.process.reference_voltage_volts
+        )
+
+    def voltage_for_scale(
+        self,
+        target_scale: float,
+        *,
+        temperature_c: float | None = None,
+        v_lo: float | None = None,
+        v_hi: float = 2.5,
+        tolerance: float = 1e-9,
+    ) -> float:
+        """Invert :meth:`scale`: find the voltage with a given delay factor.
+
+        The alpha-power-law delay is strictly decreasing in voltage for
+        ``V > Vth`` (the derivative of ``V (V-Vth)^-alpha`` is negative
+        whenever ``alpha >= 1``), so a bisection over ``[Vth+, v_hi]``
+        converges to the unique solution.
+
+        Parameters
+        ----------
+        target_scale:
+            Desired delay multiplier (relative to the reference voltage).
+        v_lo, v_hi:
+            Bracketing voltages.  ``v_lo`` defaults to a hair above the
+            threshold voltage.
+        tolerance:
+            Absolute voltage tolerance of the bisection.
+        """
+        if target_scale <= 0:
+            raise ConfigurationError("target delay scale must be positive")
+        if temperature_c is None:
+            temperature_c = self.process.reference_temperature_c
+        vth = self.process.vth_at(temperature_c)
+        lo = vth + 1e-6 if v_lo is None else v_lo
+        hi = v_hi
+        if self.scale(hi, temperature_c) > target_scale:
+            raise ConfigurationError(
+                f"delay scale {target_scale:.4f} unreachable below {v_hi:.2f} V"
+            )
+        # scale(lo) is huge (near-threshold), scale(hi) <= target: bisect.
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if self.scale(mid, temperature_c) > target_scale:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)

@@ -1,0 +1,104 @@
+"""Critical-path timing: the F1 -> combinational logic -> F2 pair of Fig. 1.
+
+The paper restricts its safe-state definitions to the most basic sequential
+unit — a pair of flip-flops around combinational logic — and notes that the
+reasoning extends to arbitrary sequential designs because flip-flops are
+their foundation (Sec. 3.1).  We model that pair directly:
+
+* ``T_src``  — clock-to-Q delay of the launching flip-flop F1,
+* ``T_prop`` — propagation delay of the combinational cloud,
+* both scale with supply voltage through :class:`~repro.timing.delay_model.DelayModel`,
+* ``T_setup`` and ``T_eps`` come from the process constants and do *not*
+  scale with voltage (they are properties of F2 and of the clock network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.timing.constants import ProcessCharacteristics
+from repro.timing.delay_model import DelayModel
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """A launch/capture flip-flop pair around a combinational cloud.
+
+    Parameters
+    ----------
+    t_src_ps:
+        Clock-to-Q delay of F1 at the process reference voltage.
+    t_prop_ps:
+        Combinational propagation delay at the process reference voltage.
+    process:
+        Silicon process characteristics supplying ``Vth``, ``alpha``,
+        ``T_setup`` and ``T_eps``.
+    """
+
+    t_src_ps: float
+    t_prop_ps: float
+    process: ProcessCharacteristics
+    _delay_model: DelayModel = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.t_src_ps <= 0 or self.t_prop_ps < 0:
+            raise ConfigurationError("path delays must be positive")
+        object.__setattr__(self, "_delay_model", DelayModel(self.process))
+
+    @property
+    def delay_model(self) -> DelayModel:
+        """The voltage-to-delay scaling shared by ``T_src`` and ``T_prop``."""
+        return self._delay_model
+
+    @property
+    def nominal_delay_ps(self) -> float:
+        """``T_src + T_prop`` at the process reference voltage."""
+        return self.t_src_ps + self.t_prop_ps
+
+    def t_src_at(self, voltage_volts: float, temperature_c: float | None = None) -> float:
+        """``T_src`` (ps) at a given supply voltage and die temperature."""
+        return self.t_src_ps * self._delay_model.scale(voltage_volts, temperature_c)
+
+    def t_prop_at(self, voltage_volts: float, temperature_c: float | None = None) -> float:
+        """``T_prop`` (ps) at a given supply voltage and die temperature."""
+        return self.t_prop_ps * self._delay_model.scale(voltage_volts, temperature_c)
+
+    def delay_at(self, voltage_volts: float, temperature_c: float | None = None) -> float:
+        """Total data-path delay ``T_src + T_prop`` (ps)."""
+        return self.nominal_delay_ps * self._delay_model.scale(voltage_volts, temperature_c)
+
+    def voltage_for_delay(self, delay_ps: float, temperature_c: float | None = None) -> float:
+        """Supply voltage at which the path delay equals ``delay_ps``.
+
+        This is the workhorse of safe-state analysis: solving
+        ``delay_at(V) == T_clk - T_setup - T_eps`` for ``V`` yields the
+        critical voltage below which Eq. 3 (the unsafe condition) holds.
+        """
+        if delay_ps < self.nominal_delay_ps * 1e-6:
+            raise ConfigurationError("requested delay is unphysically small")
+        return self._delay_model.voltage_for_scale(
+            delay_ps / self.nominal_delay_ps, temperature_c=temperature_c
+        )
+
+
+def scaled_path(
+    nominal_delay_ps: float,
+    process: ProcessCharacteristics,
+    *,
+    src_fraction: float = 0.12,
+) -> CriticalPath:
+    """Build a :class:`CriticalPath` from a total nominal delay.
+
+    ``src_fraction`` apportions the total between the flip-flop clock-to-Q
+    (``T_src``) and the combinational cloud (``T_prop``); a typical
+    execution-unit path spends roughly a tenth of its budget in the
+    launching register.
+    """
+    if not 0.0 < src_fraction < 1.0:
+        raise ConfigurationError("src_fraction must lie strictly between 0 and 1")
+    return CriticalPath(
+        t_src_ps=nominal_delay_ps * src_fraction,
+        t_prop_ps=nominal_delay_ps * (1.0 - src_fraction),
+        process=process,
+    )

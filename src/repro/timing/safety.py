@@ -1,0 +1,192 @@
+"""Safe-state predicates: Eq. 1, Eq. 2 and Eq. 3 of the paper.
+
+A sequential element is **safe** iff its output is stabilised by the time
+the next sequential element is clocked (Sec. 3, informal definition), i.e.
+
+    T_src + T_prop <= T_clk - T_setup - T_eps          (Eq. 2, safe)
+    T_src + T_prop  > T_clk - T_setup - T_eps          (Eq. 3, unsafe)
+
+This module evaluates those predicates for a :class:`~repro.timing.path.CriticalPath`
+at arbitrary (frequency, voltage) operating points, and — crucially for the
+countermeasure — inverts them: for a given frequency it solves for the
+*critical voltage* below which the system leaves the safe state, and for
+the deeper *crash voltage* below which timing violations corrupt pipeline
+control state badly enough that the machine dies (the paper observes
+exactly this while charting the width of the unsafe region, Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.timing.constants import ProcessCharacteristics
+from repro.timing.path import CriticalPath
+from repro.units import clock_period_ps
+
+
+@dataclass(frozen=True)
+class TimingBudget:
+    """The right-hand side of Eq. 1 for one clock frequency."""
+
+    frequency_ghz: float
+    t_clk_ps: float
+    t_setup_ps: float
+    t_eps_ps: float
+
+    @property
+    def slack_budget_ps(self) -> float:
+        """``T_clk - T_setup - T_eps``: the time the data path may consume."""
+        return self.t_clk_ps - self.t_setup_ps - self.t_eps_ps
+
+
+def budget_for(frequency_ghz: float, process: ProcessCharacteristics) -> TimingBudget:
+    """Build the timing budget at a frequency for a given process.
+
+    ``T_setup`` and ``T_eps`` are voltage-independent (observation O1/O2),
+    so the budget depends only on the frequency and the process constants.
+    """
+    t_clk = clock_period_ps(frequency_ghz)
+    budget = TimingBudget(
+        frequency_ghz=frequency_ghz,
+        t_clk_ps=t_clk,
+        t_setup_ps=process.t_setup_ps,
+        t_eps_ps=process.t_eps_ps,
+    )
+    if budget.slack_budget_ps <= 0:
+        raise ConfigurationError(
+            f"frequency {frequency_ghz} GHz leaves no positive timing budget"
+        )
+    return budget
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair together with its timing verdict."""
+
+    frequency_ghz: float
+    voltage_volts: float
+    path_delay_ps: float
+    slack_budget_ps: float
+
+    @property
+    def slack_ps(self) -> float:
+        """Positive slack means the safe inequality (Eq. 2) holds."""
+        return self.slack_budget_ps - self.path_delay_ps
+
+    @property
+    def violation_ps(self) -> float:
+        """How far past the deadline the data arrives (0 when safe)."""
+        return max(0.0, -self.slack_ps)
+
+    @property
+    def is_safe(self) -> bool:
+        """Whether Eq. 2 holds at this operating point."""
+        return self.slack_ps >= 0.0
+
+
+class SafetyAnalyzer:
+    """Evaluates and inverts the safe-state predicate for one critical path.
+
+    This is the *ground-truth physics* of the simulation.  The paper's
+    countermeasure never sees this object: it must rediscover the safe
+    boundary empirically via Algo 2, exactly as the real kernel module
+    must on real silicon.
+    """
+
+    def __init__(self, path: CriticalPath) -> None:
+        self._path = path
+
+    @property
+    def path(self) -> CriticalPath:
+        """The flip-flop pair under analysis."""
+        return self._path
+
+    @property
+    def process(self) -> ProcessCharacteristics:
+        """Process constants backing the analysis."""
+        return self._path.process
+
+    def operating_point(
+        self,
+        frequency_ghz: float,
+        voltage_volts: float,
+        temperature_c: float | None = None,
+    ) -> OperatingPoint:
+        """Evaluate Eq. 1 at a (frequency, voltage[, temperature]) point."""
+        budget = budget_for(frequency_ghz, self.process)
+        return OperatingPoint(
+            frequency_ghz=frequency_ghz,
+            voltage_volts=voltage_volts,
+            path_delay_ps=self._path.delay_at(voltage_volts, temperature_c),
+            slack_budget_ps=budget.slack_budget_ps,
+        )
+
+    def slack_ps(self, frequency_ghz: float, voltage_volts: float) -> float:
+        """Timing slack (ps); negative values are unsafe states (Eq. 3)."""
+        return self.operating_point(frequency_ghz, voltage_volts).slack_ps
+
+    def is_safe(self, frequency_ghz: float, voltage_volts: float) -> bool:
+        """Whether the flip-flop pair is in a safe state (Eq. 2)."""
+        return self.operating_point(frequency_ghz, voltage_volts).is_safe
+
+    def critical_voltage(
+        self, frequency_ghz: float, temperature_c: float | None = None
+    ) -> float:
+        """Lowest voltage at which Eq. 2 still holds for this frequency.
+
+        Solves ``T_src(V) + T_prop(V) == T_clk - T_setup - T_eps`` at the
+        given die temperature.  Any voltage strictly below the returned
+        value puts the system in an unsafe state at this frequency.
+        """
+        budget = budget_for(frequency_ghz, self.process)
+        return self._path.voltage_for_delay(budget.slack_budget_ps, temperature_c)
+
+    def crash_voltage(self, frequency_ghz: float, *, crash_fraction: float = 0.035) -> float:
+        """Voltage below which the simulated machine crashes outright.
+
+        Small violations flip data bits (exploitable faults); once the
+        violation exceeds ``crash_fraction * T_clk`` the corruption reaches
+        pipeline control logic and the machine checks.  The gap between
+        :meth:`critical_voltage` and this value is the *width* of the
+        unsafe region the paper characterises per frequency.
+
+        The retention floor of the process is also honoured: the returned
+        voltage never drops below ``v_retention_volts``.
+        """
+        if crash_fraction <= 0:
+            raise ConfigurationError("crash_fraction must be positive")
+        budget = budget_for(frequency_ghz, self.process)
+        crash_delay = budget.slack_budget_ps + crash_fraction * budget.t_clk_ps
+        voltage = self._path.voltage_for_delay(crash_delay)
+        return max(voltage, self.process.v_retention_volts)
+
+    def design_voltage(self, frequency_ghz: float, *, guardband: float) -> float:
+        """The factory operating voltage for a frequency.
+
+        Designers provision a *guardband*: the shipped V/f curve places the
+        path delay at ``(1 - guardband)`` of the budget, leaving margin for
+        aging, temperature and droop.  The gap between this voltage and
+        :meth:`critical_voltage` is precisely the room an undervolting
+        adversary burns through before faults appear — i.e. the width of
+        the *safe* undervolt band in Figs. 2-4.
+        """
+        if not 0.0 <= guardband < 1.0:
+            raise ConfigurationError("guardband must lie in [0, 1)")
+        budget = budget_for(frequency_ghz, self.process)
+        return self._path.voltage_for_delay(budget.slack_budget_ps * (1.0 - guardband))
+
+    def max_safe_frequency(
+        self, voltage_volts: float, *, f_lo: float = 0.1, f_hi: float = 6.0
+    ) -> float:
+        """Highest frequency that is still safe at a fixed voltage.
+
+        Used by frequency-manipulation attacks (VoltJockey-style): with the
+        voltage pinned, raising the clock beyond this frequency shrinks
+        ``T_clk`` past the data-path delay and violates Eq. 2.
+        """
+        delay = self._path.delay_at(voltage_volts)
+        # T_clk = delay + setup + eps  =>  f = 1000 / T_clk (ps -> GHz)
+        t_clk_ps = delay + self.process.t_setup_ps + self.process.t_eps_ps
+        frequency = 1e3 / t_clk_ps
+        return min(max(frequency, f_lo), f_hi)

@@ -1,0 +1,88 @@
+"""Unit helpers.
+
+The codebase uses a small set of canonical units so values never have to be
+guessed from context:
+
+* time      — seconds (``float``) inside the simulator; helpers convert
+  from micro/milli/nanoseconds.
+* frequency — gigahertz (``float``) at API boundaries; the MSR layer uses
+  the hardware *ratio* representation (multiples of the 100 MHz bus clock).
+* voltage   — volts (``float``) in the physics model; the MSR layer uses
+  hardware fixed-point encodings (1/1024 V for the 0x150 offset field and
+  1/8192 V for the 0x198 voltage readout).
+
+Keeping the conversions in one module makes the bit-level codecs in
+:mod:`repro.core.encoding` easy to audit against Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+#: Intel bus ("BCLK") reference clock used by the P-state ratio, in GHz.
+BUS_CLOCK_GHZ = 0.1
+
+#: Resolution of the MSR 0x150 voltage-offset field: units of 1/1024 V.
+OCM_VOLT_UNITS_PER_VOLT = 1024
+
+#: Resolution of the IA32_PERF_STATUS voltage field: units of 1/8192 V.
+PERF_STATUS_UNITS_PER_VOLT = 8192
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def ghz_to_ratio(frequency_ghz: float) -> int:
+    """Convert a core frequency in GHz to the hardware P-state ratio.
+
+    The ratio is the multiple of the 100 MHz bus clock, i.e. 3.2 GHz has
+    ratio 32.  Frequencies are rounded to the nearest ratio.
+    """
+    return int(round(frequency_ghz / BUS_CLOCK_GHZ))
+
+
+def ratio_to_ghz(ratio: int) -> float:
+    """Convert a hardware P-state ratio to a frequency in GHz."""
+    return ratio * BUS_CLOCK_GHZ
+
+
+def mv_to_volts(millivolts: float) -> float:
+    """Convert millivolts to volts."""
+    return millivolts * 1e-3
+
+
+def volts_to_mv(volts: float) -> float:
+    """Convert volts to millivolts."""
+    return volts * 1e3
+
+
+def clock_period_seconds(frequency_ghz: float) -> float:
+    """Return ``T_clk`` in seconds for a core frequency in GHz (Eq. 1)."""
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return 1e-9 / frequency_ghz
+
+
+def clock_period_ps(frequency_ghz: float) -> float:
+    """Return ``T_clk`` in picoseconds for a core frequency in GHz."""
+    return clock_period_seconds(frequency_ghz) * 1e12

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Characterizations are expensive enough (a few tenths of a second per CPU
+model) that session-scoped fixtures share them across the suite; machines
+are cheap and always built fresh per test to keep state isolated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterization import (
+    CharacterizationConfig,
+    CharacterizationFramework,
+    CharacterizationResult,
+)
+from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE
+from repro.testbench import Machine
+
+
+@pytest.fixture(scope="session")
+def comet_characterization() -> CharacterizationResult:
+    """Full Algo 2 sweep for Comet Lake (the paper's Table 2 machine)."""
+    return CharacterizationFramework(COMET_LAKE, seed=5).run()
+
+
+@pytest.fixture(scope="session")
+def skylake_characterization() -> CharacterizationResult:
+    """Full Algo 2 sweep for Sky Lake."""
+    return CharacterizationFramework(SKY_LAKE, seed=5).run()
+
+
+@pytest.fixture(scope="session")
+def kabylake_characterization() -> CharacterizationResult:
+    """Full Algo 2 sweep for Kaby Lake R."""
+    return CharacterizationFramework(KABY_LAKE_R, seed=5).run()
+
+
+@pytest.fixture(scope="session")
+def coarse_config() -> CharacterizationConfig:
+    """A cheap sweep configuration for tests that re-run Algo 2."""
+    return CharacterizationConfig(
+        offset_start_mv=-10, offset_stop_mv=-250, offset_step_mv=10
+    )
+
+
+@pytest.fixture
+def comet_machine() -> Machine:
+    """A fresh Comet Lake machine."""
+    return Machine.build(COMET_LAKE, seed=2024)
+
+
+@pytest.fixture
+def skylake_machine() -> Machine:
+    """A fresh Sky Lake machine."""
+    return Machine.build(SKY_LAKE, seed=2024)

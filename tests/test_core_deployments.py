@@ -1,0 +1,162 @@
+"""Sec. 5 deployments: microcode write-ignore and the hardware MSR clamp."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, MSRWriteIgnoredError
+from repro.core.encoding import offset_voltage, read_request
+from repro.core.microcode_guard import MicrocodeGuard
+from repro.core.msr_clamp import (
+    LIMIT_LOCK_BIT,
+    VoltageOffsetLimit,
+    decode_limit,
+    encode_limit,
+    install_msr_clamp,
+)
+from repro.cpu import COMET_LAKE
+from repro.cpu.msr import MSR_VOLTAGE_OFFSET_LIMIT
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.build(COMET_LAKE, seed=23)
+
+
+class TestMicrocodeGuard:
+    def test_deep_write_ignored(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0)
+        guard.apply(machine.processor)
+        assert machine.write_voltage_offset(-200) is False
+        assert guard.ignored_writes == 1
+        assert machine.processor.core(0).target_offset_mv() == 0.0
+
+    def test_safe_write_passes(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0)
+        guard.apply(machine.processor)
+        assert machine.write_voltage_offset(-40) is True
+        machine.advance(1.0)
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == pytest.approx(
+            -40, abs=1.0
+        )
+
+    def test_boundary_write_passes(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0)
+        guard.apply(machine.processor)
+        assert machine.write_voltage_offset(-60) is True
+
+    def test_read_requests_unaffected(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0)
+        guard.apply(machine.processor)
+        assert machine.msr_driver.write(0, 0x150, read_request(0)) is True
+
+    def test_raise_mode(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0, raise_on_ignore=True)
+        guard.apply(machine.processor)
+        with pytest.raises(MSRWriteIgnoredError):
+            machine.write_voltage_offset(-200)
+
+    def test_revert_restores_stock_behaviour(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0)
+        guard.apply(machine.processor)
+        guard.revert()
+        assert machine.write_voltage_offset(-200) is True
+
+    def test_double_apply_rejected(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0)
+        guard.apply(machine.processor)
+        with pytest.raises(ConfigurationError):
+            guard.apply(machine.processor)
+
+    def test_positive_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrocodeGuard(maximal_safe_offset_mv=10.0)
+
+    def test_log_records_core_and_offset(self, machine):
+        guard = MicrocodeGuard(maximal_safe_offset_mv=-60.0)
+        guard.apply(machine.processor)
+        machine.write_voltage_offset(-200, core_index=1)
+        assert guard.ignored_log[0][0] == 1
+        assert guard.ignored_log[0][1] == pytest.approx(-200, abs=1.0)
+
+
+class TestLimitCodec:
+    def test_roundtrip(self):
+        assert decode_limit(encode_limit(-65.0)) == pytest.approx(-65.0, abs=1.0)
+
+
+class TestMSRClamp:
+    def test_deep_write_clamped_not_dropped(self, machine):
+        install_msr_clamp(machine.processor, -65.0)
+        assert machine.write_voltage_offset(-200) is True  # accepted...
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        # ...but clamped to the limit, DRAM_MIN_PWR-style.
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == pytest.approx(
+            -65.0, abs=1.0
+        )
+
+    def test_safe_write_untouched(self, machine):
+        clamp = install_msr_clamp(machine.processor, -65.0)
+        machine.write_voltage_offset(-30)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == pytest.approx(
+            -30, abs=1.0
+        )
+        assert clamp.clamped_writes == 0
+
+    def test_clamped_writes_counted(self, machine):
+        clamp = install_msr_clamp(machine.processor, -65.0)
+        machine.write_voltage_offset(-200)
+        machine.write_voltage_offset(-300)
+        assert clamp.clamped_writes == 2
+
+    def test_limit_visible_in_new_msr(self, machine):
+        install_msr_clamp(machine.processor, -65.0)
+        value = machine.processor.rdmsr(0, MSR_VOLTAGE_OFFSET_LIMIT)
+        assert decode_limit(value) == pytest.approx(-65.0, abs=1.0)
+
+    def test_unlocked_limit_adjustable(self, machine):
+        clamp = install_msr_clamp(machine.processor, -65.0, lock=False)
+        machine.processor.wrmsr(0, MSR_VOLTAGE_OFFSET_LIMIT, encode_limit(-40.0))
+        assert clamp.limit_mv == pytest.approx(-40.0, abs=1.0)
+
+    def test_locked_limit_immutable(self, machine):
+        clamp = install_msr_clamp(machine.processor, -65.0)  # lock=True default
+        assert clamp.locked
+        stored = machine.processor.wrmsr(0, MSR_VOLTAGE_OFFSET_LIMIT, encode_limit(-10.0))
+        assert stored is False
+        assert clamp.limit_mv == pytest.approx(-65.0, abs=1.0)
+
+    def test_lock_bit_in_write_locks(self, machine):
+        clamp = install_msr_clamp(machine.processor, -65.0, lock=False)
+        machine.processor.wrmsr(
+            0, MSR_VOLTAGE_OFFSET_LIMIT, encode_limit(-50.0) | LIMIT_LOCK_BIT
+        )
+        assert clamp.locked
+        assert clamp.limit_mv == pytest.approx(-50.0, abs=1.0)
+
+    def test_read_requests_pass_through(self, machine):
+        install_msr_clamp(machine.processor, -65.0)
+        assert machine.msr_driver.write(0, 0x150, read_request(0)) is True
+
+    def test_revert(self, machine):
+        clamp = install_msr_clamp(machine.processor, -65.0)
+        clamp.revert()
+        machine.write_voltage_offset(-200)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == pytest.approx(
+            -200, abs=1.0
+        )
+
+    def test_positive_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageOffsetLimit(limit_mv=5.0)
+
+    def test_plane_preserved_in_clamped_write(self, machine):
+        install_msr_clamp(machine.processor, -65.0)
+        machine.msr_driver.write(0, 0x150, offset_voltage(-200, plane=2))
+        from repro.cpu.ocm import VoltagePlane
+
+        core = machine.processor.core(0)
+        assert core.target_offset_mv(VoltagePlane.CACHE) == pytest.approx(-65.0, abs=1.0)

@@ -1,0 +1,73 @@
+"""Algorithm 1 and the countermeasure-side codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPlaneError, InvalidVoltageOffsetError
+from repro.core.encoding import (
+    decode_core_status,
+    decode_offset_mv,
+    offset_voltage,
+    read_request,
+)
+from repro.cpu import ocm, perf_status
+
+
+class TestAlgorithm1:
+    def test_literal_transcription(self):
+        # Recompute Algo 1 by hand for -100 mV, plane 0.
+        val = int(-100 * 1024 / 1000)           # line 2 -> -102
+        val = 0xFFE00000 & ((val & 0xFFF) << 21)  # line 3
+        val = val | 0x8000001100000000          # line 4
+        val = val | (0 << 40)                   # line 5
+        assert offset_voltage(-100, plane=0) == val
+
+    def test_zero_offset(self):
+        assert offset_voltage(0, plane=0) == 0x8000001100000000
+
+    def test_plane_select(self):
+        for plane in range(5):
+            assert (offset_voltage(-50, plane) >> 40) & 0x7 == plane
+
+    def test_invalid_plane(self):
+        with pytest.raises(InvalidPlaneError):
+            offset_voltage(-50, plane=5)
+
+    def test_offset_overflow(self):
+        with pytest.raises(InvalidVoltageOffsetError):
+            offset_voltage(-1200, plane=0)
+
+    @given(st.integers(min_value=-999, max_value=0))
+    def test_matches_ocm_encoder(self, offset_mv):
+        # Algo 1 and the hardware-side encoder agree bit for bit.
+        assert offset_voltage(offset_mv, 0) == ocm.encode_write(offset_mv, 0)
+
+    @given(st.integers(min_value=-999, max_value=0))
+    def test_roundtrip_through_decode(self, offset_mv):
+        value = offset_voltage(offset_mv, 0)
+        assert decode_offset_mv(value) == pytest.approx(offset_mv, abs=1.0)
+
+
+class TestReadRequest:
+    def test_read_request_is_command_0x10(self):
+        value = read_request(plane=0)
+        assert (value >> 32) & 0xFF == 0x10
+        assert value >> 63 == 1
+
+
+class TestCoreStatus:
+    def test_combines_both_registers(self):
+        msr198 = perf_status.encode(20, 0.85)
+        msr150 = ocm.encode_response(ocm.mv_to_units(-75), ocm.VoltagePlane.CORE)
+        status = decode_core_status(msr198, msr150)
+        assert status.frequency_ghz == pytest.approx(2.0)
+        assert status.voltage_volts == pytest.approx(0.85, abs=1e-3)
+        assert status.offset_mv == pytest.approx(-75, abs=1.0)
+
+    def test_zero_state(self):
+        status = decode_core_status(perf_status.encode(18, 0.8), 0)
+        assert status.offset_mv == 0.0
+        assert status.frequency_ghz == pytest.approx(1.8)

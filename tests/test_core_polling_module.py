@@ -1,0 +1,237 @@
+"""Algorithm 3: the polling kernel module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.policy import ClampToBoundary, ClampToMaximalSafe, RestoreToZero
+from repro.core.polling_module import DEFAULT_PERIOD_S, PollingCountermeasure
+from repro.core.unsafe_states import UnsafeStateSet
+from repro.cpu import COMET_LAKE
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.build(COMET_LAKE, seed=17)
+
+
+@pytest.fixture
+def unsafe(comet_characterization) -> UnsafeStateSet:
+    return comet_characterization.unsafe_states
+
+
+def loaded_module(machine, unsafe, **kwargs) -> PollingCountermeasure:
+    module = PollingCountermeasure(machine, unsafe, **kwargs)
+    machine.modules.insmod(module)
+    return module
+
+
+class TestConstruction:
+    def test_default_period_undercuts_regulator(self, machine, unsafe):
+        module = PollingCountermeasure(machine, unsafe)
+        assert module.period_s == DEFAULT_PERIOD_S
+        assert module.period_s < COMET_LAKE.regulator_latency_s
+
+    def test_empty_unsafe_set_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            PollingCountermeasure(machine, UnsafeStateSet())
+
+    def test_nonpositive_period_rejected(self, machine, unsafe):
+        with pytest.raises(ConfigurationError):
+            PollingCountermeasure(machine, unsafe, period_s=0.0)
+
+    def test_default_policy_is_clamp_to_boundary(self, machine, unsafe):
+        assert isinstance(PollingCountermeasure(machine, unsafe).policy, ClampToBoundary)
+
+
+class TestLifecycle:
+    def test_polls_only_while_loaded(self, machine, unsafe):
+        module = loaded_module(machine, unsafe)
+        machine.advance(5e-3)
+        polls_at_unload = module.stats.polls
+        assert polls_at_unload == pytest.approx(10, abs=1)
+        machine.modules.rmmod(module.name)
+        machine.advance(5e-3)
+        assert module.stats.polls == polls_at_unload
+
+    def test_registered_under_paper_module_name(self, machine, unsafe):
+        loaded_module(machine, unsafe)
+        assert machine.modules.is_loaded("plug_your_volt")
+
+    def test_checks_every_core(self, machine, unsafe):
+        module = loaded_module(machine, unsafe)
+        machine.advance(2e-3)
+        assert module.stats.core_checks == module.stats.polls * COMET_LAKE.core_count
+
+
+class TestDetectionAndRemediation:
+    def test_unsafe_target_rewritten_before_application(self, machine, unsafe):
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(2.0)
+        boundary = unsafe.boundary_mv(2.0)
+        machine.write_voltage_offset(int(boundary) - 40)
+        machine.advance(3 * COMET_LAKE.regulator_latency_s)
+        core = machine.processor.core(0)
+        # The module detected the unsafe target and clamped it; the deep
+        # offset never became electrically effective.
+        assert module.stats.detections >= 1
+        assert core.target_offset_mv() > boundary
+        assert core.applied_offset_mv(machine.now) > boundary
+
+    def test_detection_latency_bounded_by_period(self, machine, unsafe):
+        module = loaded_module(machine, unsafe, period_s=200e-6)
+        machine.set_frequency(2.0)
+        write_time = machine.now
+        machine.write_voltage_offset(-200)
+        machine.advance(2e-3)
+        first = module.stats.remediations[0]
+        assert first.time_s - write_time <= 200e-6 + 1e-9
+
+    def test_remediation_event_records_observation(self, machine, unsafe):
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-250)
+        machine.advance(1e-3)
+        event = module.stats.remediations[0]
+        assert event.observed.frequency_ghz == pytest.approx(2.0)
+        assert event.observed.offset_mv == pytest.approx(-250, abs=1.0)
+        assert event.restored_offset_mv > unsafe.boundary_mv(2.0)
+
+    def test_safe_undervolt_left_alone(self, machine, unsafe):
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(0.8)
+        safe_offset = int(unsafe.boundary_mv(0.8)) + 30  # within the safe band
+        machine.write_voltage_offset(safe_offset)
+        machine.advance(5e-3)
+        assert module.stats.detections == 0
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == pytest.approx(
+            safe_offset, abs=1.0
+        )
+
+    def test_policy_restore_to_zero(self, machine, unsafe):
+        loaded_module(machine, unsafe, policy=RestoreToZero())
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-250)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        assert machine.processor.core(0).target_offset_mv() == 0.0
+
+    def test_policy_clamp_to_maximal_safe(self, machine, unsafe):
+        loaded_module(machine, unsafe, policy=ClampToMaximalSafe())
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-250)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        assert machine.processor.core(0).target_offset_mv() == pytest.approx(
+            unsafe.maximal_safe_offset_mv(), abs=1.0
+        )
+
+    def test_per_core_remediation(self, machine, unsafe):
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-250, core_index=2)
+        machine.advance(1e-3)
+        assert {e.core_index for e in module.stats.remediations} == {2}
+
+
+class TestCostModel:
+    def test_fast_read_costs_two_accesses_per_core(self, machine, unsafe):
+        module = PollingCountermeasure(machine, unsafe, fast_offset_read=True)
+        expected = 4 * 2 * machine.msr_driver.access_latency_s
+        assert module.cpu_time_per_poll_s() == pytest.approx(expected)
+
+    def test_pedantic_read_costs_three_accesses_per_core(self, machine, unsafe):
+        module = PollingCountermeasure(machine, unsafe, fast_offset_read=False)
+        expected = 4 * 3 * machine.msr_driver.access_latency_s
+        assert module.cpu_time_per_poll_s() == pytest.approx(expected)
+
+    def test_duty_cycle_subpercent_at_default_period(self, machine, unsafe):
+        module = PollingCountermeasure(machine, unsafe)
+        assert module.duty_cycle() < 0.02
+
+    def test_turnaround_dominated_by_period_and_raise(self, machine, unsafe):
+        module = PollingCountermeasure(machine, unsafe)
+        turnaround = module.worst_case_turnaround_s()
+        assert turnaround > module.period_s
+        assert turnaround < module.period_s + COMET_LAKE.regulator_raise_latency_s + 1e-5
+
+    def test_pedantic_ocm_protocol_still_detects(self, machine, unsafe):
+        module = loaded_module(machine, unsafe, fast_offset_read=False)
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-250)
+        machine.advance(2e-3)
+        assert module.stats.detections >= 1
+
+
+class TestQuantizationRegression:
+    def test_boundary_offset_detected_despite_ocm_quantization(self, machine, unsafe):
+        # Regression: a request of exactly the boundary offset (-85 mV)
+        # encodes through the mailbox's 1/1024 V field and reads back as
+        # -84.96 mV; the unsafe check must still match the boundary cell.
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(1.8)
+        boundary = int(unsafe.boundary_mv(1.8))
+        machine.write_voltage_offset(boundary)
+        machine.advance(2e-3)
+        assert module.stats.detections >= 1
+
+    def test_half_quantum_tolerance_in_membership(self, unsafe):
+        from repro.core.encoding import decode_offset_mv, offset_voltage
+
+        boundary = unsafe.boundary_mv(1.8)
+        readback = decode_offset_mv(offset_voltage(int(boundary)))
+        assert readback > boundary  # the quantization that caused the bug
+        assert unsafe.is_unsafe(1.8, readback)
+
+
+class TestLogging:
+    def test_load_unload_and_remediation_logged(self, machine, unsafe, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.countermeasure"):
+            module = loaded_module(machine, unsafe)
+            machine.set_frequency(2.0)
+            machine.write_voltage_offset(-250)
+            machine.advance(2e-3)
+            machine.modules.rmmod(module.name)
+        text = caplog.text
+        assert "plug_your_volt loaded" in text
+        assert "unsafe state on core 0" in text
+        assert "plug_your_volt unloaded" in text
+
+
+class TestDetectionMargin:
+    def test_stochastic_gap_cell_is_flagged(self, machine, unsafe):
+        # Regression for the attack-surface finding: an offset a few mV
+        # shallower than the observed boundary (where characterization may
+        # have sampled zero faults by chance) must still be flagged.
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(2.0)
+        boundary = int(unsafe.boundary_mv(2.0))
+        machine.write_voltage_offset(boundary + 6)  # inside the 10 mV margin
+        machine.advance(2e-3)
+        assert module.stats.detections >= 1
+
+    def test_remediated_state_is_a_fixed_point(self, machine, unsafe):
+        # The restoration target (boundary + 15) must NOT be re-flagged by
+        # the 10 mV detection margin, or the module would thrash.
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-250)
+        machine.advance(5e-3)
+        detections_after_settle = module.stats.detections
+        machine.advance(10e-3)
+        assert module.stats.detections == detections_after_settle
+
+    def test_margin_validated(self, machine, unsafe):
+        with pytest.raises(ConfigurationError):
+            PollingCountermeasure(machine, unsafe, detection_margin_mv=-1.0)
+
+    def test_zero_margin_reproduces_the_gap(self, machine, unsafe):
+        # With the margin disabled the gap cell is (wrongly) trusted.
+        module = loaded_module(machine, unsafe, detection_margin_mv=0.0)
+        machine.set_frequency(2.0)
+        boundary = int(unsafe.boundary_mv(2.0))
+        machine.write_voltage_offset(boundary + 6)
+        machine.advance(2e-3)
+        assert module.stats.detections == 0

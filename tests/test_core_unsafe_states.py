@@ -1,0 +1,260 @@
+"""Unsafe-state set: boundaries, interpolation, maximal safe state."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.core.unsafe_states import CellResult, UnsafeStateSet
+
+
+@pytest.fixture
+def populated() -> UnsafeStateSet:
+    s = UnsafeStateSet(system="test")
+    for offset in range(-100, -131, -1):
+        s.add_unsafe(2.0, offset)
+    for offset in range(-80, -111, -1):
+        s.add_unsafe(3.0, offset)
+    s.add_crash(3.0, -111)
+    return s
+
+
+class TestConstruction:
+    def test_empty_initially(self):
+        s = UnsafeStateSet()
+        assert s.is_empty
+        assert s.frequencies_ghz() == []
+        assert s.cell_count() == 0
+
+    def test_extend_from_cells(self):
+        s = UnsafeStateSet()
+        s.extend(
+            [
+                CellResult(2.0, -50, fault_count=0, crashed=False),
+                CellResult(2.0, -120, fault_count=3, crashed=False),
+                CellResult(2.0, -150, fault_count=0, crashed=True),
+            ]
+        )
+        assert s.unsafe_offsets(2.0) == [-120, -150]
+        assert s.crash_offsets(2.0) == [-150]
+
+    def test_cell_is_unsafe_property(self):
+        assert not CellResult(2.0, -50, 0, False).is_unsafe
+        assert CellResult(2.0, -50, 1, False).is_unsafe
+        assert CellResult(2.0, -50, 0, True).is_unsafe
+
+
+class TestBoundary:
+    def test_boundary_is_shallowest_unsafe(self, populated):
+        assert populated.boundary_mv(2.0) == -100.0
+        assert populated.boundary_mv(3.0) == -80.0
+
+    def test_boundary_none_when_uncharacterized(self, populated):
+        assert populated.boundary_mv(4.0) is None
+
+    def test_membership_downward_closed(self, populated):
+        # Anything at or deeper than the boundary is unsafe, including
+        # offsets deeper than the deepest probed cell.
+        assert populated.is_unsafe(2.0, -100)
+        assert populated.is_unsafe(2.0, -250)
+        assert not populated.is_unsafe(2.0, -99)
+
+    def test_interpolation_takes_conservative_neighbour(self, populated):
+        # 2.5 GHz was never probed; the shallower of the two neighbours'
+        # boundaries (-80 from 3.0 GHz) applies.
+        assert populated.effective_boundary_mv(2.5) == -80.0
+        assert populated.is_unsafe(2.5, -85)
+        assert not populated.is_unsafe(2.5, -75)
+
+    def test_extrapolation_uses_nearest_endpoint(self, populated):
+        assert populated.effective_boundary_mv(4.5) == -80.0
+        assert populated.effective_boundary_mv(1.0) == -100.0
+
+    def test_empty_set_flags_nothing(self):
+        s = UnsafeStateSet()
+        assert not s.is_unsafe(2.0, -300)
+
+
+class TestSafeOffset:
+    def test_margin_backs_off_boundary(self, populated):
+        assert populated.safe_offset_mv(2.0, margin_mv=5.0) == -95.0
+
+    def test_never_positive(self, populated):
+        s = UnsafeStateSet()
+        s.add_unsafe(2.0, -2)
+        assert s.safe_offset_mv(2.0, margin_mv=10.0) == 0.0
+
+    def test_negative_margin_rejected(self, populated):
+        with pytest.raises(ConfigurationError):
+            populated.safe_offset_mv(2.0, margin_mv=-1.0)
+
+    def test_uncharacterized_frequency_falls_back_to_maximal(self, populated):
+        # Interpolation covers everything between/outside endpoints, so
+        # build a scenario with an empty exact-match: the conservative
+        # value equals the interpolated boundary + margin.
+        value = populated.safe_offset_mv(2.5, margin_mv=5.0)
+        assert value == -75.0
+
+
+class TestMaximalSafeState:
+    def test_uses_shallowest_boundary(self, populated):
+        # Shallowest boundary across frequencies is -80 (at 3 GHz).
+        assert populated.maximal_safe_offset_mv(margin_mv=5.0) == -75.0
+
+    def test_empty_set_raises(self):
+        with pytest.raises(CharacterizationError):
+            UnsafeStateSet().maximal_safe_offset_mv()
+
+    def test_never_positive(self):
+        s = UnsafeStateSet()
+        s.add_unsafe(1.0, -3)
+        assert s.maximal_safe_offset_mv(margin_mv=10.0) == 0.0
+
+    def test_safe_for_every_characterized_frequency(self, populated):
+        maximal = populated.maximal_safe_offset_mv(margin_mv=1.0)
+        for f in populated.frequencies_ghz():
+            assert not populated.is_unsafe(f, maximal)
+
+
+class TestPersistence:
+    def test_roundtrip(self, populated):
+        restored = UnsafeStateSet.from_dict(populated.to_dict())
+        assert restored.system == "test"
+        assert restored.boundary_mv(2.0) == populated.boundary_mv(2.0)
+        assert restored.crash_offsets(3.0) == populated.crash_offsets(3.0)
+        assert restored.cell_count() == populated.cell_count()
+
+    def test_dict_is_json_serialisable(self, populated):
+        import json
+
+        text = json.dumps(populated.to_dict())
+        restored = UnsafeStateSet.from_dict(json.loads(text))
+        assert restored.maximal_safe_offset_mv() == populated.maximal_safe_offset_mv()
+
+    def test_boundary_profile_sorted(self, populated):
+        profile = populated.boundary_profile()
+        assert profile == [(2.0, -100.0), (3.0, -80.0)]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=4, max_value=49),
+                st.integers(min_value=-300, max_value=-1),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_membership_consistent_with_boundary(self, cells):
+        s = UnsafeStateSet()
+        for ratio, offset in cells:
+            s.add_unsafe(ratio / 10.0, offset)
+        for ratio, _ in cells:
+            f = ratio / 10.0
+            boundary = s.boundary_mv(f)
+            assert boundary is not None
+            assert s.is_unsafe(f, boundary)
+            assert not s.is_unsafe(f, boundary + 1)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=4, max_value=49),
+                st.integers(min_value=-300, max_value=-1),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_maximal_safe_is_globally_safe(self, cells, margin):
+        s = UnsafeStateSet()
+        for ratio, offset in cells:
+            s.add_unsafe(ratio / 10.0, offset)
+        maximal = s.maximal_safe_offset_mv(margin_mv=margin)
+        assert maximal <= 0.0
+        for ratio, _ in cells:
+            assert not s.is_unsafe(ratio / 10.0, maximal)
+
+
+class TestMerge:
+    def test_union_of_boundaries(self):
+        cold = UnsafeStateSet(system="s")
+        cold.add_unsafe(2.0, -90)
+        cold.add_unsafe(4.0, -130)
+        hot = UnsafeStateSet(system="s")
+        hot.add_unsafe(2.0, -110)
+        hot.add_unsafe(4.0, -95)
+        hot.add_crash(4.0, -140)
+        merged = cold.merge(hot)
+        # Per-frequency shallowest boundary wins.
+        assert merged.boundary_mv(2.0) == -90.0
+        assert merged.boundary_mv(4.0) == -95.0
+        assert merged.crash_offsets(4.0) == [-140]
+
+    def test_merge_is_conservative_for_membership(self):
+        a = UnsafeStateSet()
+        a.add_unsafe(2.0, -80)
+        b = UnsafeStateSet()
+        b.add_unsafe(3.0, -100)
+        merged = a.merge(b)
+        assert merged.is_unsafe(2.0, -80)
+        assert merged.is_unsafe(3.0, -100)
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = UnsafeStateSet()
+        a.add_unsafe(2.0, -80)
+        b = UnsafeStateSet()
+        b.add_unsafe(2.0, -60)
+        merged = a.merge(b)
+        assert a.boundary_mv(2.0) == -80.0
+        assert b.boundary_mv(2.0) == -60.0
+        assert merged.boundary_mv(2.0) == -60.0
+
+
+class TestMergeProperties:
+    from hypothesis import given as _given, settings as _settings
+    from hypothesis import strategies as _st
+
+    sets = _st.lists(
+        _st.tuples(
+            _st.integers(min_value=4, max_value=49),
+            _st.integers(min_value=-300, max_value=-1),
+        ),
+        max_size=30,
+    )
+
+    @staticmethod
+    def build(cells):
+        s = UnsafeStateSet()
+        for ratio, offset in cells:
+            s.add_unsafe(ratio / 10.0, offset)
+        return s
+
+    @_given(a=sets, b=sets)
+    @_settings(max_examples=40, deadline=None)
+    def test_merge_commutative(self, a, b):
+        left = self.build(a).merge(self.build(b))
+        right = self.build(b).merge(self.build(a))
+        # system label differs; unsafe contents must not.
+        assert left.to_dict()["unsafe"] == right.to_dict()["unsafe"]
+
+    @_given(a=sets)
+    @_settings(max_examples=30, deadline=None)
+    def test_merge_idempotent(self, a):
+        s = self.build(a)
+        assert s.merge(s).to_dict()["unsafe"] == s.to_dict()["unsafe"]
+
+    @_given(a=sets, b=sets, c=sets)
+    @_settings(max_examples=30, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        sa, sb, sc = self.build(a), self.build(b), self.build(c)
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sb.merge(sc))
+        assert left.to_dict()["unsafe"] == right.to_dict()["unsafe"]

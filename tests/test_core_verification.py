@@ -1,0 +1,128 @@
+"""Deployment verification and polling jitter robustness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import PollingCountermeasure
+from repro.core.unsafe_states import UnsafeStateSet
+from repro.core.verification import verify_deployment
+from repro.cpu import COMET_LAKE
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def protected(comet_characterization):
+    machine = Machine.build(COMET_LAKE, seed=51)
+    module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+    machine.modules.insmod(module)
+    return machine, module
+
+
+class TestVerifyDeployment:
+    def test_protected_machine_passes(self, protected, comet_characterization):
+        machine, module = protected
+        report = verify_deployment(
+            machine, comet_characterization.unsafe_states, samples=8
+        )
+        assert report.passed
+        assert report.total_faults == 0
+        assert report.crashes == 0
+        assert len(report.probes) == 8
+        # The module visibly intervened on the probes.
+        assert any(p.detected for p in report.probes)
+        assert "PASS" in report.summary()
+
+    def test_undefended_machine_fails(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=51)
+        report = verify_deployment(
+            machine, comet_characterization.unsafe_states, samples=8
+        )
+        assert not report.passed
+        assert report.total_faults > 0 or report.crashes > 0
+        assert "FAIL" in report.summary()
+        assert not any(p.detected for p in report.probes)
+
+    def test_probes_target_characterized_unsafe_cells(
+        self, protected, comet_characterization
+    ):
+        machine, _ = protected
+        unsafe = comet_characterization.unsafe_states
+        report = verify_deployment(machine, unsafe, samples=10)
+        for probe in report.probes:
+            assert unsafe.is_unsafe(probe.frequency_ghz, probe.offset_mv)
+
+    def test_validation(self, protected, comet_characterization):
+        machine, _ = protected
+        with pytest.raises(ConfigurationError):
+            verify_deployment(machine, comet_characterization.unsafe_states, samples=0)
+        with pytest.raises(ConfigurationError):
+            verify_deployment(machine, UnsafeStateSet(), samples=3)
+
+    def test_machine_restored_afterwards(self, protected, comet_characterization):
+        machine, _ = protected
+        verify_deployment(machine, comet_characterization.unsafe_states, samples=5)
+        assert machine.processor.core(0).target_offset_mv() == pytest.approx(
+            0.0, abs=1.0
+        )
+
+
+class TestJitteredPolling:
+    def test_jitter_validated(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=51)
+        with pytest.raises(ConfigurationError):
+            PollingCountermeasure(
+                machine, comet_characterization.unsafe_states, period_jitter=1.0
+            )
+
+    def test_jittered_module_still_passes_verification(self, comet_characterization):
+        # 20% scheduling jitter on a 400 us period: worst interval 480 us,
+        # still under the 650 us regulator delay — prevention holds.
+        machine = Machine.build(COMET_LAKE, seed=51)
+        module = PollingCountermeasure(
+            machine,
+            comet_characterization.unsafe_states,
+            period_s=400e-6,
+            period_jitter=0.2,
+        )
+        machine.modules.insmod(module)
+        report = verify_deployment(
+            machine, comet_characterization.unsafe_states, samples=8
+        )
+        assert report.passed
+        assert module.stats.polls > 0
+
+    def test_jittered_intervals_vary(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=51)
+        module = PollingCountermeasure(
+            machine,
+            comet_characterization.unsafe_states,
+            period_s=500e-6,
+            period_jitter=0.2,
+        )
+        machine.modules.insmod(module)
+        times = []
+        original = module._poll_once
+
+        def spy():
+            times.append(machine.now)
+            original()
+
+        module._poll_once = spy  # type: ignore[method-assign]
+        machine.advance(20e-3)
+        intervals = {round(b - a, 7) for a, b in zip(times, times[1:])}
+        assert len(intervals) > 3  # genuinely jittered
+        assert all(0.4e-3 <= i <= 0.6e-3 for i in intervals)
+
+    def test_jittered_module_unloads_cleanly(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=51)
+        module = PollingCountermeasure(
+            machine, comet_characterization.unsafe_states, period_jitter=0.1
+        )
+        machine.modules.insmod(module)
+        machine.advance(3e-3)
+        polls = module.stats.polls
+        machine.modules.rmmod(module.name)
+        machine.advance(3e-3)
+        assert module.stats.polls == polls

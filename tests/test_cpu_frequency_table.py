@@ -1,0 +1,99 @@
+"""Frequency tables: the F set of Algo 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.cpu.frequency_table import FrequencyTable
+from repro.cpu.models import COMET_LAKE, KABY_LAKE_R, SKY_LAKE
+
+
+@pytest.fixture
+def table() -> FrequencyTable:
+    return FrequencyTable(min_ghz=0.4, max_ghz=4.9, base_ghz=1.8)
+
+
+class TestConstruction:
+    def test_paper_tables_resolve(self):
+        assert SKY_LAKE.frequency_table.base_ghz == 3.2
+        assert KABY_LAKE_R.frequency_table.base_ghz == 1.6
+        assert COMET_LAKE.frequency_table.base_ghz == 1.8
+
+    def test_base_outside_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyTable(min_ghz=1.0, max_ghz=2.0, base_ghz=2.5)
+
+    def test_non_bus_clock_multiple_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyTable(min_ghz=0.45, max_ghz=2.0, base_ghz=1.0)
+
+    def test_zero_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyTable(min_ghz=0.0, max_ghz=2.0, base_ghz=1.0)
+
+
+class TestEnumeration:
+    def test_resolution_is_100mhz(self, table):
+        freqs = table.frequencies_ghz()
+        steps = {round(b - a, 9) for a, b in zip(freqs, freqs[1:])}
+        assert steps == {0.1}
+
+    def test_length(self, table):
+        assert len(table) == 46  # 0.4 .. 4.9 inclusive
+
+    def test_iteration_matches_frequencies(self, table):
+        assert list(table) == list(table.frequencies_ghz())
+
+    def test_endpoints_included(self, table):
+        freqs = table.frequencies_ghz()
+        assert freqs[0] == pytest.approx(0.4)
+        assert freqs[-1] == pytest.approx(4.9)
+
+
+class TestMembership:
+    def test_contains_table_entry(self, table):
+        assert 1.8 in table
+
+    def test_excludes_off_grid(self, table):
+        assert 1.85 not in table
+
+    def test_excludes_out_of_range(self, table):
+        assert 5.0 not in table
+        assert 0.3 not in table
+
+    def test_excludes_non_numbers(self, table):
+        assert "1.8" not in table
+
+    @given(st.sampled_from(range(4, 50)))
+    def test_every_ratio_in_range_is_member(self, ratio):
+        table = FrequencyTable(min_ghz=0.4, max_ghz=4.9, base_ghz=1.8)
+        assert ratio / 10.0 in table
+
+
+class TestValidateAndClamp:
+    def test_validate_passes_member(self, table):
+        assert table.validate(2.0) == 2.0
+
+    def test_validate_rejects_nonmember(self, table):
+        with pytest.raises(FrequencyError):
+            table.validate(5.5)
+
+    def test_clamp_snaps_to_grid(self, table):
+        assert table.clamp(1.84) == pytest.approx(1.8)
+
+    def test_clamp_limits_range(self, table):
+        assert table.clamp(9.0) == pytest.approx(4.9)
+        assert table.clamp(0.05) == pytest.approx(0.4)
+
+    @given(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_clamp_always_yields_member(self, f):
+        table = FrequencyTable(min_ghz=0.4, max_ghz=4.9, base_ghz=1.8)
+        assert table.clamp(f) in table
+
+    def test_ratios(self, table):
+        assert table.min_ratio == 4
+        assert table.max_ratio == 49
+        assert table.base_ratio == 18

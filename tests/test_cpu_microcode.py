@@ -1,0 +1,68 @@
+"""Microcode update delivery (the Sec. 5.1 shipping path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu import COMET_LAKE
+from repro.cpu.microcode import MicrocodeLoader, MicrocodeUpdate, guard_update
+from repro.experiments import characterization
+from repro.sgx import AttestationService, EnclaveHost
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.build(COMET_LAKE, seed=71)
+
+
+class TestLoader:
+    def test_revision_starts_at_model_value(self, machine):
+        assert machine.processor.microcode_revision == COMET_LAKE.microcode
+
+    def test_load_bumps_revision_and_resets(self, machine):
+        machine.write_voltage_offset(-40)
+        machine.advance(2e-3)
+        loader = MicrocodeLoader(machine.processor)
+        update = MicrocodeUpdate(
+            revision=COMET_LAKE.microcode + 1,
+            description="noop",
+            install=lambda processor: None,
+        )
+        loader.load(update)
+        assert machine.processor.microcode_revision == COMET_LAKE.microcode + 1
+        # Reset wiped the pre-update offset (updates apply at reset).
+        assert machine.processor.core(0).target_offset_mv() == 0.0
+        assert loader.history == [COMET_LAKE.microcode + 1]
+
+    def test_downgrade_refused(self, machine):
+        loader = MicrocodeLoader(machine.processor)
+        stale = MicrocodeUpdate(
+            revision=COMET_LAKE.microcode, description="stale", install=lambda p: None
+        )
+        with pytest.raises(ConfigurationError):
+            loader.load(stale)
+
+    def test_invalid_revision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrocodeUpdate(revision=0, description="bad", install=lambda p: None)
+
+
+class TestGuardUpdate:
+    def test_guard_carried_by_update_blocks_deep_writes(self, machine):
+        maximal = characterization(COMET_LAKE).maximal_safe_offset_mv()
+        update = guard_update(maximal, base_revision=machine.processor.microcode_revision)
+        MicrocodeLoader(machine.processor).load(update)
+        assert machine.write_voltage_offset(-250) is False
+        assert machine.write_voltage_offset(-30) is True
+        assert "maximal safe state" in update.description
+
+    def test_updated_revision_visible_in_attestation(self, machine):
+        maximal = characterization(COMET_LAKE).maximal_safe_offset_mv()
+        update = guard_update(maximal, base_revision=machine.processor.microcode_revision)
+        MicrocodeLoader(machine.processor).load(update)
+        service = AttestationService(machine)
+        report = service.generate(EnclaveHost(machine).create_enclave("app"))
+        assert report.microcode == update.revision
+        assert report.verify_integrity()

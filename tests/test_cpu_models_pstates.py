@@ -1,0 +1,166 @@
+"""CPU model catalog, P-state machine, perf-status codec, manual clock."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.clock import ManualClock
+from repro.cpu import perf_status
+from repro.cpu.models import (
+    COMET_LAKE,
+    KABY_LAKE_R,
+    PAPER_MODELS,
+    PAPER_MODEL_TUPLE,
+    SKY_LAKE,
+    model_by_codename,
+)
+from repro.cpu.pstates import CState, PStateMachine
+
+
+class TestCatalog:
+    def test_three_paper_models(self):
+        assert len(PAPER_MODEL_TUPLE) == 3
+
+    def test_lookup_by_codename(self):
+        assert model_by_codename("Sky Lake") is SKY_LAKE
+        assert model_by_codename("Kaby Lake R") is KABY_LAKE_R
+        assert model_by_codename("Comet Lake") is COMET_LAKE
+
+    def test_unknown_codename(self):
+        with pytest.raises(ConfigurationError):
+            model_by_codename("Raptor Lake")
+
+    def test_microcode_versions_match_paper(self):
+        assert SKY_LAKE.microcode == 0xF0
+        assert KABY_LAKE_R.microcode == 0xF4
+        assert COMET_LAKE.microcode == 0xF4
+
+    def test_describe_mentions_codename_and_microcode(self):
+        text = SKY_LAKE.describe()
+        assert "Sky Lake" in text
+        assert "0xf0" in text
+
+    def test_models_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SKY_LAKE.core_count = 8  # type: ignore[misc]
+
+    def test_catalog_keys_are_codenames(self):
+        assert set(PAPER_MODELS) == {"Sky Lake", "Kaby Lake R", "Comet Lake"}
+
+    def test_invalid_model_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SKY_LAKE, core_count=0)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SKY_LAKE, sigma_mv=0.0)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SKY_LAKE, crash_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SKY_LAKE, regulator_latency_s=-1.0)
+
+    def test_factories_build(self):
+        for model in PAPER_MODEL_TUPLE:
+            assert model.critical_path().nominal_delay_ps == model.path_delay_ps
+            assert model.safety_analyzer().process is model.process
+            assert model.vf_curve().guardband == model.guardband
+
+
+class TestPStateMachine:
+    @pytest.fixture
+    def machine(self) -> PStateMachine:
+        return PStateMachine(COMET_LAKE.frequency_table)
+
+    def test_starts_at_base_awake(self, machine):
+        assert machine.frequency_ghz == pytest.approx(1.8)
+        assert machine.c_state is CState.C0
+        assert not machine.is_idle
+
+    def test_set_frequency_validates(self, machine):
+        from repro.errors import FrequencyError
+
+        with pytest.raises(FrequencyError):
+            machine.set_frequency(9.9)
+
+    def test_transitions_recorded(self, machine):
+        machine.set_frequency(2.4, now=1.0)
+        machine.enter_idle(CState.C6, now=2.0)
+        machine.wake(now=3.0)
+        kinds = [kind for _, kind in machine.transitions]
+        assert kinds == ["P:2.4GHz", "C:C6", "C:C0"]
+
+    def test_cannot_enter_c0_as_idle(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.enter_idle(CState.C0)
+
+    def test_idle_flag(self, machine):
+        machine.enter_idle(CState.C3)
+        assert machine.is_idle
+        machine.wake()
+        assert not machine.is_idle
+
+    def test_reset(self, machine):
+        machine.set_frequency(3.0)
+        machine.enter_idle(CState.C6)
+        machine.reset()
+        assert machine.frequency_ghz == pytest.approx(1.8)
+        assert machine.c_state is CState.C0
+        assert machine.transitions == []
+
+
+class TestPerfStatusCodec:
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.floats(min_value=0.0, max_value=1.9, allow_nan=False),
+    )
+    def test_roundtrip(self, ratio, voltage):
+        decoded = perf_status.decode(perf_status.encode(ratio, voltage))
+        assert decoded.ratio == ratio
+        assert decoded.voltage_volts == pytest.approx(voltage, abs=1 / 8192)
+
+    def test_field_positions(self):
+        value = perf_status.encode(32, 1.0)
+        assert (value >> 8) & 0xFF == 32
+        assert (value >> 32) & 0xFFFF == 8192
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perf_status.encode(300, 1.0)
+
+    def test_negative_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perf_status.encode(10, -0.1)
+
+    def test_overflow_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perf_status.encode(10, 9.0)
+
+    def test_frequency_property(self):
+        assert perf_status.decode(perf_status.encode(18, 0.8)).frequency_ghz == (
+            pytest.approx(1.8)
+        )
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        assert ManualClock()() == 0.0
+
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(1.5)
+        assert clock.now == 1.5
+
+    def test_no_time_travel(self):
+        clock = ManualClock(start=5.0)
+        with pytest.raises(SimulationError):
+            clock.advance(-1.0)
+        with pytest.raises(SimulationError):
+            clock.set(4.0)
+
+    def test_set_forward(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock() == 10.0

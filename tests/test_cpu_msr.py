@@ -1,0 +1,126 @@
+"""MSR file: definitions, hooks, write-ignore semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MSRPermissionError, UnknownMSRError
+from repro.cpu.msr import MSR_OC_MAILBOX, MSRFile
+
+
+@pytest.fixture
+def msr() -> MSRFile:
+    f = MSRFile()
+    f.define(0x150)
+    f.define(0x198, writable=False, reset_value=0xABCD)
+    return f
+
+
+class TestDefinitions:
+    def test_defined_addresses_sorted(self, msr):
+        assert msr.defined_addresses() == [0x150, 0x198]
+
+    def test_is_defined(self, msr):
+        assert msr.is_defined(0x150)
+        assert not msr.is_defined(0x199)
+
+    def test_unknown_read_raises(self, msr):
+        with pytest.raises(UnknownMSRError) as excinfo:
+            msr.read(0, 0x1234)
+        assert excinfo.value.address == 0x1234
+
+    def test_unknown_write_raises(self, msr):
+        with pytest.raises(UnknownMSRError):
+            msr.write(0, 0x1234, 1)
+
+    def test_default_name_from_catalog(self):
+        f = MSRFile()
+        definition = f.define(MSR_OC_MAILBOX)
+        assert "0x150" in definition.name
+
+
+class TestReadWrite:
+    def test_reset_value_before_write(self, msr):
+        assert msr.read(0, 0x198) == 0xABCD
+
+    def test_write_then_read(self, msr):
+        assert msr.write(0, 0x150, 42)
+        assert msr.read(0, 0x150) == 42
+
+    def test_per_core_isolation(self, msr):
+        msr.write(0, 0x150, 1)
+        msr.write(1, 0x150, 2)
+        assert msr.read(0, 0x150) == 1
+        assert msr.read(1, 0x150) == 2
+
+    def test_read_only_rejected(self, msr):
+        with pytest.raises(MSRPermissionError):
+            msr.write(0, 0x198, 1)
+
+    def test_values_masked_to_64_bits(self, msr):
+        msr.write(0, 0x150, 1 << 80)
+        assert msr.read(0, 0x150) == 0
+
+    def test_poke_bypasses_hooks_and_readonly(self, msr):
+        msr.poke(0, 0x198, 7)
+        assert msr.read(0, 0x198) == 7
+
+    def test_reset_restores_defaults(self, msr):
+        msr.write(0, 0x150, 99)
+        msr.reset()
+        assert msr.read(0, 0x150) == 0
+        assert msr.read(0, 0x198) == 0xABCD
+
+
+class TestWriteHooks:
+    def test_hook_transforms_value(self, msr):
+        msr.add_write_hook(0x150, lambda core, v: v + 1)
+        msr.write(0, 0x150, 10)
+        assert msr.read(0, 0x150) == 11
+
+    def test_hook_returning_none_swallows_write(self, msr):
+        msr.add_write_hook(0x150, lambda core, v: None)
+        assert msr.write(0, 0x150, 10) is False
+        assert msr.read(0, 0x150) == 0
+
+    def test_hooks_chain_in_order(self, msr):
+        msr.add_write_hook(0x150, lambda core, v: v * 2)
+        msr.add_write_hook(0x150, lambda core, v: v + 1)
+        msr.write(0, 0x150, 5)
+        assert msr.read(0, 0x150) == 11  # (5*2)+1
+
+    def test_insert_hook_runs_first(self, msr):
+        msr.add_write_hook(0x150, lambda core, v: v + 1)
+        msr.insert_write_hook(0x150, lambda core, v: v * 10)
+        msr.write(0, 0x150, 3)
+        assert msr.read(0, 0x150) == 31  # (3*10)+1
+
+    def test_inserted_none_blocks_later_hooks(self, msr):
+        seen = []
+        msr.add_write_hook(0x150, lambda core, v: seen.append(v) or v)
+        msr.insert_write_hook(0x150, lambda core, v: None)
+        assert msr.write(0, 0x150, 3) is False
+        assert seen == []
+
+    def test_remove_hook(self, msr):
+        hook = lambda core, v: v + 1  # noqa: E731
+        msr.add_write_hook(0x150, hook)
+        msr.remove_write_hook(0x150, hook)
+        msr.write(0, 0x150, 10)
+        assert msr.read(0, 0x150) == 10
+
+    def test_hook_sees_core_index(self, msr):
+        cores = []
+        msr.add_write_hook(0x150, lambda core, v: cores.append(core) or v)
+        msr.write(3, 0x150, 1)
+        assert cores == [3]
+
+
+class TestReadHooks:
+    def test_read_hook_synthesises_value(self, msr):
+        msr.add_read_hook(0x198, lambda core, stored: 0x5555)
+        assert msr.read(0, 0x198) == 0x5555
+
+    def test_read_hook_sees_stored_value(self, msr):
+        msr.add_read_hook(0x198, lambda core, stored: stored + 1)
+        assert msr.read(0, 0x198) == 0xABCE

@@ -1,0 +1,129 @@
+"""Overclocking-mailbox codec: Table 1 bit-for-bit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPlaneError, InvalidVoltageOffsetError, OCMProtocolError
+from repro.cpu import ocm
+
+
+class TestUnitConversion:
+    def test_minus_100mv(self):
+        # -100 mV -> -102 units (truncation per Algo 1 line 2).
+        assert ocm.mv_to_units(-100) == -102
+
+    def test_truncation_matches_algo1(self):
+        # int() truncation toward zero, as C integer math in the paper.
+        assert ocm.mv_to_units(-1) == -1  # -1.024 truncates to -1
+        assert ocm.mv_to_units(1) == 1
+
+    def test_units_back_to_mv(self):
+        assert ocm.units_to_mv(-102) == pytest.approx(-99.609375)
+
+    @given(st.integers(min_value=-1024, max_value=1023))
+    def test_roundtrip_units(self, units_value):
+        mv = ocm.units_to_mv(units_value)
+        assert ocm.mv_to_units(mv) == pytest.approx(units_value, abs=1)
+
+
+class TestOffsetField:
+    @given(st.integers(min_value=-1024, max_value=1023))
+    def test_encode_decode_roundtrip(self, units_value):
+        encoded = ocm.encode_offset_field(units_value)
+        assert ocm.decode_offset_field(encoded) == units_value
+
+    def test_field_occupies_bits_21_to_31(self):
+        encoded = ocm.encode_offset_field(-1)
+        assert encoded == 0xFFE00000  # all 11 bits set for -1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidVoltageOffsetError):
+            ocm.encode_offset_field(1024)
+        with pytest.raises(InvalidVoltageOffsetError):
+            ocm.encode_offset_field(-1025)
+
+    def test_zero_encodes_to_zero_field(self):
+        assert ocm.encode_offset_field(0) == 0
+
+
+class TestWriteCommand:
+    def test_paper_constant_present(self):
+        value = ocm.encode_write(-100, plane=0)
+        assert value & 0x8000001100000000 == 0x8000001100000000
+
+    def test_bit63_set(self):
+        assert ocm.encode_write(-50, plane=0) >> 63 == 1
+
+    def test_plane_lands_in_bits_40_42(self):
+        for plane in range(5):
+            value = ocm.encode_write(-10, plane=plane)
+            assert (value >> 40) & 0x7 == plane
+
+    def test_invalid_plane_rejected(self):
+        with pytest.raises(InvalidPlaneError):
+            ocm.encode_write(-10, plane=5)
+
+    @given(st.integers(min_value=-300, max_value=0), st.integers(min_value=0, max_value=4))
+    def test_decode_recovers_command(self, offset_mv, plane):
+        value = ocm.encode_write(offset_mv, plane)
+        command = ocm.decode_command(value)
+        assert command.is_write
+        assert not command.is_read_request
+        assert int(command.plane) == plane
+        # Millivolts survive up to the 1/1024 V quantisation.
+        assert command.offset_mv == pytest.approx(offset_mv, abs=1.0)
+
+
+class TestReadRequest:
+    def test_read_command_byte(self):
+        value = ocm.encode_read_request(plane=2)
+        command = ocm.decode_command(value)
+        assert command.is_read_request
+        assert command.plane == ocm.VoltagePlane.CACHE
+
+    def test_invalid_plane_rejected(self):
+        with pytest.raises(InvalidPlaneError):
+            ocm.encode_read_request(plane=7)
+
+
+class TestProtocolErrors:
+    def test_missing_bit63_rejected(self):
+        value = ocm.encode_write(-100, 0) & ~(1 << 63)
+        with pytest.raises(OCMProtocolError):
+            ocm.decode_command(value)
+
+    def test_unknown_command_byte_rejected(self):
+        value = (1 << 63) | (0x42 << 32)
+        with pytest.raises(OCMProtocolError):
+            ocm.decode_command(value)
+
+    def test_bad_plane_bits_rejected(self):
+        value = (1 << 63) | (0x11 << 32) | (6 << 40)
+        with pytest.raises(InvalidPlaneError):
+            ocm.decode_command(value)
+
+
+class TestResponse:
+    def test_busy_bit_cleared(self):
+        response = ocm.encode_response(-102, ocm.VoltagePlane.CORE)
+        assert response >> 63 == 0
+
+    def test_offset_readable(self):
+        response = ocm.encode_response(-102, ocm.VoltagePlane.CORE)
+        assert ocm.decode_offset_field(response) == -102
+
+    def test_plane_preserved(self):
+        response = ocm.encode_response(-5, ocm.VoltagePlane.UNCORE)
+        assert (response >> 40) & 0x7 == int(ocm.VoltagePlane.UNCORE)
+
+
+class TestPlaneEnum:
+    def test_table1_assignments(self):
+        assert ocm.VoltagePlane.CORE == 0
+        assert ocm.VoltagePlane.GPU == 1
+        assert ocm.VoltagePlane.CACHE == 2
+        assert ocm.VoltagePlane.UNCORE == 3
+        assert ocm.VoltagePlane.ANALOG_IO == 4

@@ -1,0 +1,109 @@
+"""Core power model: the quantified benefit of benign undervolting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core import CharacterizationFramework
+from repro.cpu import COMET_LAKE
+from repro.cpu.power import CorePowerModel, PowerParameters
+
+
+@pytest.fixture(scope="module")
+def power() -> CorePowerModel:
+    return CorePowerModel(COMET_LAKE)
+
+
+class TestDynamicPower:
+    def test_quadratic_in_voltage(self, power):
+        # P_dyn ~ V^2 at fixed frequency (Sec. 2.2).
+        p1 = power.dynamic_power_w(2.0, 0.8)
+        p2 = power.dynamic_power_w(2.0, 1.6)
+        assert p2 == pytest.approx(4 * p1)
+
+    def test_linear_in_frequency(self, power):
+        p1 = power.dynamic_power_w(1.0, 1.0)
+        p2 = power.dynamic_power_w(3.0, 1.0)
+        assert p2 == pytest.approx(3 * p1)
+
+    def test_plausible_magnitude(self, power):
+        # A client core at 4 GHz / 1.1 V burns a handful of watts.
+        watts = power.total_power_w(4.0, 1.1)
+        assert 1.0 < watts < 30.0
+
+    def test_negative_voltage_rejected(self, power):
+        with pytest.raises(ConfigurationError):
+            power.dynamic_power_w(2.0, -0.1)
+
+
+class TestStaticPower:
+    def test_grows_superlinearly_with_voltage(self, power):
+        p_low = power.static_power_w(0.8)
+        p_high = power.static_power_w(1.2)
+        assert p_high / p_low > 1.2 / 0.8  # more than linear
+
+    @given(st.floats(min_value=0.6, max_value=1.3, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_voltage(self, v):
+        power = CorePowerModel(COMET_LAKE)
+        assert power.static_power_w(v + 0.01) > power.static_power_w(v)
+
+
+class TestUndervoltSavings:
+    def test_positive_savings_for_undervolt(self, power):
+        assert power.undervolt_savings(2.0, -50.0) > 0.0
+
+    def test_deeper_is_more_savings(self, power):
+        assert power.undervolt_savings(2.0, -60.0) > power.undervolt_savings(2.0, -30.0)
+
+    def test_zero_offset_zero_savings(self, power):
+        assert power.undervolt_savings(2.0, 0.0) == pytest.approx(0.0)
+
+    def test_savings_in_realistic_range(self, power):
+        # A safe-band undervolt (-50 mV around 0.8 V) saves ~5-20% power.
+        savings = power.undervolt_savings(1.8, -50.0)
+        assert 0.03 < savings < 0.30
+
+
+class TestEnergy:
+    def test_energy_scales_with_work(self, power):
+        e1 = power.energy_for_work_j(1e9, 2.0)
+        e2 = power.energy_for_work_j(2e9, 2.0)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_negative_cycles_rejected(self, power):
+        with pytest.raises(ConfigurationError):
+            power.energy_for_work_j(-1.0, 2.0)
+
+    def test_undervolt_reduces_energy_at_fixed_frequency(self, power):
+        base = power.energy_for_work_j(1e9, 2.0, 0.0)
+        saved = power.energy_for_work_j(1e9, 2.0, -50.0)
+        assert saved < base
+
+    def test_best_safe_operating_point_is_safe_and_beats_nominal(self, power):
+        unsafe = CharacterizationFramework(COMET_LAKE, seed=5).run().unsafe_states
+        frequency, offset, energy = power.best_safe_operating_point(
+            unsafe.safe_offset_mv
+        )
+        assert frequency in COMET_LAKE.frequency_table
+        assert not unsafe.is_unsafe(frequency, offset + 1.0)
+        nominal = power.energy_for_work_j(1e9, COMET_LAKE.frequency_table.base_ghz, 0.0)
+        assert energy < nominal
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerParameters(c_eff_nf=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerParameters(leak_v_slope=0.0)
+
+    def test_custom_parameters_flow_through(self):
+        hot = CorePowerModel(COMET_LAKE, PowerParameters(c_eff_nf=2.2))
+        cool = CorePowerModel(COMET_LAKE, PowerParameters(c_eff_nf=1.1))
+        assert hot.dynamic_power_w(2.0, 1.0) == pytest.approx(
+            2 * cool.dynamic_power_w(2.0, 1.0)
+        )

@@ -1,0 +1,162 @@
+"""Voltage regulator: hold-then-step latency, asymmetric directions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.cpu.ocm import VoltagePlane
+from repro.cpu.voltage_regulator import VoltageRegulator
+
+CORE = VoltagePlane.CORE
+
+
+@pytest.fixture
+def regulator() -> VoltageRegulator:
+    return VoltageRegulator(latency_s=650e-6, raise_latency_s=80e-6)
+
+
+class TestDefaults:
+    def test_zero_offset_initially(self, regulator):
+        assert regulator.applied_offset_mv(CORE, 0.0) == 0.0
+        assert regulator.target_offset_mv(CORE) == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageRegulator(latency_s=-1.0)
+
+    def test_default_raise_latency_is_eighth(self):
+        reg = VoltageRegulator(latency_s=800e-6)
+        assert reg.raise_latency_s == pytest.approx(100e-6)
+
+
+class TestLoweringTransition:
+    def test_holds_old_value_during_latency(self, regulator):
+        regulator.request_offset(CORE, -200.0, now=0.0)
+        assert regulator.applied_offset_mv(CORE, 100e-6) == 0.0
+        assert regulator.applied_offset_mv(CORE, 649e-6) == 0.0
+
+    def test_steps_at_settle_time(self, regulator):
+        settle = regulator.request_offset(CORE, -200.0, now=0.0)
+        assert settle == pytest.approx(650e-6)
+        assert regulator.applied_offset_mv(CORE, settle) == -200.0
+
+    def test_target_visible_immediately(self, regulator):
+        # This is what the polling module reads back from 0x150: the
+        # *target* is observable before the voltage moves.
+        regulator.request_offset(CORE, -200.0, now=0.0)
+        assert regulator.target_offset_mv(CORE) == -200.0
+        assert regulator.applied_offset_mv(CORE, 0.0) == 0.0
+
+    def test_is_settled(self, regulator):
+        regulator.request_offset(CORE, -200.0, now=0.0)
+        assert not regulator.is_settled(CORE, 100e-6)
+        assert regulator.is_settled(CORE, 650e-6)
+
+
+class TestRaisingTransition:
+    def test_raise_uses_fast_latency(self, regulator):
+        regulator.request_offset(CORE, -200.0, now=0.0)
+        # Settle the lowering first.
+        assert regulator.applied_offset_mv(CORE, 1e-3) == -200.0
+        settle = regulator.request_offset(CORE, -50.0, now=1e-3)
+        assert settle == pytest.approx(1e-3 + 80e-6)
+
+    def test_latency_for_direction(self, regulator):
+        assert regulator.latency_for(0.0, -100.0) == pytest.approx(650e-6)
+        assert regulator.latency_for(-100.0, 0.0) == pytest.approx(80e-6)
+        assert regulator.latency_for(-100.0, -100.0) == pytest.approx(80e-6)
+
+
+class TestOverwriteBeforeSettle:
+    def test_rewrite_resets_from_applied_value(self, regulator):
+        # Attacker writes -250; before it applies the countermeasure
+        # rewrites a safe value: the deep offset never becomes effective.
+        regulator.request_offset(CORE, -250.0, now=0.0)
+        regulator.request_offset(CORE, -60.0, now=400e-6)
+        # At any later time the applied offset is 0 (held) then -60.
+        assert regulator.applied_offset_mv(CORE, 500e-6) == 0.0
+        assert regulator.applied_offset_mv(CORE, 2e-3) == -60.0
+        # -250 was never applied at any instant.
+
+    def test_attacker_spam_delays_itself(self, regulator):
+        regulator.request_offset(CORE, -250.0, now=0.0)
+        regulator.request_offset(CORE, -250.0, now=300e-6)
+        # The second write restarts the hold window from the still-applied 0.
+        assert regulator.applied_offset_mv(CORE, 700e-6) == 0.0
+        assert regulator.applied_offset_mv(CORE, 300e-6 + 650e-6) == -250.0
+
+
+class TestSlewMode:
+    def test_linear_interpolation(self):
+        reg = VoltageRegulator(latency_s=100e-6, slew=True)
+        reg.request_offset(CORE, -100.0, now=0.0)
+        assert reg.applied_offset_mv(CORE, 50e-6) == pytest.approx(-50.0)
+        assert reg.applied_offset_mv(CORE, 100e-6) == pytest.approx(-100.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_slew_bounded_between_endpoints(self, progress):
+        reg = VoltageRegulator(latency_s=100e-6, slew=True)
+        reg.request_offset(CORE, -100.0, now=0.0)
+        value = reg.applied_offset_mv(CORE, progress * 100e-6)
+        assert -100.0 <= value <= 0.0
+
+
+class TestPlaneIndependenceAndReset:
+    def test_planes_independent(self, regulator):
+        regulator.request_offset(VoltagePlane.CORE, -100.0, now=0.0)
+        regulator.request_offset(VoltagePlane.CACHE, -50.0, now=0.0)
+        assert regulator.target_offset_mv(VoltagePlane.CORE) == -100.0
+        assert regulator.target_offset_mv(VoltagePlane.CACHE) == -50.0
+        assert regulator.target_offset_mv(VoltagePlane.GPU) == 0.0
+
+    def test_reset_clears_everything(self, regulator):
+        regulator.request_offset(CORE, -100.0, now=0.0)
+        regulator.reset()
+        assert regulator.target_offset_mv(CORE) == 0.0
+        assert regulator.applied_offset_mv(CORE, 10.0) == 0.0
+
+    def test_zero_latency_applies_instantly(self):
+        reg = VoltageRegulator(latency_s=0.0)
+        reg.request_offset(CORE, -75.0, now=1.0)
+        assert reg.applied_offset_mv(CORE, 1.0) == -75.0
+
+
+class TestRegulatorProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5e-3, allow_nan=False),
+                st.floats(min_value=-300.0, max_value=50.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_applied_value_always_between_endpoints(self, requests):
+        """At every instant the applied offset lies between the previous
+        applied value and the latest target (no overshoot, ever)."""
+        reg = VoltageRegulator(latency_s=650e-6, raise_latency_s=80e-6)
+        now = 0.0
+        observed_bounds = []
+        for delay, target in requests:
+            now += delay
+            before = reg.applied_offset_mv(CORE, now)
+            reg.request_offset(CORE, target, now)
+            observed_bounds.append((min(before, target), max(before, target)))
+            for probe in (now, now + 100e-6, now + 700e-6):
+                value = reg.applied_offset_mv(CORE, probe)
+                lo = min(b[0] for b in observed_bounds)
+                hi = max(b[1] for b in observed_bounds)
+                assert lo - 1e-9 <= value <= hi + 1e-9
+
+    @given(
+        st.floats(min_value=-300.0, max_value=0.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=5e-3, allow_nan=False),
+    )
+    def test_settled_value_is_exactly_the_target(self, target, extra):
+        reg = VoltageRegulator(latency_s=650e-6)
+        settle = reg.request_offset(CORE, target, now=0.0)
+        assert reg.applied_offset_mv(CORE, settle + extra) == target

@@ -1,0 +1,141 @@
+"""Thermal RC model and its coupling to the fault boundary."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu import COMET_LAKE
+from repro.cpu.thermal import ThermalModel, ThermalParameters
+from repro.faults.margin import FaultModel
+
+
+@pytest.fixture
+def thermal() -> ThermalModel:
+    return ThermalModel(COMET_LAKE)
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalParameters(r_th_k_per_w=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalParameters(tau_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ThermalParameters(ambient_c=50.0, t_junction_max_c=45.0)
+
+
+class TestSteadyState:
+    def test_idle_is_ambient(self, thermal):
+        assert thermal.temperature_c(0.0) == thermal.parameters.ambient_c
+
+    def test_turbo_runs_hotter_than_base(self, thermal):
+        assert thermal.steady_state_c(4.9, 0.0) > thermal.steady_state_c(1.8, 0.0)
+
+    def test_undervolting_cools(self, thermal):
+        assert thermal.steady_state_c(2.0, -60.0) < thermal.steady_state_c(2.0, 0.0)
+
+    def test_capped_at_tjmax(self, thermal):
+        assert thermal.steady_state_c(4.9, 0.0) <= thermal.parameters.t_junction_max_c
+
+
+class TestRCDynamics:
+    def test_exponential_approach(self, thermal):
+        thermal.set_operating_point(4.9, 0.0, now=0.0)
+        target = thermal.steady_state_c(4.9, 0.0)
+        ambient = thermal.parameters.ambient_c
+        tau = thermal.parameters.tau_s
+        after_one_tau = thermal.temperature_c(tau)
+        expected = target + (ambient - target) * math.exp(-1.0)
+        assert after_one_tau == pytest.approx(expected, abs=0.2)
+
+    def test_settles_at_steady_state(self, thermal):
+        thermal.set_operating_point(4.9, 0.0, now=0.0)
+        assert thermal.temperature_c(10 * thermal.parameters.tau_s) == pytest.approx(
+            thermal.steady_state_c(4.9, 0.0), abs=0.1
+        )
+
+    def test_idle_relaxes_back(self, thermal):
+        thermal.set_operating_point(4.9, 0.0, now=0.0)
+        thermal.idle(now=20.0)
+        assert thermal.temperature_c(60.0) == pytest.approx(
+            thermal.parameters.ambient_c, abs=0.5
+        )
+
+    def test_monotone_heating(self, thermal):
+        thermal.set_operating_point(4.9, 0.0, now=0.0)
+        temps = [thermal.temperature_c(t) for t in (0.0, 1.0, 2.0, 5.0, 10.0)]
+        assert temps == sorted(temps)
+
+    def test_no_time_travel(self, thermal):
+        thermal.set_operating_point(2.0, 0.0, now=5.0)
+        with pytest.raises(ConfigurationError):
+            thermal.temperature_c(4.0)
+
+    def test_time_to_reach(self, thermal):
+        thermal.set_operating_point(4.9, 0.0, now=0.0)
+        target = 70.0
+        eta = thermal.time_to_reach_c(target, now=0.0)
+        assert 0.0 < eta < math.inf
+        assert thermal.temperature_c(eta) == pytest.approx(target, abs=0.2)
+
+    def test_time_to_reach_unreachable(self, thermal):
+        # Idle: ambient never reaches 90 C.
+        assert thermal.time_to_reach_c(90.0, now=0.0) == math.inf
+
+    def test_time_to_reach_already_there(self, thermal):
+        thermal.set_operating_point(4.9, 0.0, now=0.0)
+        hot = thermal.temperature_c(30.0)
+        thermal.set_operating_point(4.9, 0.0, now=30.0)
+        assert thermal.time_to_reach_c(hot - 5.0, now=30.0) == 0.0
+
+
+class TestBoundaryDrift:
+    def test_self_heating_moves_the_turbo_boundary(self, thermal):
+        # A sustained turbo workload heats the die from ambient to
+        # steady state; the fault model's critical voltage at turbo rises
+        # with it — the boundary the attacker needs gets shallower while
+        # the machine is busy.
+        fault_model = FaultModel(COMET_LAKE)
+        thermal.set_operating_point(4.9, 0.0, now=0.0)
+
+        fault_model.set_temperature(thermal.temperature_c(0.0))
+        cold_vcrit = fault_model.critical_voltage(4.9)
+        fault_model.set_temperature(thermal.temperature_c(30.0))
+        hot_vcrit = fault_model.critical_voltage(4.9)
+        assert hot_vcrit > cold_vcrit
+        assert (hot_vcrit - cold_vcrit) * 1e3 > 5.0  # material drift (mV)
+
+
+class TestThermalProperties:
+    from hypothesis import given as _given, settings as _settings
+    from hypothesis import strategies as _st
+
+    @_given(
+        frequency=_st.sampled_from([0.4, 1.8, 3.0, 4.9]),
+        offset=_st.floats(min_value=-150.0, max_value=0.0, allow_nan=False),
+        probe_s=_st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    )
+    @_settings(max_examples=60, deadline=None)
+    def test_temperature_always_within_physical_bounds(
+        self, frequency, offset, probe_s
+    ):
+        thermal = ThermalModel(COMET_LAKE)
+        thermal.set_operating_point(frequency, offset, now=0.0)
+        temperature = thermal.temperature_c(probe_s)
+        assert thermal.parameters.ambient_c - 1e-9 <= temperature
+        assert temperature <= thermal.parameters.t_junction_max_c + 1e-9
+
+    @_given(frequency=_st.sampled_from([1.8, 4.9]))
+    @_settings(max_examples=10, deadline=None)
+    def test_monotone_convergence_to_steady_state(self, frequency):
+        thermal = ThermalModel(COMET_LAKE)
+        thermal.set_operating_point(frequency, 0.0, now=0.0)
+        steady = thermal.steady_state_c(frequency, 0.0)
+        previous_gap = abs(thermal.temperature_c(0.0) - steady)
+        for t in (1.0, 3.0, 8.0, 20.0, 60.0):
+            gap = abs(thermal.temperature_c(t) - steady)
+            assert gap <= previous_gap + 1e-9
+            previous_gap = gap

@@ -1,0 +1,173 @@
+"""Baseline defenses: SA-00289 access control and Minefield deflection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu import COMET_LAKE
+from repro.defenses.access_control import ACCESS_CONTROL_OVERHEAD, AccessControlDefense
+from repro.defenses.minefield import MinefieldDefense, WindowVerdict
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import FaultModel
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveHost
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.build(COMET_LAKE, seed=13)
+
+
+@pytest.fixture
+def host(machine) -> EnclaveHost:
+    return EnclaveHost(machine)
+
+
+class TestAccessControl:
+    def test_blocks_ocm_while_sgx_active(self, machine, host):
+        defense = AccessControlDefense(machine, host)
+        defense.deploy()
+        host.create_enclave("app")
+        assert machine.write_voltage_offset(-50) is False
+        assert defense.blocked_writes == 1
+
+    def test_allows_ocm_when_no_enclave(self, machine, host):
+        defense = AccessControlDefense(machine, host)
+        defense.deploy()
+        assert machine.write_voltage_offset(-50) is True
+
+    def test_allows_again_after_enclave_destroyed(self, machine, host):
+        defense = AccessControlDefense(machine, host)
+        defense.deploy()
+        enclave = host.create_enclave("app")
+        assert machine.write_voltage_offset(-50) is False
+        enclave.destroy()
+        assert machine.write_voltage_offset(-50) is True
+
+    def test_benign_requests_tallied(self, machine, host):
+        defense = AccessControlDefense(machine, host)
+        defense.deploy()
+        host.create_enclave("app")
+        machine.write_voltage_offset(-40)   # benign power saving
+        machine.write_voltage_offset(-250)  # attack-like depth
+        assert defense.blocked_writes == 2
+        assert defense.blocked_benign_requests == 1
+
+    def test_updates_attestation(self, machine, host):
+        service = AttestationService(machine)
+        defense = AccessControlDefense(machine, host, attestation=service)
+        defense.deploy()
+        report = service.generate(host.create_enclave("app"))
+        assert report.ocm_disabled
+        defense.withdraw()
+        report = service.generate(host.create_enclave("app2"))
+        assert not report.ocm_disabled
+
+    def test_profile_shows_availability_loss(self, machine, host):
+        defense = AccessControlDefense(machine, host)
+        defense.deploy()
+        profile = defense.profile()
+        assert profile.prevents_fault_injection
+        assert not profile.benign_dvfs_available
+        assert not profile.hardware_deployable
+        assert profile.overhead_fraction == ACCESS_CONTROL_OVERHEAD
+
+    def test_double_deploy_rejected(self, machine, host):
+        defense = AccessControlDefense(machine, host)
+        defense.deploy()
+        with pytest.raises(ConfigurationError):
+            defense.deploy()
+
+    def test_withdraw_without_deploy_rejected(self, machine, host):
+        with pytest.raises(ConfigurationError):
+            AccessControlDefense(machine, host).withdraw()
+
+
+class TestMinefield:
+    def make_injector(self) -> FaultInjector:
+        return FaultInjector(FaultModel(COMET_LAKE), np.random.default_rng(3))
+
+    def faulting_conditions(self):
+        fm = FaultModel(COMET_LAKE)
+        vcrit = fm.critical_voltage(2.0)
+        return type(fm.conditions_for_offset(2.0, 0.0))(2.0, vcrit - 0.003, -999)
+
+    def safe_conditions(self):
+        return FaultModel(COMET_LAKE).conditions_for_offset(2.0, 0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MinefieldDefense(density=-0.1)
+        with pytest.raises(ConfigurationError):
+            MinefieldDefense(mine_sensitivity_boost=0.0)
+
+    def test_overhead_tracks_density(self):
+        defense = MinefieldDefense(density=1.0)
+        defense.deploy()
+        assert defense.overhead_fraction() == pytest.approx(0.5)
+        defense.withdraw()
+        assert defense.overhead_fraction() == 0.0
+
+    def test_mine_hit_probability(self):
+        defense = MinefieldDefense(density=1.0, mine_sensitivity_boost=2.0)
+        defense.deploy()
+        assert defense.mine_hit_probability() == pytest.approx(2.0 / 3.0)
+
+    def test_no_fault_when_safe(self):
+        defense = MinefieldDefense(density=1.0)
+        defense.deploy()
+        verdict = defense.run_protected_window(
+            self.make_injector(), self.safe_conditions(), 1_000_000
+        )
+        assert verdict is WindowVerdict.NO_FAULT
+
+    def test_detects_most_attacks_without_stepping(self):
+        defense = MinefieldDefense(density=2.0, mine_sensitivity_boost=2.0)
+        defense.deploy()
+        injector = self.make_injector()
+        conditions = self.faulting_conditions()
+        verdicts = [
+            defense.run_protected_window(injector, conditions, 500_000)
+            for _ in range(40)
+        ]
+        detected = verdicts.count(WindowVerdict.DETECTED)
+        exploited = verdicts.count(WindowVerdict.EXPLOITED)
+        assert detected > exploited  # deflection works statistically
+
+    def test_single_stepping_bypasses_detection(self):
+        # The paper's core criticism: with SGX-Step the mines never see
+        # the unsafe state, so detection probability collapses to zero.
+        defense = MinefieldDefense(density=2.0, mine_sensitivity_boost=2.0)
+        defense.deploy()
+        injector = self.make_injector()
+        conditions = self.faulting_conditions()
+        verdicts = [
+            defense.run_protected_window(
+                injector, conditions, 500_000, single_stepped=True
+            )
+            for _ in range(40)
+        ]
+        assert WindowVerdict.DETECTED not in verdicts
+        assert WindowVerdict.EXPLOITED in verdicts
+        assert defense.exploits > 0
+
+    def test_profile_reflects_weaknesses(self):
+        defense = MinefieldDefense(density=1.0)
+        defense.deploy()
+        profile = defense.profile()
+        assert not profile.prevents_fault_injection
+        assert profile.benign_dvfs_available
+        assert not profile.robust_to_single_stepping
+
+    def test_undeployed_offers_no_protection(self):
+        defense = MinefieldDefense(density=2.0)
+        injector = self.make_injector()
+        conditions = self.faulting_conditions()
+        verdicts = {
+            defense.run_protected_window(injector, conditions, 500_000)
+            for _ in range(20)
+        }
+        assert WindowVerdict.DETECTED not in verdicts

@@ -1,0 +1,60 @@
+"""Exception hierarchy contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.MSRError,
+            errors.UnknownMSRError,
+            errors.MSRPermissionError,
+            errors.MSRWriteIgnoredError,
+            errors.OCMProtocolError,
+            errors.InvalidVoltageOffsetError,
+            errors.InvalidPlaneError,
+            errors.FrequencyError,
+            errors.CoreIndexError,
+            errors.MachineCheckError,
+            errors.KernelModuleError,
+            errors.SimulationError,
+            errors.EnclaveError,
+            errors.AttestationError,
+            errors.AttackError,
+            errors.CharacterizationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_msr_family(self):
+        for exc in (
+            errors.UnknownMSRError,
+            errors.MSRPermissionError,
+            errors.MSRWriteIgnoredError,
+            errors.OCMProtocolError,
+        ):
+            assert issubclass(exc, errors.MSRError)
+
+    def test_attestation_is_enclave_error(self):
+        assert issubclass(errors.AttestationError, errors.EnclaveError)
+
+    def test_unknown_msr_carries_address(self):
+        e = errors.UnknownMSRError(0x150)
+        assert e.address == 0x150
+        assert "0x150" in str(e)
+
+    def test_machine_check_carries_operating_point(self):
+        e = errors.MachineCheckError("boom", frequency_ghz=2.0, offset_mv=-250)
+        assert e.frequency_ghz == 2.0
+        assert e.offset_mv == -250
+
+    def test_catching_repro_error_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FrequencyError("bad")

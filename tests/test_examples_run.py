@@ -1,0 +1,55 @@
+"""Every shipped example must run cleanly end to end.
+
+Examples are the artifact's front door; a broken one is a broken repo.
+Each is executed in-process via ``runpy`` (same interpreter, real code
+paths) with stdout captured.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "plundervolt_key_extraction",
+        "benign_undervolting",
+        "vendor_deployments",
+        "characterize_custom_cpu",
+        "full_reproduction",
+        "thermal_gap_attack",
+    } <= names
+
+
+class TestExampleOutcomes:
+    """Spot-check the narrative-critical lines of two examples."""
+
+    def test_quickstart_reports_prevention(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "faults observed:  0" in out
+        assert "Complete prevention" in out
+
+    def test_plundervolt_story_arc(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "plundervolt_key_extraction.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "KEY EXTRACTED" in out          # Act I succeeds
+        assert "attack FAILED" in out          # Act II is defeated
+        assert "re-attestation failed" in out  # the rmmod is caught

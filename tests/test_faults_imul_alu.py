@@ -1,0 +1,153 @@
+"""Imul loop (EXECUTE thread) and the faultable ALU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu.models import COMET_LAKE
+from repro.faults.alu import FaultableALU
+from repro.faults.imul import DEFAULT_ITERATIONS, ImulLoop
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import FaultModel
+from repro.faults.workloads import (
+    IMUL_LOOP,
+    VECTOR_MULTIPLY,
+    WORKLOAD_CATALOG,
+    InstructionWorkload,
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+@pytest.fixture
+def fault_model() -> FaultModel:
+    return FaultModel(COMET_LAKE)
+
+
+@pytest.fixture
+def injector(fault_model) -> FaultInjector:
+    return FaultInjector(fault_model, np.random.default_rng(3))
+
+
+class TestImulLoop:
+    def test_default_is_one_million(self):
+        assert ImulLoop().iterations == DEFAULT_ITERATIONS == 1_000_000
+
+    def test_nonpositive_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImulLoop(0)
+
+    def test_duration_scales_with_frequency(self):
+        loop = ImulLoop(1_000_000)
+        assert loop.duration_s(2.0) == pytest.approx(loop.duration_s(4.0) * 2)
+
+    def test_safe_run_has_no_faults(self, injector, fault_model):
+        report = ImulLoop(1_000_000).run(
+            injector, fault_model.conditions_for_offset(2.0, 0.0)
+        )
+        assert not report.faulted
+        assert report.fault_count == 0
+        assert report.faults == ()
+
+    def test_unsafe_run_reports_concrete_faults(self, injector, fault_model):
+        vcrit = fault_model.critical_voltage(2.0)
+        conditions = fault_model.conditions_for_offset(2.0, 0.0)
+        conditions = type(conditions)(2.0, vcrit, -999)
+        report = ImulLoop(1_000_000).run(injector, conditions)
+        assert report.faulted
+        for fault in report.faults:
+            # The observed product differs from lhs*rhs in exactly one bit.
+            assert fault.observed != fault.expected
+            assert fault.expected == (fault.lhs * fault.rhs) & _MASK64
+            assert bin(fault.observed ^ fault.expected).count("1") == 1
+
+
+class TestWorkloadCatalog:
+    def test_catalog_contents(self):
+        assert "imul loop" in WORKLOAD_CATALOG
+        assert IMUL_LOOP.instruction == "imul"
+        assert VECTOR_MULTIPLY.instruction == "vmulpd"
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionWorkload(name="bad", instruction="fdiv")
+
+    def test_nonpositive_cpi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionWorkload(name="bad", instruction="imul", cycles_per_op=0.0)
+
+    def test_duration(self):
+        assert IMUL_LOOP.duration_s(2_000_000, 2.0) == pytest.approx(1e-3)
+
+    def test_execute_safe(self, injector, fault_model):
+        outcome = IMUL_LOOP.execute(
+            injector, fault_model.conditions_for_offset(1.8, 0.0), 100_000
+        )
+        assert outcome.fault_count == 0
+
+
+class TestFaultableALU:
+    def make_alu(self, injector, fault_model, offset_mv: float) -> FaultableALU:
+        conditions = fault_model.conditions_for_offset(2.0, offset_mv)
+        return FaultableALU(injector=injector, conditions_source=lambda: conditions)
+
+    def test_imul64_correct_when_safe(self, injector, fault_model):
+        alu = self.make_alu(injector, fault_model, 0.0)
+        assert alu.imul64(3, 5) == 15
+        assert alu.imul64(1 << 63, 2) == 0  # wraps mod 2^64
+        assert alu.stats.imul_count == 2
+        assert alu.stats.fault_count == 0
+
+    def test_bigmul_exact_when_safe(self, injector, fault_model):
+        alu = self.make_alu(injector, fault_model, 0.0)
+        a = 123456789012345678901234567890
+        b = 987654321098765432109876543210
+        assert alu.bigmul(a, b) == a * b
+
+    def test_bigmul_rejects_negative(self, injector, fault_model):
+        alu = self.make_alu(injector, fault_model, 0.0)
+        with pytest.raises(ConfigurationError):
+            alu.bigmul(-1, 2)
+
+    def test_modexp_matches_pow_when_safe(self, injector, fault_model):
+        alu = self.make_alu(injector, fault_model, 0.0)
+        assert alu.modexp(7, 131, 1009) == pow(7, 131, 1009)
+
+    def test_modexp_validates(self, injector, fault_model):
+        alu = self.make_alu(injector, fault_model, 0.0)
+        with pytest.raises(ConfigurationError):
+            alu.modexp(2, -1, 5)
+        with pytest.raises(ConfigurationError):
+            alu.modmul(2, 3, 0)
+
+    def test_bigmul_faults_flip_single_bit(self, fault_model):
+        vcrit = fault_model.critical_voltage(2.0)
+        conditions = type(fault_model.conditions_for_offset(2.0, 0.0))(
+            2.0, vcrit - 0.005, -999
+        )
+        injector = FaultInjector(fault_model, np.random.default_rng(5))
+        alu = FaultableALU(injector=injector, conditions_source=lambda: conditions)
+        a = (1 << 512) - 12345
+        b = (1 << 512) - 67891
+        faulted = 0
+        for _ in range(2000):
+            result = alu.bigmul(a, b)
+            if result != a * b:
+                faulted += 1
+                assert bin(result ^ (a * b)).count("1") == 1
+        assert faulted > 0
+        assert alu.stats.fault_count == faulted
+
+    def test_conditions_source_called_live(self, injector, fault_model):
+        calls = []
+
+        def source():
+            calls.append(1)
+            return fault_model.conditions_for_offset(2.0, 0.0)
+
+        alu = FaultableALU(injector=injector, conditions_source=source)
+        alu.imul64(2, 3)
+        alu.imul64(4, 5)
+        assert len(calls) == 2

@@ -1,0 +1,107 @@
+"""Adversarial corner cases against the polling module.
+
+Beyond the straight campaigns: attackers who know the module's period
+and try to race it, and benign users whose own governor activity walks
+them into an unsafe pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.kernel.cpufreq import ScalingGovernor
+from repro.kernel.victim import ContinuousVictim
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def protected(comet_characterization):
+    machine = Machine.build(COMET_LAKE, seed=43)
+    module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+    machine.modules.insmod(module)
+    return machine, module
+
+
+class TestPollRacing:
+    def test_toggling_around_polls_never_applies_the_deep_offset(self, protected):
+        """Attacker hides the unsafe target from every poll instant.
+
+        Polls fire at exact multiples of the period.  The attacker writes
+        the deep offset right *after* each poll and a safe value right
+        *before* the next, so no poll ever observes an unsafe target —
+        zero detections.  It still achieves nothing: every overwrite
+        restarts the regulator's hold window from the still-safe applied
+        value, so the deep offset never becomes electrically effective.
+        """
+        machine, module = protected
+        machine.set_frequency(2.0)
+        victim = ContinuousVictim(machine, chunk_ops=50_000)
+        victim.start()
+        period = module.period_s
+        for _ in range(40):
+            machine.advance(period * 0.1)   # just after a poll
+            machine.write_voltage_offset(-250)
+            machine.advance(period * 0.8)   # most of the period unsafe target
+            machine.write_voltage_offset(-20)  # hide before the poll
+            machine.advance(period * 0.1)
+        assert module.stats.detections == 0  # the attacker did evade detection
+        assert victim.trace.total_faults == 0  # and gained nothing
+        assert victim.trace.crashes == 0
+
+    def test_sustained_spam_is_caught_or_harmless(self, protected):
+        """Writing the deep target continuously (every 100 us) only keeps
+        resetting its own apply window; polls that do see it remediate."""
+        machine, module = protected
+        machine.set_frequency(2.0)
+        victim = ContinuousVictim(machine, chunk_ops=50_000)
+        victim.start()
+        for _ in range(200):
+            machine.write_voltage_offset(-250)
+            machine.advance(100e-6)
+        assert victim.trace.total_faults == 0
+        assert victim.trace.crashes == 0
+        applied = machine.processor.core(0).applied_offset_mv(machine.now)
+        assert applied > -100
+
+
+class TestBenignSelfEndangerment:
+    def test_governor_raise_onto_benign_undervolt_is_remediated(
+        self, protected, comet_characterization
+    ):
+        """A benign user undervolts deep-but-safe at low frequency; later
+        the ondemand governor reacts to load and raises the frequency,
+        making the *pair* unsafe.  The module clamps the offset — the
+        protection applies to accidents exactly as to attacks."""
+        machine, module = protected
+        unsafe = comet_characterization.unsafe_states
+        machine.cpufreq.set_governor(0, ScalingGovernor.ONDEMAND)
+        machine.cpufreq.report_load(0, 0.0)  # low load -> min frequency
+        low_f = machine.processor.core(0).frequency_ghz
+        benign = int(unsafe.boundary_mv(low_f)) + 25  # safe at low frequency
+        machine.write_voltage_offset(benign)
+        machine.advance(2e-3)
+        assert module.stats.detections == 0
+
+        machine.cpufreq.report_load(0, 1.0)  # load spike -> max frequency
+        high_f = machine.processor.core(0).frequency_ghz
+        assert unsafe.is_unsafe(high_f, benign)  # the pair became unsafe
+        machine.advance(2e-3)
+        assert module.stats.detections >= 1
+        applied = machine.processor.core(0).applied_offset_mv(machine.now)
+        assert applied > unsafe.boundary_mv(high_f)
+
+    def test_no_remediation_when_pair_stays_safe(self, protected, comet_characterization):
+        machine, module = protected
+        unsafe = comet_characterization.unsafe_states
+        machine.set_frequency(0.8)
+        shallow = -25  # safe at every frequency
+        machine.write_voltage_offset(shallow)
+        machine.advance(2e-3)
+        machine.set_frequency(4.9)
+        machine.advance(2e-3)
+        assert module.stats.detections == 0
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == (
+            pytest.approx(shallow, abs=1.0)
+        )

@@ -1,0 +1,108 @@
+"""Cross-core attacks on the shared (package-wide) voltage plane.
+
+Real client parts have one core-voltage plane: a 0x150 write issued from
+*any* core moves *every* core's voltage.  The original VoltJockey /
+Plundervolt setups exploit exactly this — attacker thread on one core,
+victim enclave on another.  The polling module must (and does) catch the
+attack regardless of which core the write was issued on, because Algo 3
+checks every core each iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.sgx import EnclaveHost
+from repro.testbench import Machine
+
+ATTACKER_CORE = 3
+VICTIM_CORE = 0
+
+
+@pytest.fixture
+def shared_machine() -> Machine:
+    return Machine.build(COMET_LAKE, seed=27, shared_voltage_plane=True)
+
+
+class TestSharedPlaneSubstrate:
+    def test_write_from_one_core_moves_all(self, shared_machine):
+        machine = shared_machine
+        machine.write_voltage_offset(-50, core_index=ATTACKER_CORE)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        for core in machine.processor.cores:
+            assert core.applied_offset_mv(machine.now) == pytest.approx(-50, abs=1.0)
+
+    def test_per_core_mode_stays_isolated(self):
+        machine = Machine.build(COMET_LAKE, seed=27, shared_voltage_plane=False)
+        machine.write_voltage_offset(-50, core_index=ATTACKER_CORE)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        assert machine.processor.core(VICTIM_CORE).applied_offset_mv(
+            machine.now
+        ) == 0.0
+
+    def test_readback_consistent_across_cores(self, shared_machine):
+        machine = shared_machine
+        machine.write_voltage_offset(-42, core_index=ATTACKER_CORE)
+        from repro.core.encoding import decode_offset_mv, read_request
+
+        machine.msr_driver.write(VICTIM_CORE, 0x150, read_request(0))
+        readback = decode_offset_mv(machine.msr_driver.read(VICTIM_CORE, 0x150))
+        assert readback == pytest.approx(-42, abs=1.0)
+
+
+class TestCrossCoreAttack:
+    def test_cross_core_faults_on_undefended_machine(
+        self, shared_machine, comet_characterization
+    ):
+        machine = shared_machine
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("victim", core_index=VICTIM_CORE)
+        machine.set_frequency(2.0)
+        boundary = int(comet_characterization.unsafe_states.boundary_mv(2.0))
+        # The attacker writes from its own core...
+        machine.write_voltage_offset(boundary - 20, core_index=ATTACKER_CORE)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+
+        def payload(alu):
+            a = (1 << 512) - 7
+            b = (1 << 512) - 11
+            return sum(alu.bigmul(a, b) != a * b for _ in range(3000))
+
+        # ...and the victim's enclave arithmetic faults on ITS core.
+        assert enclave.ecall(payload) > 0
+
+    def test_polling_defeats_cross_core_attack(
+        self, shared_machine, comet_characterization
+    ):
+        machine = shared_machine
+        module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+        machine.modules.insmod(module)
+        machine.set_frequency(2.0)
+        boundary = int(comet_characterization.unsafe_states.boundary_mv(2.0))
+        machine.write_voltage_offset(boundary - 12, core_index=ATTACKER_CORE)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        # Remediated before application, on every core.
+        for core in machine.processor.cores:
+            assert core.applied_offset_mv(machine.now) > boundary
+        assert module.stats.detections >= 1
+        report = machine.run_imul_window(VICTIM_CORE, iterations=1_000_000)
+        assert not report.faulted
+
+    def test_remediation_write_heals_the_shared_plane(
+        self, shared_machine, comet_characterization
+    ):
+        # The module's corrective write is itself a 0x150 write and so
+        # heals the whole plane, not just the core it inspected.
+        machine = shared_machine
+        module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+        machine.modules.insmod(module)
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-250, core_index=2)
+        machine.advance(3e-3)
+        targets = {
+            round(core.target_offset_mv()) for core in machine.processor.cores
+        }
+        assert len(targets) == 1
+        assert targets.pop() > -250

@@ -1,0 +1,234 @@
+"""Integration: the paper's headline claims, end to end.
+
+* The polling module completely prevents the published 0x150-route
+  attacks (Plundervolt, V0LTpwn, the paper's own imul campaign) on all
+  three CPU generations.
+* Benign non-SGX DVFS keeps working while the module runs — the
+  availability property prior defenses lack.
+* The Sec. 5 deployments (microcode, MSR clamp) additionally close the
+  adaptive frequency-jump window that pure polling leaves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    ImulCampaign,
+    PlundervoltAttack,
+    PlundervoltConfig,
+    RSACRTSigner,
+    RSAKey,
+    V0ltpwnAttack,
+    V0ltpwnConfig,
+    VectorChecksumPayload,
+    VoltJockeyAttack,
+    VoltJockeyConfig,
+)
+from repro.core import (
+    CharacterizationFramework,
+    MicrocodeGuard,
+    PollingCountermeasure,
+    install_msr_clamp,
+)
+from repro.cpu import COMET_LAKE, KABY_LAKE_R, PAPER_MODEL_TUPLE, SKY_LAKE
+from repro.kernel.cpufreq import ScalingGovernor
+from repro.sgx import EnclaveHost
+from repro.testbench import Machine
+
+
+@pytest.fixture(scope="module")
+def characterizations():
+    return {
+        model.codename: CharacterizationFramework(model, seed=5).run()
+        for model in PAPER_MODEL_TUPLE
+    }
+
+
+def protected_machine(model, characterizations, seed=11):
+    machine = Machine.build(model, seed=seed)
+    module = PollingCountermeasure(
+        machine, characterizations[model.codename].unsafe_states
+    )
+    machine.modules.insmod(module)
+    return machine, module
+
+
+KEY = RSAKey.generate(512, seed=42)
+
+
+class TestCompletePrevention:
+    @pytest.mark.parametrize("model", PAPER_MODEL_TUPLE, ids=lambda m: m.codename)
+    def test_imul_campaign_zero_faults_on_all_three_cpus(self, model, characterizations):
+        # Sec. 4.3: "completely eliminate DVFS faults on EXECUTE thread".
+        machine, module = protected_machine(model, characterizations)
+        frequency = model.frequency_table.base_ghz
+        campaign = ImulCampaign(
+            machine,
+            frequency_ghz=frequency,
+            offsets_mv=tuple(range(-60, -301, -30)),
+            iterations_per_point=500_000,
+        )
+        outcome = campaign.mount()
+        assert outcome.faults_observed == 0
+        assert outcome.crashes == 0
+        assert not outcome.succeeded
+        assert module.stats.detections > 0  # it actively intervened
+
+    def test_plundervolt_defeated(self, characterizations):
+        machine, _ = protected_machine(COMET_LAKE, characterizations)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("rsa")
+        attack = PlundervoltAttack(
+            machine,
+            enclave,
+            RSACRTSigner(KEY),
+            message=0xDEADBEEF,
+            config=PlundervoltConfig(frequency_ghz=2.0),
+        )
+        outcome = attack.mount()
+        assert not outcome.succeeded
+        assert outcome.faults_observed == 0
+        assert outcome.recovered_secret is None
+
+    def test_plundervolt_with_known_offset_still_defeated(self, characterizations):
+        # Even an attacker who skips the search (knows the fault band from
+        # an identical machine) never gets the voltage applied.
+        machine, _ = protected_machine(COMET_LAKE, characterizations)
+        boundary = characterizations["Comet Lake"].unsafe_states.boundary_mv(2.0)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("rsa")
+        attack = PlundervoltAttack(
+            machine,
+            enclave,
+            RSACRTSigner(KEY),
+            message=0xCAFE,
+            config=PlundervoltConfig(
+                frequency_ghz=2.0, offset_mv=int(boundary) - 12, max_signing_attempts=25
+            ),
+        )
+        outcome = attack.mount()
+        assert not outcome.succeeded
+        assert outcome.faults_observed == 0
+
+    def test_v0ltpwn_defeated(self, characterizations):
+        machine, _ = protected_machine(COMET_LAKE, characterizations)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("vec")
+        payload = VectorChecksumPayload(ops=500_000)
+        attack = V0ltpwnAttack(
+            machine, enclave, payload, V0ltpwnConfig(frequency_ghz=2.2, max_attempts=20)
+        )
+        outcome = attack.mount()
+        assert not outcome.succeeded
+        assert outcome.faults_observed == 0
+
+    def test_no_crashes_while_protected(self, characterizations):
+        machine, _ = protected_machine(SKY_LAKE, characterizations)
+        campaign = ImulCampaign(
+            machine,
+            frequency_ghz=3.2,
+            offsets_mv=tuple(range(-100, -301, -50)),
+            iterations_per_point=200_000,
+        )
+        outcome = campaign.mount()
+        assert machine.crash_count == 0
+
+
+class TestBenignAvailability:
+    def test_safe_undervolting_untouched(self, characterizations):
+        # A power-conscious benign process undervolts within the safe
+        # band; the module must leave it alone (the paper's availability
+        # advantage over access control).
+        machine, module = protected_machine(KABY_LAKE_R, characterizations)
+        unsafe = characterizations["Kaby Lake R"].unsafe_states
+        machine.set_frequency(0.8)
+        benign = int(unsafe.boundary_mv(0.8)) + 30
+        assert machine.write_voltage_offset(benign) is True
+        machine.advance(5e-3)
+        assert machine.processor.core(0).applied_offset_mv(machine.now) == pytest.approx(
+            benign, abs=1.0
+        )
+        assert module.stats.detections == 0
+
+    def test_benign_dvfs_works_while_enclave_runs(self, characterizations):
+        # The whole point vs SA-00289: a non-SGX process may keep using
+        # DVFS while an SGX context is operational.
+        machine, module = protected_machine(COMET_LAKE, characterizations)
+        host = EnclaveHost(machine)
+        host.create_enclave("busy-enclave")
+        machine.cpufreq.set_governor(1, ScalingGovernor.USERSPACE)
+        machine.cpufreq.set_frequency(1, 1.0)
+        assert machine.write_voltage_offset(-30, core_index=1) is True
+        machine.advance(3e-3)
+        assert machine.processor.core(1).applied_offset_mv(machine.now) == pytest.approx(
+            -30, abs=1.0
+        )
+
+    def test_governor_switching_unimpeded(self, characterizations):
+        machine, _ = protected_machine(COMET_LAKE, characterizations)
+        for governor in (
+            ScalingGovernor.PERFORMANCE,
+            ScalingGovernor.POWERSAVE,
+            ScalingGovernor.ONDEMAND,
+        ):
+            machine.cpufreq.set_governor(0, governor)
+            machine.advance(2e-3)
+        assert machine.crash_count == 0
+
+
+class TestAdaptiveWindowAndDeeperDeployments:
+    @pytest.fixture
+    def cross_offset(self, characterizations) -> int:
+        unsafe = characterizations["Comet Lake"].unsafe_states
+        return int(unsafe.boundary_mv(3.4)) - 10
+
+    def test_frequency_jump_leaves_residual_window_for_polling(
+        self, characterizations, cross_offset
+    ):
+        machine, _ = protected_machine(COMET_LAKE, characterizations)
+        attack = VoltJockeyAttack(
+            machine,
+            VoltJockeyConfig(0.8, 3.4, offset_mv=cross_offset, repetitions=3),
+        )
+        outcome = attack.mount()
+        # Polling reacts only after the jump: a bounded burst of faults.
+        assert outcome.faults_observed > 0
+
+    def test_msr_clamp_closes_the_window(self, characterizations, cross_offset):
+        machine, _ = protected_machine(COMET_LAKE, characterizations)
+        maximal = characterizations["Comet Lake"].maximal_safe_offset_mv()
+        install_msr_clamp(machine.processor, maximal)
+        attack = VoltJockeyAttack(
+            machine,
+            VoltJockeyConfig(0.8, 3.4, offset_mv=cross_offset, repetitions=3),
+        )
+        outcome = attack.mount()
+        assert outcome.faults_observed == 0
+        assert not outcome.succeeded
+
+    def test_microcode_guard_closes_the_window(self, characterizations, cross_offset):
+        machine, _ = protected_machine(COMET_LAKE, characterizations)
+        maximal = characterizations["Comet Lake"].maximal_safe_offset_mv()
+        MicrocodeGuard(maximal).apply(machine.processor)
+        attack = VoltJockeyAttack(
+            machine,
+            VoltJockeyConfig(0.8, 3.4, offset_mv=cross_offset, repetitions=3),
+        )
+        outcome = attack.mount()
+        assert outcome.faults_observed == 0
+        assert outcome.writes_blocked == 3
+
+    def test_polling_window_bounded_by_turnaround(self, characterizations, cross_offset):
+        # The residual fault burst must fit within the worst-case
+        # turnaround (period + ioctl chain + raise latency) at 3.4 GHz.
+        machine, module = protected_machine(COMET_LAKE, characterizations)
+        attack = VoltJockeyAttack(
+            machine,
+            VoltJockeyConfig(0.8, 3.4, offset_mv=cross_offset, repetitions=1),
+        )
+        outcome = attack.mount()
+        window_ops = module.worst_case_turnaround_s() * 3.4e9
+        # Faults are rare events within the window; the count must be far
+        # below the op budget of the window (sanity of the time model).
+        assert outcome.faults_observed < window_ops * 1e-3

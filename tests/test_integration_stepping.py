@@ -1,0 +1,139 @@
+"""The Sec. 4.1 threat-model argument, end to end.
+
+Minefield's deflection assumes faults land blindly: its mines detonate
+first with high probability.  An SGX-Step adversary breaks the
+assumption — it interrupts the enclave after every instruction, confines
+the unsafe voltage to exactly the target instruction's slot (zero-stepping
+grants unbounded retries), and the mines only ever execute at safe
+conditions.
+
+The paper's countermeasure survives the same adversary *by construction*:
+it does not care which instruction is executing — the unsafe state itself
+is reverted before it becomes electrically effective, so even a perfectly
+isolated target instruction runs at a safe voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.sgx import EnclaveHost, SingleStepper, ZeroStepper
+from repro.testbench import Machine
+
+MINES_PER_SIDE = 8
+
+
+@dataclass
+class SteppedMinefieldRun:
+    """A minefield-instrumented payload executed under single-stepping."""
+
+    machine: Machine
+    attack_offset_mv: int
+    mine_detonations: int = 0
+    target_faults: int = 0
+    trace_conditions: list = field(default_factory=list)
+
+    def _execute_op(self, *, is_mine: bool) -> None:
+        conditions = self.machine.conditions(0)
+        self.trace_conditions.append(conditions.offset_mv)
+        outcome = self.machine.injector.run_window(
+            conditions, 50_000, instruction="imul"
+        )
+        if outcome.fault_count:
+            if is_mine:
+                self.mine_detonations += 1
+            else:
+                self.target_faults += 1
+
+    def build_slots(self):
+        slots = [lambda: self._execute_op(is_mine=True)] * MINES_PER_SIDE
+        slots.append(lambda: self._execute_op(is_mine=False))
+        slots += [lambda: self._execute_op(is_mine=True)] * MINES_PER_SIDE
+        return slots, MINES_PER_SIDE  # (slots, target index)
+
+    def run_stepped(self, enclave, *, replays: int = 40) -> None:
+        """Single-step the payload; zero-step replay the target slot."""
+        settle = self.machine.model.regulator_latency_s * 1.2
+        slots, target_index = self.build_slots()
+
+        def before(slot: int) -> None:
+            if slot == target_index:
+                # Arm the unsafe voltage only for the target instruction.
+                self.machine.write_voltage_offset(self.attack_offset_mv)
+                self.machine.advance(settle)
+
+        def after(slot: int) -> None:
+            if slot == target_index:
+                self.machine.write_voltage_offset(0)
+                self.machine.advance(settle)
+
+        stepper = SingleStepper(enclave, before_slot=before, after_slot=after)
+        stepper.run(slots)
+        # Zero-stepping: replay the isolated target until it faults (or
+        # the replay budget runs out) — the mines never execute again.
+        zero = ZeroStepper(enclave, max_replays=replays)
+        self.machine.write_voltage_offset(self.attack_offset_mv)
+        self.machine.advance(settle)
+
+        def target_op():
+            before_faults = self.target_faults
+            self._execute_op(is_mine=False)
+            return self.target_faults > before_faults
+
+        zero.replay_until(target_op, lambda faulted: faulted)
+        self.machine.write_voltage_offset(0)
+        self.machine.advance(settle)
+
+
+@pytest.fixture
+def attack_offset(comet_characterization) -> int:
+    return int(comet_characterization.unsafe_states.boundary_mv(1.8)) - 15
+
+
+class TestSteppingBypassesMinefield:
+    def test_mines_never_detonate_target_faults(self, attack_offset):
+        machine = Machine.build(COMET_LAKE, seed=37)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("minefielded")
+        run = SteppedMinefieldRun(machine, attack_offset)
+        run.run_stepped(enclave)
+        # The deflection never fires: every mine executed at safe voltage.
+        assert run.mine_detonations == 0
+        # The isolated target was faulted (zero-stepping budget suffices).
+        assert run.target_faults >= 1
+        assert enclave.stats.aexits > 2 * MINES_PER_SIDE
+
+    def test_mines_saw_only_safe_conditions(self, attack_offset):
+        machine = Machine.build(COMET_LAKE, seed=37)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("minefielded")
+        run = SteppedMinefieldRun(machine, attack_offset)
+        run.run_stepped(enclave)
+        mine_offsets = (
+            run.trace_conditions[:MINES_PER_SIDE]
+            + run.trace_conditions[MINES_PER_SIDE + 1 : 2 * MINES_PER_SIDE + 1]
+        )
+        assert all(offset > -30 for offset in mine_offsets)
+
+
+class TestPollingSurvivesStepping:
+    def test_isolated_target_never_faults_under_polling(
+        self, attack_offset, comet_characterization
+    ):
+        # The same stepping adversary against the paper's countermeasure:
+        # the armed voltage is remediated before it applies, so even the
+        # perfectly isolated target instruction executes safely.
+        machine = Machine.build(COMET_LAKE, seed=37)
+        module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+        machine.modules.insmod(module)
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("protected")
+        run = SteppedMinefieldRun(machine, attack_offset)
+        run.run_stepped(enclave, replays=60)
+        assert run.target_faults == 0
+        assert run.mine_detonations == 0
+        assert module.stats.detections >= 1

@@ -1,0 +1,177 @@
+"""Kernel module registry, MSR driver accounting, cpufreq governors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyError, KernelModuleError
+from repro.cpu import COMET_LAKE
+from repro.cpu.msr import IA32_PERF_STATUS
+from repro.kernel.cpufreq import CPUPower, ScalingGovernor
+from repro.kernel.module import KernelModule, ModuleRegistry
+from repro.testbench import Machine
+
+
+class RecordingModule(KernelModule):
+    name = "recorder"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events = []
+
+    def on_load(self) -> None:
+        self.events.append("load")
+
+    def on_unload(self) -> None:
+        self.events.append("unload")
+
+
+class TestModuleRegistry:
+    def test_insmod_runs_init(self):
+        registry = ModuleRegistry()
+        module = RecordingModule()
+        registry.insmod(module)
+        assert module.loaded
+        assert module.events == ["load"]
+        assert registry.is_loaded("recorder")
+
+    def test_double_insmod_rejected(self):
+        registry = ModuleRegistry()
+        registry.insmod(RecordingModule())
+        with pytest.raises(KernelModuleError):
+            registry.insmod(RecordingModule())
+
+    def test_rmmod_runs_exit(self):
+        registry = ModuleRegistry()
+        module = RecordingModule()
+        registry.insmod(module)
+        returned = registry.rmmod("recorder")
+        assert returned is module
+        assert not module.loaded
+        assert module.events == ["load", "unload"]
+
+    def test_rmmod_unknown_rejected(self):
+        with pytest.raises(KernelModuleError):
+            ModuleRegistry().rmmod("ghost")
+
+    def test_history_records_operations(self):
+        registry = ModuleRegistry()
+        registry.insmod(RecordingModule(), now=1.0)
+        registry.rmmod("recorder", now=2.0)
+        assert registry.history == [(1.0, "insmod", "recorder"), (2.0, "rmmod", "recorder")]
+
+    def test_get_and_listing(self):
+        registry = ModuleRegistry()
+        module = RecordingModule()
+        registry.insmod(module)
+        assert registry.get("recorder") is module
+        assert registry.loaded_modules() == ["recorder"]
+        with pytest.raises(KernelModuleError):
+            registry.get("ghost")
+
+
+class TestMSRDriver:
+    def test_latency_defaults_to_model(self):
+        machine = Machine.build(COMET_LAKE)
+        assert machine.msr_driver.access_latency_s == COMET_LAKE.msr_ioctl_latency_s
+
+    def test_accounting(self):
+        machine = Machine.build(COMET_LAKE)
+        driver = machine.msr_driver
+        driver.read(0, IA32_PERF_STATUS)
+        driver.read(1, IA32_PERF_STATUS)
+        from repro.core.encoding import offset_voltage
+
+        driver.write(0, 0x150, offset_voltage(-10))
+        assert driver.stats.reads == 2
+        assert driver.stats.writes == 1
+        assert driver.stats.busy_seconds == pytest.approx(3 * driver.access_latency_s)
+
+    def test_ignored_write_counted(self):
+        machine = Machine.build(COMET_LAKE)
+        machine.processor.msr.insert_write_hook(0x150, lambda c, v: None)
+        from repro.core.encoding import offset_voltage
+
+        assert machine.msr_driver.write(0, 0x150, offset_voltage(-10)) is False
+        assert machine.msr_driver.stats.ignored_writes == 1
+
+    def test_stats_reset(self):
+        machine = Machine.build(COMET_LAKE)
+        machine.msr_driver.read(0, IA32_PERF_STATUS)
+        machine.msr_driver.stats.reset()
+        assert machine.msr_driver.stats.reads == 0
+        assert machine.msr_driver.stats.busy_seconds == 0.0
+
+
+class TestCPUFreq:
+    @pytest.fixture
+    def machine(self) -> Machine:
+        return Machine.build(COMET_LAKE)
+
+    def test_userspace_governor_sets_frequency(self, machine):
+        machine.cpufreq.set_governor(0, ScalingGovernor.USERSPACE)
+        programmed = machine.cpufreq.set_frequency(0, 2.4)
+        assert programmed == pytest.approx(2.4)
+        assert machine.processor.core(0).frequency_ghz == pytest.approx(2.4)
+
+    def test_frequency_without_userspace_rejected(self, machine):
+        with pytest.raises(FrequencyError):
+            machine.cpufreq.set_frequency(0, 2.4)
+
+    def test_performance_governor_pins_max(self, machine):
+        machine.cpufreq.set_governor(0, ScalingGovernor.PERFORMANCE)
+        assert machine.processor.core(0).frequency_ghz == pytest.approx(4.9)
+
+    def test_powersave_governor_pins_min(self, machine):
+        machine.cpufreq.set_governor(0, ScalingGovernor.POWERSAVE)
+        assert machine.processor.core(0).frequency_ghz == pytest.approx(0.4)
+
+    def test_policy_limits_clamp_requests(self, machine):
+        machine.cpufreq.set_policy_limits(0, min_ghz=1.0, max_ghz=2.0)
+        machine.cpufreq.set_governor(0, ScalingGovernor.USERSPACE)
+        assert machine.cpufreq.set_frequency(0, 4.0) == pytest.approx(2.0)
+
+    def test_invalid_policy_limits_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.cpufreq.set_policy_limits(0, min_ghz=3.0, max_ghz=2.0)
+
+    def test_ondemand_follows_load(self, machine):
+        machine.cpufreq.set_governor(0, ScalingGovernor.ONDEMAND)
+        low = machine.cpufreq.report_load(0, 0.1)
+        high = machine.cpufreq.report_load(0, 0.95)
+        assert high > low
+
+    def test_load_out_of_range_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.cpufreq.report_load(0, 1.5)
+
+    def test_transition_log(self, machine):
+        machine.cpufreq.set_governor(0, ScalingGovernor.PERFORMANCE)
+        assert (0, 4.9) in machine.cpufreq.transition_log
+
+    def test_available_frequencies_match_table(self, machine):
+        assert machine.cpufreq.available_frequencies() == list(
+            COMET_LAKE.frequency_table.frequencies_ghz()
+        )
+
+
+class TestCPUPower:
+    def test_frequency_set_all_cores(self):
+        machine = Machine.build(COMET_LAKE)
+        machine.cpupower.frequency_set(2.0)
+        for core in machine.processor.cores:
+            assert core.frequency_ghz == pytest.approx(2.0)
+
+    def test_frequency_set_single_core(self):
+        machine = Machine.build(COMET_LAKE)
+        machine.cpupower.frequency_set(3.0, core_index=1)
+        assert machine.processor.core(1).frequency_ghz == pytest.approx(3.0)
+        assert machine.processor.core(0).frequency_ghz == pytest.approx(1.8)
+
+    def test_frequency_info(self):
+        machine = Machine.build(COMET_LAKE)
+        machine.cpupower.frequency_set(2.2, core_index=0)
+        info = machine.cpupower.frequency_info(0)
+        assert info["current_ghz"] == pytest.approx(2.2)
+        assert info["governor"] == "userspace"
+        assert 2.2 in info["available"]

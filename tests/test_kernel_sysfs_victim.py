@@ -1,0 +1,193 @@
+"""Sysfs interface, continuous victim thread, voltage tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, KernelModuleError
+from repro.analysis.timeline import VoltageTracer
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.kernel.sysfs import SysfsAttribute, SysfsDirectory, expose_polling_module
+from repro.kernel.victim import ContinuousVictim
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def deployed(comet_characterization):
+    machine = Machine.build(COMET_LAKE, seed=19)
+    module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+    machine.modules.insmod(module)
+    return machine, module
+
+
+class TestSysfs:
+    def test_directory_listing(self, deployed):
+        _, module = deployed
+        directory = expose_polling_module(module)
+        assert directory.ls() == [
+            "detections",
+            "maximal_safe_mv",
+            "period_us",
+            "policy",
+            "polls",
+            "remediations",
+        ]
+
+    def test_read_attributes(self, deployed):
+        machine, module = deployed
+        directory = expose_polling_module(module)
+        machine.advance(2e-3)
+        assert directory.read("period_us") == "500"
+        assert directory.read("policy") == "clamp-to-boundary"
+        assert int(directory.read("polls")) >= 3
+        assert float(directory.read("maximal_safe_mv")) < 0
+
+    def test_write_period_rearms_kthread(self, deployed):
+        machine, module = deployed
+        directory = expose_polling_module(module)
+        directory.write("period_us", "100")
+        assert module.period_s == pytest.approx(100e-6)
+        polls_before = module.stats.polls
+        machine.advance(1e-3)
+        assert module.stats.polls - polls_before == pytest.approx(10, abs=1)
+
+    def test_read_only_attributes_reject_stores(self, deployed):
+        _, module = deployed
+        directory = expose_polling_module(module)
+        with pytest.raises(KernelModuleError):
+            directory.write("polls", "0")
+
+    def test_invalid_period_rejected(self, deployed):
+        _, module = deployed
+        directory = expose_polling_module(module)
+        with pytest.raises(ConfigurationError):
+            directory.write("period_us", "banana")
+        with pytest.raises(ConfigurationError):
+            directory.write("period_us", "-5")
+
+    def test_unknown_attribute(self, deployed):
+        _, module = deployed
+        directory = expose_polling_module(module)
+        with pytest.raises(KernelModuleError):
+            directory.read("nonexistent")
+        with pytest.raises(KernelModuleError):
+            directory.write("nonexistent", "1")
+
+    def test_generic_directory(self):
+        directory = SysfsDirectory("demo")
+        directory.add(SysfsAttribute("x", lambda: "42"))
+        assert directory.read("x") == "42"
+        assert not directory._attributes["x"].writable
+
+
+class TestContinuousVictim:
+    def test_runs_cleanly_on_safe_machine(self):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        victim = ContinuousVictim(machine, chunk_ops=50_000)
+        victim.start()
+        machine.advance(5e-3)
+        assert victim.running
+        assert victim.trace.chunks > 50
+        assert victim.trace.total_faults == 0
+        victim.stop()
+        chunks = victim.trace.chunks
+        machine.advance(5e-3)
+        assert victim.trace.chunks == chunks
+
+    def test_observes_faults_during_real_attack_window(self, comet_characterization):
+        # Undefended: an applied unsafe offset faults the running victim.
+        machine = Machine.build(COMET_LAKE, seed=19)
+        victim = ContinuousVictim(machine, chunk_ops=50_000)
+        victim.start()
+        boundary = int(comet_characterization.unsafe_states.boundary_mv(1.8))
+        machine.write_voltage_offset(boundary - 12)
+        machine.advance(5e-3)
+        assert victim.trace.total_faults > 0
+        burst = victim.trace.fault_windows()[0]
+        # Faults begin only after the regulator's apply delay.
+        assert burst.time_s >= COMET_LAKE.regulator_latency_s
+
+    def test_no_faults_with_module_loaded(self, deployed):
+        machine, _ = deployed
+        victim = ContinuousVictim(machine, chunk_ops=50_000)
+        victim.start()
+        machine.write_voltage_offset(-250)
+        machine.advance(5e-3)
+        machine.write_voltage_offset(-150)
+        machine.advance(5e-3)
+        assert victim.trace.total_faults == 0
+        assert victim.trace.crashes == 0
+
+    def test_crash_reboot_resume(self):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        victim = ContinuousVictim(machine, chunk_ops=50_000)
+        victim.start()
+        machine.write_voltage_offset(-300)
+        machine.advance(60e-3)
+        assert victim.trace.crashes >= 1
+        assert victim.running  # resumed after reboot (offset reset to 0)
+        assert machine.crash_count == victim.trace.crashes
+
+    def test_unknown_instruction_rejected(self):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        with pytest.raises(ValueError):
+            ContinuousVictim(machine, instruction="fdiv")
+
+
+class TestVoltageTracer:
+    def test_samples_on_grid(self):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        tracer = VoltageTracer(machine, sample_period_s=100e-6)
+        tracer.start()
+        machine.advance(1e-3)
+        tracer.stop()
+        count = len(tracer.samples)
+        assert count in (9, 10)  # boundary sample subject to fp rounding
+        machine.advance(1e-3)
+        assert len(tracer.samples) == count
+
+    def test_sees_regulator_hold_then_step(self):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        tracer = VoltageTracer(machine, sample_period_s=50e-6)
+        tracer.start()
+        machine.write_voltage_offset(-100)
+        machine.advance(1e-3)
+        applied = [s.applied_offset_mv for s in tracer.samples]
+        # Held at 0 during the latency window, then stepped to -100.
+        assert applied[0] == 0.0
+        assert applied[-1] == pytest.approx(-100, abs=1.0)
+        assert set(round(a) for a in applied) <= {0, -100}
+
+    def test_deepest_applied_offset(self, deployed):
+        machine, _ = deployed
+        tracer = VoltageTracer(machine)
+        tracer.start()
+        machine.write_voltage_offset(-250)
+        machine.advance(5e-3)
+        # Protected: -250 never became effective.
+        assert tracer.deepest_applied_offset_mv() > -100
+
+    def test_violations_lookup(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        tracer = VoltageTracer(machine)
+        tracer.start()
+        machine.write_voltage_offset(-120)
+        machine.advance(3e-3)
+        unsafe = comet_characterization.unsafe_states
+        bad = tracer.violations(unsafe.effective_boundary_mv)
+        assert bad  # undefended machine spent time beyond the boundary
+
+    def test_render(self):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        tracer = VoltageTracer(machine, sample_period_s=200e-6)
+        tracer.start()
+        machine.advance(1e-3)
+        text = tracer.render()
+        assert "applied(mV)" in text
+        assert len(text.splitlines()) == 6  # header + 5 samples
+
+    def test_invalid_period(self):
+        machine = Machine.build(COMET_LAKE, seed=19)
+        with pytest.raises(ConfigurationError):
+            VoltageTracer(machine, sample_period_s=0.0)

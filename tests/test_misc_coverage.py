@@ -1,0 +1,142 @@
+"""Breadth coverage: smaller behaviours not exercised elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import AttackOutcome
+from repro.analysis.report import render_characterization_map, render_table
+from repro.core.encoding import decode_offset_mv, offset_voltage
+from repro.cpu import COMET_LAKE, ocm
+from repro.faults.workloads import AES_ROUNDS, INTEGER_ALU, SCALAR_FPU, WORKLOAD_CATALOG
+from repro.sgx import EnclaveHost
+from repro.testbench import Machine
+
+
+class TestAttackOutcome:
+    def test_as_row_shape(self):
+        outcome = AttackOutcome(attack="demo", succeeded=True, faults_observed=3)
+        row = outcome.as_row()
+        assert row["attack"] == "demo"
+        assert row["succeeded"] is True
+        assert row["faults"] == 3
+        assert set(row) == {
+            "attack", "succeeded", "faults", "attempts", "crashes", "writes_blocked",
+        }
+
+    def test_notes_accumulate(self):
+        outcome = AttackOutcome(attack="demo", succeeded=False)
+        outcome.note("first")
+        outcome.note("second")
+        assert outcome.notes == ["first", "second"]
+
+
+class TestPositiveOffsets:
+    def test_overvolting_encodable(self):
+        # Table 1's field is signed: positive (overvolt) offsets encode too.
+        value = offset_voltage(50, plane=0)
+        assert decode_offset_mv(value) == pytest.approx(50, abs=1.0)
+
+    def test_overvolting_is_never_unsafe(self, comet_characterization):
+        unsafe = comet_characterization.unsafe_states
+        for f in (0.8, 2.0, 4.9):
+            assert not unsafe.is_unsafe(f, +50.0)
+
+    def test_overvolt_applies_and_does_not_fault(self):
+        machine = Machine.build(COMET_LAKE, seed=61)
+        machine.write_voltage_offset(+40)
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+        assert machine.conditions(0).offset_mv == pytest.approx(40, abs=1.0)
+        report = machine.run_imul_window(iterations=500_000)
+        assert not report.faulted
+
+    def test_positive_units_roundtrip(self):
+        for mv in (1, 100, 999):
+            units = ocm.mv_to_units(mv)
+            assert units >= 0
+            assert ocm.decode_offset_field(ocm.encode_offset_field(units)) == units
+
+
+class TestEnclaveHost:
+    def test_duplicate_names_allowed_find_returns_first_live(self):
+        machine = Machine.build(COMET_LAKE, seed=61)
+        host = EnclaveHost(machine)
+        first = host.create_enclave("twin")
+        second = host.create_enclave("twin")
+        assert host.find("twin") is first
+        first.destroy()
+        assert host.find("twin") is second
+
+    def test_enclaves_share_machine_but_not_stats(self):
+        machine = Machine.build(COMET_LAKE, seed=61)
+        host = EnclaveHost(machine)
+        a = host.create_enclave("a")
+        b = host.create_enclave("b")
+        a.ecall(lambda alu: alu.imul64(2, 3))
+        assert a.stats.ecalls == 1
+        assert b.stats.ecalls == 0
+
+
+class TestWorkloadCatalog:
+    def test_all_entries_executable(self):
+        machine = Machine.build(COMET_LAKE, seed=61)
+        for workload in WORKLOAD_CATALOG.values():
+            outcome = machine.run_workload_window(workload, ops=10_000)
+            assert outcome.ops == 10_000
+            assert outcome.fault_count == 0
+
+    def test_sensitivity_ordering_reflected_in_fault_rates(self):
+        # At unsafe conditions, imul faults more than ALU ops.
+        machine = Machine.build(COMET_LAKE, seed=61)
+        fm = machine.fault_model
+        vcrit = fm.critical_voltage(2.0)
+        p_imul = fm.fault_probability(2.0, vcrit, instruction="imul")
+        p_alu = fm.fault_probability(2.0, vcrit, instruction="add")
+        p_fpu = fm.fault_probability(2.0, vcrit, instruction="mulsd")
+        assert p_imul > p_fpu > p_alu > 0
+
+    def test_catalog_cpi_values(self):
+        assert INTEGER_ALU.cycles_per_op < SCALAR_FPU.cycles_per_op
+        assert AES_ROUNDS.duration_s(1000, 1.0) == pytest.approx(1e-6)
+
+
+class TestRenderingCorners:
+    def test_table_with_mixed_types(self):
+        text = render_table(["a", "b"], [(1, None), ("x", 2.5)])
+        assert "None" in text
+        assert "2.5" in text
+
+    def test_map_with_custom_bins(self, comet_characterization):
+        narrow = render_characterization_map(
+            comet_characterization, offset_bin_mv=100, max_depth_mv=300
+        )
+        data_rows = [l for l in narrow.splitlines() if ".." in l and "safe" not in l]
+        assert len(data_rows) == 3
+
+    def test_map_of_empty_result(self):
+        from repro.core.characterization import (
+            CharacterizationConfig,
+            CharacterizationResult,
+        )
+
+        empty = CharacterizationResult(
+            model=COMET_LAKE,
+            config=CharacterizationConfig(
+                offset_start_mv=-1, offset_stop_mv=-2
+            ),
+        )
+        assert "empty" in render_characterization_map(empty)
+
+
+class TestMachineWorkloadEdges:
+    def test_zero_advance_is_legal(self):
+        machine = Machine.build(COMET_LAKE, seed=61)
+        machine.advance(0.0)
+        assert machine.now == 0.0
+
+    def test_imul_window_respects_core_index(self):
+        machine = Machine.build(COMET_LAKE, seed=61)
+        machine.set_frequency(3.0, core_index=2)
+        machine.run_imul_window(core_index=2, iterations=1000)
+        # Time advanced by 1000 cycles at core 2's 3 GHz.
+        assert machine.now == pytest.approx(1000 / 3.0e9)

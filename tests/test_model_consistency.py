@@ -1,0 +1,109 @@
+"""Statistical self-consistency of the fault model and seed robustness.
+
+These tests guard the *meaning* of the headline numbers: the sampled
+fault counts must follow the probabilities the model claims, and the
+prevention result must not be an artifact of one lucky seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import ImulCampaign
+from repro.core import CharacterizationFramework, PollingCountermeasure
+from repro.cpu import COMET_LAKE, ocm
+from repro.errors import InvalidPlaneError, InvalidVoltageOffsetError, OCMProtocolError
+from repro.faults.injector import FaultInjector
+from repro.faults.margin import FaultModel
+from repro.testbench import Machine
+
+
+class TestSamplingConsistency:
+    def test_window_fault_counts_match_model_probability(self):
+        """Observed fault rate ~ Binomial(n, p) within 5 sigma."""
+        fault_model = FaultModel(COMET_LAKE)
+        vcrit = fault_model.critical_voltage(2.0)
+        voltage = vcrit - 0.004
+        p = fault_model.fault_probability(2.0, voltage)
+        assert p > 0
+        injector = FaultInjector(fault_model, np.random.default_rng(71))
+        conditions = type(fault_model.conditions_for_offset(2.0, 0.0))(
+            2.0, voltage, -999
+        )
+        n = 2_000_000
+        total_ops, total_faults = 0, 0
+        for _ in range(5):
+            outcome = injector.run_window(conditions, n)
+            total_ops += n
+            total_faults += outcome.fault_count
+        expected = total_ops * p
+        sigma = math.sqrt(total_ops * p * (1 - p))
+        assert abs(total_faults - expected) < 5 * sigma
+
+    def test_zero_probability_means_zero_faults_always(self):
+        fault_model = FaultModel(COMET_LAKE)
+        injector = FaultInjector(fault_model, np.random.default_rng(71))
+        conditions = fault_model.conditions_for_offset(2.0, -20.0)
+        assert fault_model.fault_probability(2.0, conditions.voltage_volts) == 0.0
+        for _ in range(10):
+            assert injector.run_window(conditions, 1_000_000).fault_count == 0
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 101, 997])
+    def test_prevention_holds_across_seeds(self, seed, comet_characterization):
+        unsafe = comet_characterization.unsafe_states
+        machine = Machine.build(COMET_LAKE, seed=seed)
+        machine.modules.insmod(PollingCountermeasure(machine, unsafe))
+        boundary = int(unsafe.boundary_mv(1.8))
+        campaign = ImulCampaign(
+            machine,
+            frequency_ghz=1.8,
+            offsets_mv=(boundary, boundary - 10, boundary - 20, -300),
+            iterations_per_point=500_000,
+        )
+        outcome = campaign.mount()
+        assert outcome.faults_observed == 0, seed
+        assert outcome.crashes == 0, seed
+
+    @pytest.mark.parametrize("seed", [3, 13])
+    def test_characterization_boundary_stable_across_seeds(self, seed):
+        from repro.core.characterization import CharacterizationConfig
+
+        config = CharacterizationConfig(
+            offset_start_mv=-40, offset_stop_mv=-160, offset_step_mv=1,
+            frequencies_ghz=[2.0],
+        )
+        result = CharacterizationFramework(COMET_LAKE, config=config, seed=seed).run()
+        boundary = result.unsafe_states.boundary_mv(2.0)
+        # Within the onset sampling band of the canonical seed-5 boundary.
+        assert -85.0 <= boundary <= -60.0
+
+
+class TestOCMFuzz:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_never_crashes_unexpectedly(self, value):
+        """Arbitrary 64-bit garbage either decodes or raises a typed error."""
+        try:
+            command = ocm.decode_command(value)
+        except (OCMProtocolError, InvalidPlaneError, InvalidVoltageOffsetError):
+            return
+        assert command.command in (ocm.COMMAND_WRITE, ocm.COMMAND_READ)
+        assert -1024 <= command.offset_units <= 1023
+
+    @given(
+        st.integers(min_value=-1000, max_value=999),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_total_roundtrip(self, offset_mv, plane):
+        command = ocm.decode_command(ocm.encode_write(offset_mv, plane))
+        assert command.is_write
+        assert int(command.plane) == plane
+        assert command.offset_mv == pytest.approx(offset_mv, abs=1.0)

@@ -1,0 +1,107 @@
+"""Property-based safety invariant of the polling countermeasure.
+
+The core guarantee, as a hypothesis property: for *any* sequence of
+voltage-offset writes an adversary issues through MSR 0x150 at a fixed
+core frequency, the electrically applied offset never crosses the
+characterized fault boundary — because the polling period undercuts the
+regulator's apply delay, every unsafe target is rewritten while the old
+(safe) voltage is still held.
+
+(Frequency *jumps* onto a pre-applied deep offset are excluded here by
+construction: that is the adaptive window quantified by the turnaround
+ablation and closed by the Sec. 5 deployments.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeline import VoltageTracer
+from repro.core import PollingCountermeasure
+from repro.cpu import COMET_LAKE
+from repro.testbench import Machine
+
+#: An adversarial schedule: (delay before write in us, offset in mV).
+write_schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=20, max_value=2_000),
+        st.integers(min_value=-300, max_value=-1),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+frequencies = st.sampled_from([0.4, 0.8, 1.3, 1.8, 2.4, 3.0, 3.7, 4.3, 4.9])
+
+
+class TestSafetyInvariant:
+    @given(schedule=write_schedules, frequency=frequencies)
+    @settings(max_examples=40, deadline=None)
+    def test_applied_offset_never_crosses_boundary(
+        self, schedule, frequency, comet_characterization
+    ):
+        unsafe = comet_characterization.unsafe_states
+        machine = Machine.build(COMET_LAKE, seed=33)
+        module = PollingCountermeasure(machine, unsafe)
+        machine.modules.insmod(module)
+        machine.set_frequency(frequency)
+
+        tracer = VoltageTracer(machine, sample_period_s=25e-6)
+        tracer.start()
+        for delay_us, offset in schedule:
+            machine.advance(delay_us * 1e-6)
+            machine.write_voltage_offset(offset)
+        # Let all in-flight transitions settle under observation.
+        machine.advance(3 * COMET_LAKE.regulator_latency_s)
+        tracer.stop()
+
+        boundary = unsafe.effective_boundary_mv(frequency)
+        assert boundary is not None
+        violations = tracer.violations(lambda f: unsafe.effective_boundary_mv(f))
+        assert violations == [], (
+            f"applied state crossed the boundary at {frequency} GHz: "
+            f"{violations[:3]}"
+        )
+
+    @given(schedule=write_schedules, frequency=frequencies)
+    @settings(max_examples=20, deadline=None)
+    def test_every_remediation_targets_a_safe_offset(
+        self, schedule, frequency, comet_characterization
+    ):
+        unsafe = comet_characterization.unsafe_states
+        machine = Machine.build(COMET_LAKE, seed=33)
+        module = PollingCountermeasure(machine, unsafe)
+        machine.modules.insmod(module)
+        machine.set_frequency(frequency)
+        for delay_us, offset in schedule:
+            machine.advance(delay_us * 1e-6)
+            machine.write_voltage_offset(offset)
+        machine.advance(3 * COMET_LAKE.regulator_latency_s)
+        for event in module.stats.remediations:
+            assert not unsafe.is_unsafe(
+                event.observed.frequency_ghz, event.restored_offset_mv
+            )
+
+    @given(
+        offset=st.integers(min_value=-300, max_value=-1),
+        frequency=frequencies,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_safe_writes_are_never_remediated(
+        self, offset, frequency, comet_characterization
+    ):
+        unsafe = comet_characterization.unsafe_states
+        boundary = unsafe.effective_boundary_mv(frequency)
+        if offset <= boundary + 12:  # clear of the detection margin
+            return
+        machine = Machine.build(COMET_LAKE, seed=33)
+        module = PollingCountermeasure(machine, unsafe)
+        machine.modules.insmod(module)
+        machine.set_frequency(frequency)
+        machine.write_voltage_offset(offset)
+        machine.advance(3 * COMET_LAKE.regulator_latency_s)
+        assert module.stats.detections == 0
+        applied = machine.processor.core(0).applied_offset_mv(machine.now)
+        assert applied == pytest.approx(offset, abs=1.0)

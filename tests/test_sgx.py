@@ -1,0 +1,197 @@
+"""SGX substrate: enclaves, attestation, stepping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AttackError, AttestationError, EnclaveError
+from repro.cpu import COMET_LAKE
+from repro.core import CharacterizationFramework, PollingCountermeasure
+from repro.sgx.attestation import (
+    INTEL_SA_00289_POLICY,
+    PLUG_YOUR_VOLT_POLICY,
+    AttestationService,
+    VerifierPolicy,
+    verify_report,
+)
+from repro.sgx.enclave import EnclaveHost
+from repro.sgx.stepping import SingleStepper, ZeroStepper
+from repro.testbench import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine.build(COMET_LAKE, seed=31)
+
+
+@pytest.fixture
+def host(machine) -> EnclaveHost:
+    return EnclaveHost(machine)
+
+
+class TestEnclave:
+    def test_ecall_runs_payload_on_alu(self, host):
+        enclave = host.create_enclave("calc")
+        result = enclave.ecall(lambda alu, x: alu.imul64(x, 3), 7)
+        assert result == 21
+        assert enclave.stats.ecalls == 1
+
+    def test_measurement_depends_on_identity(self, host):
+        a = host.create_enclave("a")
+        b = host.create_enclave("b")
+        assert a.measurement != b.measurement
+        assert len(a.measurement) == 64
+
+    def test_destroyed_enclave_rejects_ecalls(self, host):
+        enclave = host.create_enclave("gone")
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.ecall(lambda alu: None)
+        assert not enclave.alive
+
+    def test_active_enclaves_listing(self, host):
+        a = host.create_enclave("a")
+        host.create_enclave("b")
+        a.destroy()
+        assert [e.name for e in host.active_enclaves()] == ["b"]
+        assert host.find("b") is not None
+        assert host.find("a") is None
+
+    def test_invalid_core_rejected(self, host):
+        from repro.errors import CoreIndexError
+
+        with pytest.raises(CoreIndexError):
+            host.create_enclave("x", core_index=12)
+
+    def test_enclave_arithmetic_faults_under_undervolt(
+        self, machine, host, comet_characterization
+    ):
+        # The enclave is isolated, but its ALU shares the core's voltage.
+        enclave = host.create_enclave("victim")
+        machine.set_frequency(2.0)
+        boundary = comet_characterization.unsafe_states.boundary_mv(2.0)
+        machine.write_voltage_offset(int(boundary) - 25)  # deep in the fault band
+        machine.advance(2 * COMET_LAKE.regulator_latency_s)
+
+        def payload(alu):
+            # Big operands: each bigmul issues 64 faultable limb products.
+            a = (1 << 512) - 987
+            b = (1 << 512) - 1234
+            faults = 0
+            for _ in range(2500):
+                if alu.bigmul(a, b) != a * b:
+                    faults += 1
+            return faults
+
+        assert enclave.ecall(payload) > 0
+
+
+class TestAttestation:
+    def test_report_integrity(self, machine, host):
+        service = AttestationService(machine)
+        report = service.generate(host.create_enclave("app"), nonce=5)
+        assert report.verify_integrity()
+
+    def test_tampered_report_fails_integrity(self, machine, host):
+        import dataclasses
+
+        service = AttestationService(machine)
+        report = service.generate(host.create_enclave("app"))
+        forged = dataclasses.replace(report, countermeasure_loaded=True)
+        assert not forged.verify_integrity()
+        with pytest.raises(AttestationError):
+            verify_report(forged, PLUG_YOUR_VOLT_POLICY)
+
+    def test_paper_policy_requires_module(self, machine, host, comet_characterization):
+        service = AttestationService(machine)
+        enclave = host.create_enclave("app")
+        with pytest.raises(AttestationError):
+            verify_report(service.generate(enclave), PLUG_YOUR_VOLT_POLICY)
+        module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+        machine.modules.insmod(module)
+        verify_report(service.generate(enclave), PLUG_YOUR_VOLT_POLICY)
+
+    def test_unloading_module_caught_at_reattestation(
+        self, machine, host, comet_characterization
+    ):
+        # The paper's answer to "why can't the adversary just rmmod?"
+        service = AttestationService(machine)
+        enclave = host.create_enclave("app")
+        module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+        machine.modules.insmod(module)
+        verify_report(service.generate(enclave), PLUG_YOUR_VOLT_POLICY)
+        machine.modules.rmmod(module.name)
+        with pytest.raises(AttestationError):
+            verify_report(service.generate(enclave), PLUG_YOUR_VOLT_POLICY)
+
+    def test_sa00289_policy_requires_ocm_disabled(self, machine, host):
+        service = AttestationService(machine)
+        enclave = host.create_enclave("app")
+        with pytest.raises(AttestationError):
+            verify_report(service.generate(enclave), INTEL_SA_00289_POLICY)
+        service.set_ocm_disabled(True)
+        verify_report(service.generate(enclave), INTEL_SA_00289_POLICY)
+
+    def test_measurement_pinning(self, machine, host):
+        service = AttestationService(machine)
+        enclave = host.create_enclave("app")
+        policy = VerifierPolicy(expected_measurement=enclave.measurement)
+        verify_report(service.generate(enclave), policy)
+        other = host.create_enclave("evil")
+        with pytest.raises(AttestationError):
+            verify_report(service.generate(other), policy)
+
+    def test_hyperthreading_policy(self, machine, host):
+        service = AttestationService(machine, hyperthreading_enabled=True)
+        enclave = host.create_enclave("app")
+        policy = VerifierPolicy(require_hyperthreading_disabled=True)
+        with pytest.raises(AttestationError):
+            verify_report(service.generate(enclave), policy)
+
+
+class TestStepping:
+    def test_single_stepper_fires_per_slot(self, host):
+        enclave = host.create_enclave("stepped")
+        before, after = [], []
+        stepper = SingleStepper(
+            enclave, before_slot=before.append, after_slot=after.append
+        )
+        executed = []
+        trace = stepper.run([lambda: executed.append(i) for i in range(5)])
+        assert trace.slots == 5
+        assert trace.aex_count == 5
+        assert before == after == [0, 1, 2, 3, 4]
+        assert enclave.stats.aexits == 5
+
+    def test_empty_slots_rejected(self, host):
+        stepper = SingleStepper(host.create_enclave("s"))
+        with pytest.raises(AttackError):
+            stepper.run([])
+
+    def test_zero_stepper_replays_until_success(self, host):
+        enclave = host.create_enclave("z")
+        attempts = []
+
+        def instruction():
+            attempts.append(1)
+            return len(attempts)
+
+        zero = ZeroStepper(enclave)
+        result, count = zero.replay_until(instruction, lambda r: r == 7)
+        assert result == 7
+        assert count == 7
+
+    def test_zero_stepper_exhaustion(self, host):
+        zero = ZeroStepper(host.create_enclave("z"), max_replays=10)
+        result, count = zero.replay_until(lambda: 0, lambda r: False)
+        assert result is None
+        assert count == 10
+
+    def test_step_hooks_fire_on_aex(self, host):
+        enclave = host.create_enclave("hooked")
+        fired = []
+        enclave.add_step_hook(lambda: fired.append(1))
+        enclave.fire_aex()
+        enclave.remove_step_hook(enclave._step_hooks[0])
+        enclave.fire_aex()
+        assert fired == [1]

@@ -1,0 +1,158 @@
+"""Secret provisioning against attestation, the Ice Lake extended model,
+and the /proc/cpuinfo-style diagnostics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.core import CharacterizationFramework, PollingCountermeasure
+from repro.cpu import COMET_LAKE, EXTENDED_MODELS, ICE_LAKE, PAPER_MODELS, model_by_codename
+from repro.kernel import render_cpuinfo, render_system_status
+from repro.sgx import (
+    PLUG_YOUR_VOLT_POLICY,
+    AttestationService,
+    EnclaveHost,
+    RemoteProvisioner,
+)
+from repro.testbench import Machine
+
+SECRET = b"pkcs8-private-key-material"
+
+
+@pytest.fixture
+def protected(comet_characterization):
+    machine = Machine.build(COMET_LAKE, seed=81)
+    module = PollingCountermeasure(machine, comet_characterization.unsafe_states)
+    machine.modules.insmod(module)
+    return machine, module
+
+
+class TestProvisioning:
+    def test_happy_path(self, protected):
+        machine, _ = protected
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("signer")
+        service = AttestationService(machine)
+        provisioner = RemoteProvisioner(SECRET, PLUG_YOUR_VOLT_POLICY)
+        nonce = provisioner.challenge()
+        secret = provisioner.provision(service.generate(enclave, nonce=nonce))
+        assert secret == SECRET
+        assert provisioner.is_provisioned(enclave)
+        assert provisioner.audit_log[-1].granted
+
+    def test_refused_without_countermeasure(self, comet_characterization):
+        machine = Machine.build(COMET_LAKE, seed=81)  # no module loaded
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("signer")
+        service = AttestationService(machine)
+        provisioner = RemoteProvisioner(SECRET, PLUG_YOUR_VOLT_POLICY)
+        nonce = provisioner.challenge()
+        with pytest.raises(AttestationError):
+            provisioner.provision(service.generate(enclave, nonce=nonce))
+        assert not provisioner.is_provisioned(enclave)
+        assert not provisioner.audit_log[-1].granted
+
+    def test_nonce_single_use(self, protected):
+        machine, _ = protected
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("signer")
+        service = AttestationService(machine)
+        provisioner = RemoteProvisioner(SECRET, PLUG_YOUR_VOLT_POLICY)
+        nonce = provisioner.challenge()
+        report = service.generate(enclave, nonce=nonce)
+        provisioner.provision(report)
+        with pytest.raises(AttestationError):
+            provisioner.provision(report)  # replay
+
+    def test_quote_recorded_before_rmmod_cannot_be_replayed(self, protected):
+        # The adversarial plan the nonce defeats: record a good quote,
+        # unload the module, replay the quote.
+        machine, module = protected
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("signer")
+        service = AttestationService(machine)
+        provisioner = RemoteProvisioner(SECRET, PLUG_YOUR_VOLT_POLICY)
+        nonce = provisioner.challenge()
+        good_quote = service.generate(enclave, nonce=nonce)
+        provisioner.provision(good_quote)
+        machine.modules.rmmod(module.name)
+        with pytest.raises(AttestationError):
+            provisioner.provision(good_quote)
+        # And a fresh challenge cannot be satisfied either.
+        fresh = provisioner.challenge()
+        with pytest.raises(AttestationError):
+            provisioner.provision(service.generate(enclave, nonce=fresh))
+
+    def test_forged_nonce_rejected(self, protected):
+        machine, _ = protected
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("signer")
+        service = AttestationService(machine)
+        provisioner = RemoteProvisioner(SECRET, PLUG_YOUR_VOLT_POLICY)
+        with pytest.raises(AttestationError):
+            provisioner.provision(service.generate(enclave, nonce=12345))
+
+    def test_revocation(self, protected):
+        machine, _ = protected
+        host = EnclaveHost(machine)
+        enclave = host.create_enclave("signer")
+        service = AttestationService(machine)
+        provisioner = RemoteProvisioner(SECRET, PLUG_YOUR_VOLT_POLICY)
+        provisioner.provision(
+            service.generate(enclave, nonce=provisioner.challenge())
+        )
+        provisioner.revoke(enclave)
+        assert not provisioner.is_provisioned(enclave)
+
+
+class TestIceLakeExtendedModel:
+    def test_in_extended_catalog_only(self):
+        assert "Ice Lake" in EXTENDED_MODELS
+        assert "Ice Lake" not in PAPER_MODELS
+        assert model_by_codename("Ice Lake") is ICE_LAKE
+
+    def test_pipeline_generalises(self):
+        result = CharacterizationFramework(ICE_LAKE, seed=5).run()
+        assert result.unsafe_states.frequencies_ghz() == list(
+            ICE_LAKE.frequency_table.frequencies_ghz()
+        )
+        maximal = result.maximal_safe_offset_mv()
+        assert -120 < maximal < -20
+        machine = Machine.build(ICE_LAKE, seed=7)
+        module = PollingCountermeasure(machine, result.unsafe_states)
+        machine.modules.insmod(module)
+        machine.set_frequency(1.3)
+        machine.write_voltage_offset(-250)
+        machine.advance(5e-3)
+        assert module.stats.detections >= 1
+        report = machine.run_imul_window(iterations=500_000)
+        assert not report.faulted
+
+    def test_different_process_node(self):
+        assert ICE_LAKE.process.vth_volts < COMET_LAKE.process.vth_volts
+
+
+class TestProcInfo:
+    def test_cpuinfo_fields(self):
+        machine = Machine.build(COMET_LAKE, seed=81)
+        machine.set_frequency(2.4, core_index=1)
+        text = render_cpuinfo(machine)
+        assert text.count("processor\t:") == 4
+        assert "2400.000" in text
+        assert COMET_LAKE.name in text
+        assert "microcode\t: 0xf4" in text
+
+    def test_system_status_includes_modules_and_driver(self, protected):
+        machine, module = protected
+        machine.advance(2e-3)
+        text = render_system_status(machine)
+        assert "plug_your_volt" in text
+        assert "msr driver" in text
+        assert "uptime" in text
+
+    def test_status_without_modules(self):
+        machine = Machine.build(COMET_LAKE, seed=81)
+        assert "(none)" in render_system_status(machine)

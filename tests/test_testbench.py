@@ -1,0 +1,97 @@
+"""The assembled Machine test bench."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineCheckError
+from repro.cpu import COMET_LAKE, SKY_LAKE
+from repro.faults.workloads import IMUL_LOOP
+from repro.testbench import Machine
+
+
+class TestBuild:
+    def test_components_wired(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        assert machine.processor.model is COMET_LAKE
+        assert machine.fault_model.model is COMET_LAKE
+        assert machine.msr_driver.processor is machine.processor
+        assert machine.cpufreq.processor is machine.processor
+
+    def test_clock_shared_between_simulator_and_processor(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        machine.advance(0.25)
+        assert machine.processor.now == pytest.approx(0.25)
+        assert machine.now == pytest.approx(0.25)
+
+    def test_same_seed_same_behaviour(self):
+        def faults(seed):
+            machine = Machine.build(COMET_LAKE, seed=seed)
+            machine.set_frequency(2.0)
+            machine.write_voltage_offset(-85)
+            machine.advance(2 * COMET_LAKE.regulator_latency_s)
+            return machine.run_imul_window(iterations=1_000_000).fault_count
+
+        assert faults(5) == faults(5)
+
+
+class TestExecution:
+    def test_imul_window_advances_time(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        before = machine.now
+        machine.run_imul_window(iterations=1_000_000)
+        # 1M imuls at 1.8 GHz ~ 555 us.
+        assert machine.now - before == pytest.approx(1e6 / 1.8e9, rel=1e-6)
+
+    def test_imul_window_without_time(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        machine.run_imul_window(iterations=1000, advance_time=False)
+        assert machine.now == 0.0
+
+    def test_workload_window(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        outcome = machine.run_workload_window(IMUL_LOOP, ops=100_000)
+        assert outcome.ops == 100_000
+        assert outcome.fault_count == 0
+
+    def test_nominal_never_faults_on_any_model(self):
+        for model in (COMET_LAKE, SKY_LAKE):
+            machine = Machine.build(model, seed=1)
+            report = machine.run_imul_window(iterations=1_000_000)
+            assert not report.faulted
+
+
+class TestDVFSSurface:
+    def test_set_frequency_all_cores(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        machine.set_frequency(2.4)
+        assert all(c.frequency_ghz == pytest.approx(2.4) for c in machine.processor.cores)
+
+    def test_write_voltage_offset_applies_after_latency(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        assert machine.write_voltage_offset(-55) is True
+        assert machine.conditions(0).offset_mv == 0.0
+        machine.advance(COMET_LAKE.regulator_latency_s * 1.1)
+        assert machine.conditions(0).offset_mv == pytest.approx(-55, abs=1.0)
+
+    def test_conditions_reflect_vf_curve(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        conditions = machine.conditions(0)
+        assert conditions.voltage_volts == pytest.approx(
+            machine.processor.vf_curve.base_voltage(1.8)
+        )
+
+
+class TestCrashRecovery:
+    def test_deep_undervolt_machine_checks_then_reboots(self):
+        machine = Machine.build(COMET_LAKE, seed=1)
+        machine.set_frequency(2.0)
+        machine.write_voltage_offset(-300)
+        machine.advance(COMET_LAKE.regulator_latency_s * 1.1)
+        with pytest.raises(MachineCheckError):
+            machine.run_imul_window(iterations=1000)
+        machine.reboot(settle_s=1e-3)
+        assert machine.crash_count == 1
+        # After reboot the machine is healthy again.
+        report = machine.run_imul_window(iterations=100_000)
+        assert not report.faulted

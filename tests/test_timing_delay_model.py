@@ -1,0 +1,103 @@
+"""Alpha-power-law delay model: monotonicity, inversion, edge cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.timing.constants import INTEL_14NM, ProcessCharacteristics
+from repro.timing.delay_model import DelayModel
+
+
+@pytest.fixture
+def model() -> DelayModel:
+    return DelayModel(INTEL_14NM)
+
+
+class TestRawDelay:
+    def test_positive_above_threshold(self, model):
+        assert model.raw_delay(0.9) > 0
+
+    def test_rejects_at_threshold(self, model):
+        with pytest.raises(ConfigurationError):
+            model.raw_delay(INTEL_14NM.vth_volts)
+
+    def test_rejects_below_threshold(self, model):
+        with pytest.raises(ConfigurationError):
+            model.raw_delay(0.3)
+
+    def test_diverges_near_threshold(self, model):
+        near = model.raw_delay(INTEL_14NM.vth_volts + 1e-4)
+        far = model.raw_delay(1.0)
+        assert near > 100 * far
+
+
+class TestScale:
+    def test_unity_at_reference(self, model):
+        assert model.scale(INTEL_14NM.reference_voltage_volts) == pytest.approx(1.0)
+
+    def test_undervolt_slows(self, model):
+        assert model.scale(0.9) > 1.0
+
+    def test_overvolt_speeds_up(self, model):
+        assert model.scale(1.1) < 1.0
+
+    @given(
+        st.floats(min_value=0.60, max_value=1.45, allow_nan=False),
+        st.floats(min_value=0.60, max_value=1.45, allow_nan=False),
+    )
+    def test_strictly_decreasing_in_voltage(self, v1, v2):
+        model = DelayModel(INTEL_14NM)
+        if v1 == v2:
+            return
+        lo, hi = sorted((v1, v2))
+        assert model.scale(lo) > model.scale(hi)
+
+    def test_ten_percent_undervolt_costs_tens_of_percent_delay(self, model):
+        # The physical regime the attacks live in: ~10% undervolt slows
+        # the logic by a few tens of percent.
+        ratio = model.scale(0.9) / model.scale(1.0)
+        assert 1.1 < ratio < 1.6
+
+
+class TestInversion:
+    @given(st.floats(min_value=0.62, max_value=1.40, allow_nan=False))
+    def test_voltage_for_scale_roundtrip(self, voltage):
+        model = DelayModel(INTEL_14NM)
+        scale = model.scale(voltage)
+        recovered = model.voltage_for_scale(scale)
+        assert recovered == pytest.approx(voltage, abs=1e-6)
+
+    def test_rejects_nonpositive_scale(self, model):
+        with pytest.raises(ConfigurationError):
+            model.voltage_for_scale(0.0)
+
+    def test_rejects_unreachable_scale(self, model):
+        # Delay factors below the 2.5 V asymptote are unreachable.
+        with pytest.raises(ConfigurationError):
+            model.voltage_for_scale(1e-6)
+
+    def test_solution_is_unique_bisection_target(self, model):
+        v = model.voltage_for_scale(2.0)
+        assert model.scale(v) == pytest.approx(2.0, rel=1e-6)
+
+
+class TestProcessVariants:
+    def test_lower_vth_is_faster_at_same_voltage(self):
+        base = DelayModel(ProcessCharacteristics())
+        leaky = DelayModel(ProcessCharacteristics(vth_volts=0.45))
+        assert leaky.raw_delay(0.9) < base.raw_delay(0.9)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCharacteristics(alpha=0.5)
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCharacteristics(vth_volts=0.6, v_retention_volts=0.55)
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCharacteristics(t_setup_ps=-1.0)

@@ -1,0 +1,154 @@
+"""Eq. 1/2/3 predicates and their inversions (the ground-truth physics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.timing.constants import INTEL_14NM
+from repro.timing.path import CriticalPath, scaled_path
+from repro.timing.safety import SafetyAnalyzer, budget_for
+
+
+@pytest.fixture
+def analyzer() -> SafetyAnalyzer:
+    return SafetyAnalyzer(scaled_path(260.0, INTEL_14NM))
+
+
+class TestBudget:
+    def test_components(self):
+        budget = budget_for(2.0, INTEL_14NM)
+        assert budget.t_clk_ps == pytest.approx(500.0)
+        assert budget.t_setup_ps == INTEL_14NM.t_setup_ps
+        assert budget.t_eps_ps == INTEL_14NM.t_eps_ps
+
+    def test_slack_budget_is_tclk_minus_setup_minus_eps(self):
+        budget = budget_for(1.0, INTEL_14NM)
+        assert budget.slack_budget_ps == pytest.approx(
+            1000.0 - INTEL_14NM.t_setup_ps - INTEL_14NM.t_eps_ps
+        )
+
+    def test_absurd_frequency_rejected(self):
+        # 50 GHz leaves no budget after setup+eps with these constants.
+        with pytest.raises(ConfigurationError):
+            budget_for(50.0, INTEL_14NM)
+
+
+class TestOperatingPoint:
+    def test_safe_at_nominal(self, analyzer):
+        point = analyzer.operating_point(2.0, 1.0)
+        assert point.is_safe
+        assert point.slack_ps > 0
+        assert point.violation_ps == 0.0
+
+    def test_unsafe_when_deeply_undervolted(self, analyzer):
+        point = analyzer.operating_point(3.0, 0.70)
+        assert not point.is_safe
+        assert point.violation_ps > 0
+
+    def test_violation_equals_negative_slack(self, analyzer):
+        point = analyzer.operating_point(3.0, 0.70)
+        assert point.violation_ps == pytest.approx(-point.slack_ps)
+
+    def test_eq2_is_literal(self, analyzer):
+        # The safe predicate is exactly T_src+T_prop <= T_clk-T_setup-T_eps.
+        point = analyzer.operating_point(2.5, 0.95)
+        lhs = analyzer.path.delay_at(0.95)
+        rhs = budget_for(2.5, INTEL_14NM).slack_budget_ps
+        assert point.is_safe == (lhs <= rhs)
+
+
+class TestCriticalVoltage:
+    def test_zero_slack_at_critical_voltage(self, analyzer):
+        vcrit = analyzer.critical_voltage(2.0)
+        assert analyzer.slack_ps(2.0, vcrit) == pytest.approx(0.0, abs=1e-6)
+
+    def test_below_critical_is_unsafe(self, analyzer):
+        vcrit = analyzer.critical_voltage(2.0)
+        assert not analyzer.is_safe(2.0, vcrit - 0.002)
+
+    def test_above_critical_is_safe(self, analyzer):
+        vcrit = analyzer.critical_voltage(2.0)
+        assert analyzer.is_safe(2.0, vcrit + 0.002)
+
+    @given(st.floats(min_value=0.5, max_value=4.5, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_frequency(self, f):
+        # Higher frequency -> smaller budget -> higher critical voltage.
+        analyzer = SafetyAnalyzer(scaled_path(260.0, INTEL_14NM))
+        assert analyzer.critical_voltage(f + 0.2) > analyzer.critical_voltage(f)
+
+
+class TestCrashVoltage:
+    def test_crash_below_critical(self, analyzer):
+        f = 2.0
+        assert analyzer.crash_voltage(f) < analyzer.critical_voltage(f)
+
+    def test_retention_floor_honoured(self, analyzer):
+        # At very low frequency the timing-derived crash voltage would
+        # fall below retention; the floor wins.
+        assert analyzer.crash_voltage(0.2) == INTEL_14NM.v_retention_volts
+
+    def test_invalid_fraction_rejected(self, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.crash_voltage(2.0, crash_fraction=0.0)
+
+
+class TestDesignVoltage:
+    def test_guardband_zero_is_critical_voltage(self, analyzer):
+        assert analyzer.design_voltage(2.0, guardband=0.0) == pytest.approx(
+            analyzer.critical_voltage(2.0), abs=1e-6
+        )
+
+    def test_guardband_raises_voltage(self, analyzer):
+        assert analyzer.design_voltage(2.0, guardband=0.1) > analyzer.critical_voltage(2.0)
+
+    def test_more_guardband_more_voltage(self, analyzer):
+        assert analyzer.design_voltage(2.0, guardband=0.2) > analyzer.design_voltage(
+            2.0, guardband=0.1
+        )
+
+    def test_invalid_guardband_rejected(self, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.design_voltage(2.0, guardband=1.0)
+
+
+class TestMaxSafeFrequency:
+    def test_consistent_with_is_safe(self, analyzer):
+        voltage = 0.95
+        fmax = analyzer.max_safe_frequency(voltage)
+        assert analyzer.is_safe(round(fmax - 0.05, 3), voltage)
+        assert not analyzer.is_safe(round(fmax + 0.05, 3), voltage)
+
+    def test_higher_voltage_allows_higher_frequency(self, analyzer):
+        assert analyzer.max_safe_frequency(1.1) > analyzer.max_safe_frequency(0.9)
+
+
+class TestCriticalPathValidation:
+    def test_rejects_nonpositive_src(self):
+        with pytest.raises(ConfigurationError):
+            CriticalPath(t_src_ps=0.0, t_prop_ps=100.0, process=INTEL_14NM)
+
+    def test_scaled_path_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            scaled_path(260.0, INTEL_14NM, src_fraction=1.0)
+
+    def test_scaled_path_splits_delay(self):
+        path = scaled_path(200.0, INTEL_14NM, src_fraction=0.25)
+        assert path.t_src_ps == pytest.approx(50.0)
+        assert path.t_prop_ps == pytest.approx(150.0)
+        assert path.nominal_delay_ps == pytest.approx(200.0)
+
+    def test_voltage_for_delay_roundtrip(self):
+        path = scaled_path(260.0, INTEL_14NM)
+        delay = path.delay_at(0.85)
+        assert path.voltage_for_delay(delay) == pytest.approx(0.85, abs=1e-6)
+
+    def test_src_and_prop_scale_together(self):
+        path = scaled_path(260.0, INTEL_14NM)
+        v = 0.8
+        assert path.t_src_at(v) / path.t_src_ps == pytest.approx(
+            path.t_prop_at(v) / path.t_prop_ps
+        )

@@ -1,0 +1,121 @@
+"""Temperature dependence of the timing physics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CharacterizationFramework
+from repro.cpu import COMET_LAKE
+from repro.faults.margin import FaultModel
+from repro.timing.constants import INTEL_14NM, ProcessCharacteristics
+from repro.timing.delay_model import DelayModel
+from repro.timing.safety import SafetyAnalyzer
+from repro.timing.path import scaled_path
+
+
+@pytest.fixture
+def model() -> DelayModel:
+    return DelayModel(INTEL_14NM)
+
+
+class TestThresholdShift:
+    def test_vth_drops_with_temperature(self):
+        assert INTEL_14NM.vth_at(100.0) < INTEL_14NM.vth_volts
+        assert INTEL_14NM.vth_at(20.0) > INTEL_14NM.vth_volts
+
+    def test_vth_at_reference_unchanged(self):
+        assert INTEL_14NM.vth_at(INTEL_14NM.reference_temperature_c) == (
+            INTEL_14NM.vth_volts
+        )
+
+    def test_negative_mobility_exponent_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ProcessCharacteristics(mobility_temp_exponent=-1.0)
+
+
+class TestDelayVsTemperature:
+    def test_default_matches_reference_temperature(self, model):
+        assert model.raw_delay(0.9) == model.raw_delay(
+            0.9, INTEL_14NM.reference_temperature_c
+        )
+
+    def test_heat_slows_logic_at_nominal_voltage(self, model):
+        # High supply: mobility degradation dominates.
+        assert model.raw_delay(1.05, 95.0) > model.raw_delay(1.05, 45.0)
+
+    def test_temperature_inversion_near_threshold(self, model):
+        # Low supply: the Vth drop dominates — heat *speeds up* logic.
+        assert model.raw_delay(0.62, 95.0) < model.raw_delay(0.62, 45.0)
+
+    def test_scale_unity_only_at_reference(self, model):
+        assert model.scale(1.0) == pytest.approx(1.0)
+        assert model.scale(1.0, 95.0) != pytest.approx(1.0)
+
+
+class TestCriticalVoltageVsTemperature:
+    def test_hot_die_needs_more_voltage_at_high_frequency(self):
+        analyzer = SafetyAnalyzer(scaled_path(COMET_LAKE.path_delay_ps, COMET_LAKE.process))
+        cold = analyzer.critical_voltage(4.0, temperature_c=45.0)
+        hot = analyzer.critical_voltage(4.0, temperature_c=95.0)
+        # At high frequency the budget is tight and the operating voltage
+        # high: mobility loss dominates, the boundary rises with heat.
+        assert hot > cold
+
+    def test_fault_model_temperature_switch(self):
+        fault_model = FaultModel(COMET_LAKE)
+        reference = fault_model.critical_voltage(3.0)
+        fault_model.set_temperature(95.0)
+        hot = fault_model.critical_voltage(3.0)
+        fault_model.set_temperature(None)
+        back = fault_model.critical_voltage(3.0)
+        assert hot != pytest.approx(reference, abs=1e-5)
+        assert back == pytest.approx(reference)
+
+
+class TestCharacterizationShiftsWithTemperature:
+    def test_hot_boundary_shallower_at_turbo(self):
+        from repro.core.characterization import CharacterizationConfig
+
+        config = CharacterizationConfig(
+            offset_start_mv=-40, offset_stop_mv=-250, offset_step_mv=2,
+            frequencies_ghz=[4.5],
+        )
+
+        def boundary(temperature):
+            framework = CharacterizationFramework(COMET_LAKE, config=config, seed=5)
+            # Reach into the framework's machine-free path via a fault
+            # model at the requested temperature.
+            from repro.core.characterization import CharacterizationResult
+            from repro.core.unsafe_states import UnsafeStateSet
+            from repro.faults.imul import ImulLoop
+            from repro.faults.injector import FaultInjector
+            import numpy as np
+
+            fault_model = FaultModel(COMET_LAKE, temperature_c=temperature)
+            injector = FaultInjector(fault_model, np.random.default_rng(5))
+            loop = ImulLoop(config.iterations)
+            result = CharacterizationResult(
+                model=COMET_LAKE, config=config,
+                unsafe_states=UnsafeStateSet(system="t"),
+            )
+            from repro.errors import MachineCheckError
+
+            for offset in config.offsets_mv():
+                conditions = fault_model.conditions_for_offset(4.5, offset)
+                try:
+                    report = loop.run(injector, conditions)
+                except MachineCheckError:
+                    result.unsafe_states.add_crash(4.5, offset)
+                    break
+                if report.fault_count:
+                    result.unsafe_states.add_unsafe(4.5, offset)
+            return result.unsafe_states.boundary_mv(4.5)
+
+        hot = boundary(95.0)
+        cold = boundary(45.0)
+        # A hot die faults at shallower undervolts: characterizing cold
+        # and running hot would under-protect — characterize at worst case.
+        assert hot > cold
+        assert hot - cold >= 4.0

@@ -1,0 +1,84 @@
+"""Unit-conversion helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_us_to_seconds(self):
+        assert units.us(1.0) == 1e-6
+
+    def test_ms_to_seconds(self):
+        assert units.ms(2.5) == 2.5e-3
+
+    def test_ns_to_seconds(self):
+        assert units.ns(100.0) == pytest.approx(1e-7)
+
+    def test_to_us_roundtrip(self):
+        assert units.to_us(units.us(42.0)) == pytest.approx(42.0)
+
+    def test_to_ms_roundtrip(self):
+        assert units.to_ms(units.ms(7.0)) == pytest.approx(7.0)
+
+
+class TestFrequencyRatio:
+    def test_base_clock_is_100mhz(self):
+        assert units.BUS_CLOCK_GHZ == 0.1
+
+    def test_ghz_to_ratio_exact(self):
+        assert units.ghz_to_ratio(3.2) == 32
+
+    def test_ghz_to_ratio_rounds(self):
+        assert units.ghz_to_ratio(3.24) == 32
+        assert units.ghz_to_ratio(3.26) == 33
+
+    def test_ratio_to_ghz(self):
+        assert units.ratio_to_ghz(18) == pytest.approx(1.8)
+
+    @given(st.integers(min_value=1, max_value=80))
+    def test_ratio_roundtrip(self, ratio):
+        assert units.ghz_to_ratio(units.ratio_to_ghz(ratio)) == ratio
+
+
+class TestVoltageConversions:
+    def test_mv_to_volts(self):
+        assert units.mv_to_volts(-150.0) == pytest.approx(-0.150)
+
+    def test_volts_to_mv(self):
+        assert units.volts_to_mv(1.05) == pytest.approx(1050.0)
+
+    @given(st.floats(min_value=-2000, max_value=2000, allow_nan=False))
+    def test_voltage_roundtrip(self, mv):
+        assert units.volts_to_mv(units.mv_to_volts(mv)) == pytest.approx(mv, abs=1e-9)
+
+
+class TestClockPeriod:
+    def test_one_ghz_is_one_ns(self):
+        assert units.clock_period_seconds(1.0) == pytest.approx(1e-9)
+
+    def test_period_ps(self):
+        assert units.clock_period_ps(2.0) == pytest.approx(500.0)
+
+    def test_period_ps_at_paper_base_frequencies(self):
+        # 3.2 GHz Sky Lake base -> 312.5 ps budget before setup/eps.
+        assert units.clock_period_ps(3.2) == pytest.approx(312.5)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            units.clock_period_seconds(0.0)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            units.clock_period_ps(-1.0)
+
+    @given(st.floats(min_value=0.1, max_value=6.0, allow_nan=False))
+    def test_period_inverse_of_frequency(self, f):
+        assert units.clock_period_seconds(f) * f == pytest.approx(1e-9)
+        assert math.isclose(units.clock_period_ps(f), 1e3 / f, rel_tol=1e-12)
