@@ -1,6 +1,6 @@
 # Plug Your Volt reproduction — common tasks.
 
-.PHONY: install test bench examples artifacts clean
+.PHONY: install test bench examples artifacts trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,6 +17,14 @@ examples:
 artifacts: bench
 	@echo "reproduced tables/figures in benchmarks/results/:"
 	@ls benchmarks/results/
+
+# Run the full reproduction with telemetry on and export a Chrome
+# trace_event file (open it in https://ui.perfetto.dev).
+trace-demo:
+	mkdir -p benchmarks/results
+	REPRO_TRACE=benchmarks/results/full_reproduction.trace.json \
+		python examples/full_reproduction.py
+	@echo "trace written to benchmarks/results/full_reproduction.trace.json"
 
 clean:
 	rm -rf .pytest_cache benchmarks/results build *.egg-info src/*.egg-info

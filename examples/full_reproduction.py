@@ -7,15 +7,23 @@ Runs, in order:
 2. the Sec. 4.3 prevention matrix (attack campaigns vs the polling module);
 3. the Table 2 SPEC2017 overhead measurement;
 4. the Sec. 5 maximal-safe-state analysis and deeper deployments;
-5. a live turnaround trace: watch the countermeasure intercept a write.
+5. a live turnaround trace: watch the countermeasure intercept a write;
+6. (optional) a structured telemetry trace export of a full prevention
+   run — set ``REPRO_TRACE=/path/to/trace.json`` to produce a Chrome
+   ``trace_event`` file you can open in https://ui.perfetto.dev
+   (``REPRO_TRACE_FORMAT=jsonl`` switches the format).
 
 Takes a few seconds end to end.  For the full artifact set with shape
 assertions, run ``pytest benchmarks/ --benchmark-only`` instead.
 
 Run:  python examples/full_reproduction.py
+      REPRO_TRACE=trace.json python examples/full_reproduction.py
 """
 
 from __future__ import annotations
+
+import os
+from collections import Counter
 
 from repro import COMET_LAKE, PAPER_MODEL_TUPLE, Machine
 from repro.analysis import VoltageTracer, render_table, summarize
@@ -26,6 +34,7 @@ from repro.core import (
     MicrocodeGuard,
     PollingCountermeasure,
 )
+from repro.telemetry import Telemetry
 
 SEED = 5
 
@@ -130,6 +139,53 @@ def main() -> None:
     print(tracer.render(stride=2))
     print(f"\ndeepest offset ever applied: {tracer.deepest_applied_offset_mv():.0f} mV "
           f"(attack target was -250 mV)")
+
+    # -- 6. telemetry trace export (optional) -----------------------------------------
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path:
+        fmt = os.environ.get("REPRO_TRACE_FORMAT", "chrome")
+        section("6. Structured telemetry trace of a full prevention run")
+        export_prevention_trace(
+            characterizations["Comet Lake"].unsafe_states, trace_path, fmt
+        )
+
+
+def export_prevention_trace(unsafe, trace_path: str, fmt: str = "chrome") -> None:
+    """Record one attacked-then-protected run and export its trace.
+
+    The scenario intentionally touches every instrumented layer so the
+    exported file contains MSR ioctl spans, OCM transactions, regulator
+    ramps, P-state transitions, fault injections, and the
+    countermeasure's detection/remediation events on one sim timeline.
+    """
+    telemetry = Telemetry()
+    machine = Machine.build(COMET_LAKE, seed=13, telemetry=telemetry)
+    boundary = int(unsafe.boundary_mv(2.0))
+    sampler = VoltageTracer(machine, sample_period_s=100e-6)
+    sampler.start()
+
+    # Phase A: undefended — the attack write lands and faults inject.
+    machine.set_frequency(2.0)
+    machine.write_voltage_offset(boundary - 12)
+    machine.advance(1.5e-3)
+    for _ in range(3):
+        machine.run_imul_window(iterations=500_000)
+
+    # Phase B: the module loads and intercepts a deeper write.
+    module = PollingCountermeasure(machine, unsafe)
+    machine.modules.insmod(module)
+    machine.write_voltage_offset(-250)
+    machine.advance(2e-3)
+    machine.run_imul_window(iterations=500_000)
+    sampler.stop()
+
+    path = telemetry.export(trace_path, fmt=fmt)
+    by_category = Counter(e.category for e in telemetry.tracer.events)
+    print(f"exported {len(telemetry.tracer.events)} events to {path} ({fmt})")
+    print("events by category: "
+          + ", ".join(f"{c}={n}" for c, n in sorted(by_category.items())))
+    print(f"detections in trace: {module.stats.detections}; "
+          f"open in https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -4,6 +4,11 @@ Samples a core's electrical state on a fixed grid of simulated time so
 experiments can *see* the countermeasure act: the attacker's write, the
 target changing, the poll detecting, the regulator restoring.  Used by
 the turnaround experiments and by the safety-invariant property tests.
+
+The tracer is a thin consumer of :mod:`repro.telemetry`: when the
+machine's telemetry is enabled, every sample is also emitted as a
+``voltage`` counter-track event, so the applied/target offsets chart
+alongside the MSR/regulator/countermeasure spans in Perfetto.
 """
 
 from __future__ import annotations
@@ -66,15 +71,25 @@ class VoltageTracer:
     def _sample(self) -> None:
         core = self.machine.processor.core(self.core_index)
         now = self.machine.now
-        self.samples.append(
-            TraceSample(
-                time_s=now,
-                frequency_ghz=core.frequency_ghz,
-                applied_offset_mv=core.applied_offset_mv(now),
-                target_offset_mv=core.target_offset_mv(),
-                voltage_volts=core.effective_voltage(now),
-            )
+        sample = TraceSample(
+            time_s=now,
+            frequency_ghz=core.frequency_ghz,
+            applied_offset_mv=core.applied_offset_mv(now),
+            target_offset_mv=core.target_offset_mv(),
+            voltage_volts=core.effective_voltage(now),
         )
+        self.samples.append(sample)
+        tracer = self.machine.telemetry.tracer
+        if tracer.enabled:
+            track = f"core{self.core_index}"
+            tracer.counter_sample(
+                "voltage.applied_mv", "voltage", now, sample.applied_offset_mv,
+                track=track,
+            )
+            tracer.counter_sample(
+                "voltage.target_mv", "voltage", now, sample.target_offset_mv,
+                track=track,
+            )
 
     # -- analysis ----------------------------------------------------------------
 

@@ -103,16 +103,25 @@ class SpecOverheadRunner:
         self._interval_s = interval_s
         self._rng = np.random.default_rng(seed)
 
-    def _measure_stolen_fraction(self) -> float:
+    def _measure_stolen_fraction(self, benchmark_name: str = "") -> float:
         """Simulate one interval and compute machine-wide CPU-time theft."""
         stats = self._machine.msr_driver.stats
         busy_before = stats.busy_seconds
         polls_before = self._module.stats.polls
+        start = self._machine.now
         self._machine.advance(self._interval_s)
         stolen = stats.busy_seconds - busy_before
         stolen += (self._module.stats.polls - polls_before) * POLL_CACHE_PENALTY_S
         cores = len(self._machine.processor.cores)
-        return stolen / (cores * self._interval_s)
+        share = stolen / (cores * self._interval_s)
+        telemetry = self._machine.telemetry
+        telemetry.registry.counter("bench.intervals").inc()
+        if telemetry.tracer.enabled:
+            telemetry.tracer.complete(
+                "bench.interval", "bench", start, self._interval_s, track="bench",
+                benchmark=benchmark_name, stolen_share=share,
+            )
+        return share
 
     def _noise(self, benchmark: SPECBenchmark) -> float:
         return float(
@@ -126,7 +135,7 @@ class SpecOverheadRunner:
             polling_duty_cycle=self._module.duty_cycle(),
         )
         for benchmark in benchmarks:
-            share = self._measure_stolen_fraction()
+            share = self._measure_stolen_fraction(benchmark.name)
             report.machine_share = share
             # Time-like scores: the polling run consumes `share` more
             # time, scaled by how disturbance-sensitive the benchmark is

@@ -14,6 +14,7 @@ Exposes the reproduction's main flows without writing Python::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -41,6 +42,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Plug Your Volt (DAC 2024) reproduction toolkit",
     )
     parser.add_argument("--seed", type=int, default=5, help="deterministic seed")
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="configure logging for the repro.* loggers",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-cpus", help="list the simulated CPU models")
@@ -78,6 +85,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--cpu", default="Comet Lake", help="CPU codename")
     trace.add_argument("--offset", type=int, default=-250, help="attack offset (mV)")
+    trace.add_argument(
+        "--export",
+        choices=("jsonl", "chrome"),
+        default=None,
+        help="also export the structured telemetry trace of the run",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="trace output path (default: trace.jsonl / trace.json; "
+        "implies --export chrome when given alone)",
+    )
 
     energy = sub.add_parser(
         "energy", help="power saved by safe-band undervolting per frequency"
@@ -272,11 +292,15 @@ def _cmd_maximal(args) -> int:
 
 def _cmd_trace(args) -> int:
     from repro.analysis.timeline import VoltageTracer
+    from repro.telemetry import Telemetry
     from repro.testbench import Machine
 
     model = model_by_codename(args.cpu)
     unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
-    machine = Machine.build(model, seed=13)
+    if args.out and not args.export:
+        args.export = "chrome"  # --out alone still means "give me a trace file"
+    telemetry = Telemetry() if args.export else Telemetry.disabled()
+    machine = Machine.build(model, seed=13, telemetry=telemetry)
     module = PollingCountermeasure(machine, unsafe)
     machine.modules.insmod(module)
     tracer = VoltageTracer(machine, sample_period_s=100e-6)
@@ -288,6 +312,12 @@ def _cmd_trace(args) -> int:
     print(f"\ndeepest offset ever applied: "
           f"{tracer.deepest_applied_offset_mv():.0f} mV "
           f"(attack target was {args.offset} mV)")
+    if args.export:
+        default_name = "trace.jsonl" if args.export == "jsonl" else "trace.json"
+        path = telemetry.export(args.out or default_name, fmt=args.export)
+        print(f"{len(telemetry.tracer.events)} telemetry events exported to {path} "
+              f"({args.export}" +
+              ("; open in https://ui.perfetto.dev)" if args.export == "chrome" else ")"))
     return 0
 
 
@@ -398,20 +428,33 @@ def _cmd_reproduce(args) -> int:
 
 def _cmd_status(args) -> int:
     from repro.kernel import render_system_status
+    from repro.telemetry import Telemetry
     from repro.testbench import Machine
 
     model = model_by_codename(args.cpu)
     unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
-    machine = Machine.build(model, seed=1)
+    machine = Machine.build(model, seed=1, telemetry=Telemetry())
     machine.modules.insmod(PollingCountermeasure(machine, unsafe))
     machine.advance(5e-3)
     print(render_system_status(machine))
+    print("\ntelemetry counters\n------------------")
+    print(machine.telemetry.render_metrics())
     return 0
+
+
+def _configure_logging(level_name: Optional[str]) -> None:
+    """Apply the ``--log-level`` flag to the ``repro`` logger tree."""
+    if level_name is None:
+        return
+    level = getattr(logging, level_name.upper())
+    logging.basicConfig(level=level)
+    logging.getLogger("repro").setLevel(level)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     if args.command == "list-cpus":
         return _cmd_list_cpus()
     if args.command == "characterize":

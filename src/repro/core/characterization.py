@@ -41,7 +41,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.margin import FaultModel
 from repro.testbench import Machine
 
-logger = logging.getLogger("repro.characterization")
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)

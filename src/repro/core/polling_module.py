@@ -24,7 +24,7 @@ attestation reports; :class:`~repro.kernel.module.ModuleRegistry` plus
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
@@ -32,8 +32,10 @@ from repro.core.encoding import CoreStatus, decode_core_status, offset_voltage, 
 from repro.core.policy import ClampToBoundary, SafeStatePolicy
 from repro.core.unsafe_states import UnsafeStateSet
 from repro.cpu.msr import IA32_PERF_STATUS, MSR_OC_MAILBOX
+from repro.cpu.ocm import VoltagePlane
 from repro.kernel.module import KernelModule
 from repro.kernel.sim import RecurringEvent
+from repro.telemetry import Registry
 from repro.testbench import Machine
 
 #: Default polling period: 500 us.  The period must undercut the voltage
@@ -43,7 +45,12 @@ from repro.testbench import Machine
 #: the sub-percent figure of Table 2.
 DEFAULT_PERIOD_S = 500e-6
 
-logger = logging.getLogger("repro.countermeasure")
+#: Telemetry histogram recording, per remediation, the detection-to-settled
+#: latency: the ioctl chain plus the regulator raise latency (the Sec. 5
+#: turnaround decomposition, minus the polling quantum).
+TURNAROUND_HISTOGRAM = "countermeasure.turnaround_s"
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -56,14 +63,53 @@ class RemediationEvent:
     restored_offset_mv: float
 
 
-@dataclass
 class PollingStats:
-    """Counters for one module lifetime."""
+    """Counters for one module lifetime, backed by telemetry.
 
-    polls: int = 0
-    core_checks: int = 0
-    detections: int = 0
-    remediations: List[RemediationEvent] = field(default_factory=list)
+    The polls / core-checks / detections tallies live in
+    :class:`~repro.telemetry.Registry` counters
+    (``countermeasure.polls`` ...), so ``repro status`` dumps and test
+    assertions read one source of truth.  When the owning machine's
+    telemetry is disabled, the stats fall back to a private registry so
+    the counts remain exact either way.  The original attribute API
+    (``stats.polls`` etc.) is preserved as read-only properties.
+    """
+
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        if registry is None or not registry.enabled:
+            registry = Registry()
+        self.registry = registry
+        self._polls = registry.counter("countermeasure.polls")
+        self._core_checks = registry.counter("countermeasure.core_checks")
+        self._detections = registry.counter("countermeasure.detections")
+        self.remediations: List[RemediationEvent] = []
+
+    @property
+    def polls(self) -> int:
+        """Poll-loop iterations since load (``countermeasure.polls``)."""
+        return self._polls.value
+
+    @property
+    def core_checks(self) -> int:
+        """Per-core checks since load (``countermeasure.core_checks``)."""
+        return self._core_checks.value
+
+    @property
+    def detections(self) -> int:
+        """Unsafe-state detections since load (``countermeasure.detections``)."""
+        return self._detections.value
+
+    def record_poll(self) -> None:
+        """Count one poll-loop iteration."""
+        self._polls.inc()
+
+    def record_core_check(self) -> None:
+        """Count one per-core MSR inspection."""
+        self._core_checks.inc()
+
+    def record_detection(self) -> None:
+        """Count one unsafe-state detection."""
+        self._detections.inc()
 
 
 class PollingCountermeasure(KernelModule):
@@ -135,7 +181,10 @@ class PollingCountermeasure(KernelModule):
         self._detection_margin_mv = detection_margin_mv
         self._recurring: Optional[RecurringEvent] = None
         self._jitter_event = None
-        self.stats = PollingStats()
+        self.stats = PollingStats(machine.telemetry.registry)
+        self._tracer = machine.telemetry.tracer
+        self._trace_on = self._tracer.enabled
+        self._turnaround = self.stats.registry.histogram(TURNAROUND_HISTOGRAM)
 
     @property
     def period_s(self) -> float:
@@ -214,14 +263,20 @@ class PollingCountermeasure(KernelModule):
 
     def _poll_once(self) -> None:
         """One iteration of Algo 3's outer loop: check every core."""
-        self.stats.polls += 1
+        self.stats.record_poll()
+        now = self._machine.now
         for core in self._machine.processor.cores:
             self._check_core(core.index)
+        if self._trace_on:
+            self._tracer.complete(
+                "countermeasure.poll", "countermeasure", now,
+                self.cpu_time_per_poll_s(), track="countermeasure",
+            )
 
     def _check_core(self, core_index: int) -> None:
         """Algo 3, lines 4-7 for one core."""
         driver = self._machine.msr_driver
-        self.stats.core_checks += 1
+        self.stats.record_core_check()
         perf_value = driver.read(core_index, IA32_PERF_STATUS)  # line 4
         if not self._fast_offset_read:
             driver.write(core_index, MSR_OC_MAILBOX, read_request(plane=0))
@@ -230,12 +285,35 @@ class PollingCountermeasure(KernelModule):
         probe_offset = status.offset_mv - self._detection_margin_mv
         if not self._unsafe_states.is_unsafe(status.frequency_ghz, probe_offset):
             return  # line 6: not in (margin-widened) unsafe set
-        self.stats.detections += 1
+        now = self._machine.now
+        self.stats.record_detection()
+        if self._trace_on:
+            self._tracer.instant(
+                "countermeasure.detection", "countermeasure", now,
+                track="countermeasure", core=core_index,
+                frequency_ghz=status.frequency_ghz, offset_mv=status.offset_mv,
+            )
         safe_offset = self._policy.safe_offset_mv(self._unsafe_states, status)
         driver.write(core_index, MSR_OC_MAILBOX, offset_voltage(safe_offset, plane=0))  # line 7
+        # Detection-to-settled latency, the Sec. 5 decomposition: the
+        # per-core ioctl chain (charged as driver busy time, not sim
+        # time) plus the regulator's settle window for the remediation
+        # write (a raise, so the fast latency applies).
+        accesses = 3 if self._fast_offset_read else 4
+        ioctl_chain = accesses * driver.access_latency_s
+        regulator = self._machine.processor.core(core_index).regulator
+        settle_delta = max(0.0, regulator.settle_time(VoltagePlane.CORE) - now)
+        turnaround = ioctl_chain + settle_delta
+        self._turnaround.observe(turnaround)
+        if self._trace_on:
+            self._tracer.complete(
+                "countermeasure.remediation", "countermeasure", now, turnaround,
+                track="countermeasure", core=core_index,
+                observed_mv=status.offset_mv, restored_mv=safe_offset,
+            )
         self.stats.remediations.append(
             RemediationEvent(
-                time_s=self._machine.now,
+                time_s=now,
                 core_index=core_index,
                 observed=status,
                 restored_offset_mv=safe_offset,

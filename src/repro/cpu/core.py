@@ -16,6 +16,7 @@ loop meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cpu.models import CPUModel
 from repro.cpu.ocm import VoltagePlane
@@ -23,6 +24,7 @@ from repro.cpu.pstates import PStateMachine
 from repro.cpu.vf_curve import VFCurve
 from repro.cpu.voltage_regulator import VoltageRegulator
 from repro.faults.margin import OperatingConditions
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -32,14 +34,18 @@ class Core:
     index: int
     model: CPUModel
     vf_curve: VFCurve
+    telemetry: Optional[Telemetry] = None
     pstate: PStateMachine = field(init=False)
     regulator: VoltageRegulator = field(init=False)
 
     def __post_init__(self) -> None:
         self.pstate = PStateMachine(self.model.frequency_table)
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
         self.regulator = VoltageRegulator(
             latency_s=self.model.regulator_latency_s,
             raise_latency_s=self.model.regulator_raise_latency_s,
+            tracer=tracer,
+            track=f"core{self.index}",
         )
 
     @property

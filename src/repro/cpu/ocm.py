@@ -179,6 +179,21 @@ def decode_command(value: int) -> OCMCommand:
     )
 
 
+def describe_command(command: OCMCommand) -> dict:
+    """JSON-safe summary of a decoded command for telemetry trace events.
+
+    Flattens the protocol fields into primitives (plane by name, offset
+    in millivolts) so OCM transactions serialize cleanly into JSONL and
+    Chrome ``trace_event`` exports.
+    """
+    return {
+        "command": "write" if command.is_write else "read_request",
+        "plane": command.plane.name,
+        "offset_mv": command.offset_mv,
+        "offset_units": command.offset_units,
+    }
+
+
 def encode_response(offset_units: int, plane: VoltagePlane) -> int:
     """Build the value ``rdmsr 0x150`` returns after a command completes.
 

@@ -35,6 +35,7 @@ from repro.cpu.msr import (
     MSR_VOLTAGE_OFFSET_LIMIT,
     MSRFile,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.units import ratio_to_ghz
 
 
@@ -56,9 +57,16 @@ class SimulatedProcessor:
         clock: Callable[[], float],
         *,
         shared_voltage_plane: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.model = model
         self._clock = clock
+        telemetry = telemetry or NULL_TELEMETRY
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer
+        self._trace_on = telemetry.tracer.enabled
+        self._pstate_counter = telemetry.registry.counter("pstate.transitions")
+        self._ocm_counter = telemetry.registry.counter("ocm.transactions")
         #: Real client parts expose one package-wide core-voltage plane:
         #: a 0x150 write from ANY core moves EVERY core's voltage.  The
         #: default per-core mode is strictly more general (see
@@ -69,7 +77,7 @@ class SimulatedProcessor:
         #: Currently loaded microcode revision (updates bump it at reset).
         self.microcode_revision = model.microcode
         self.cores: List[Core] = [
-            Core(index=i, model=model, vf_curve=self.vf_curve)
+            Core(index=i, model=model, vf_curve=self.vf_curve, telemetry=telemetry)
             for i in range(model.core_count)
         ]
         self.msr = MSRFile()
@@ -128,6 +136,13 @@ class SimulatedProcessor:
         """Run the overclocking-mailbox protocol for a 0x150 write."""
         command = ocm.decode_command(value)
         core = self.core(core_index)
+        self._ocm_counter.inc()
+        if self._trace_on:
+            name = "ocm.write" if command.is_write else "ocm.read_request"
+            self._tracer.instant(
+                name, "ocm", self.now, track=f"core{core_index}",
+                **ocm.describe_command(command),
+            )
         if command.is_write:
             targets = self.cores if self.shared_voltage_plane else [core]
             for target in targets:
@@ -148,7 +163,15 @@ class SimulatedProcessor:
         """Apply a requested P-state ratio from IA32_PERF_CTL bits [15:8]."""
         ratio = (value >> 8) & 0xFF
         frequency = self.model.frequency_table.clamp(ratio_to_ghz(ratio))
-        self.core(core_index).set_frequency(frequency, self.now)
+        core = self.core(core_index)
+        previous = core.frequency_ghz
+        core.set_frequency(frequency, self.now)
+        self._pstate_counter.inc()
+        if self._trace_on:
+            self._tracer.instant(
+                "pstate.transition", "pstate", self.now, track=f"core{core_index}",
+                from_ghz=previous, to_ghz=frequency,
+            )
         return value
 
     # -- convenience views used by workloads and analysis ------------------------

@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.cpu.ocm import VoltagePlane
+from repro.telemetry import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -60,11 +61,19 @@ class VoltageRegulator:
         window; if false (default) it holds the old value and steps at the
         end of the window — the hold-then-step behaviour the mailbox
         handshake exhibits.
+    tracer:
+        Optional telemetry tracer; every :meth:`request_offset` then
+        emits a ``regulator.ramp`` span from the request to the settle
+        time, on the ``track`` swimlane.
+    track:
+        Trace track name (the owning core sets ``core<N>``).
     """
 
     latency_s: float
     raise_latency_s: Optional[float] = None
     slew: bool = False
+    tracer: Optional[Tracer] = None
+    track: str = "regulator"
     _transitions: Dict[VoltagePlane, _Transition] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -74,6 +83,9 @@ class VoltageRegulator:
             self.raise_latency_s = self.latency_s / 8.0
         if self.raise_latency_s < 0:
             raise ConfigurationError("raise latency must be non-negative")
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
+        self._trace_on = self.tracer.enabled
 
     def latency_for(self, old_offset_mv: float, new_offset_mv: float) -> float:
         """Settle latency for a transition, by direction."""
@@ -92,6 +104,18 @@ class VoltageRegulator:
             new_offset_mv=offset_mv,
         )
         self._transitions[plane] = transition
+        if self._trace_on:
+            assert self.tracer is not None
+            self.tracer.complete(
+                "regulator.ramp",
+                "regulator",
+                now,
+                transition.latency_s,
+                track=self.track,
+                plane=plane.name,
+                from_mv=current,
+                to_mv=offset_mv,
+            )
         return transition.settle_time
 
     def target_offset_mv(self, plane: VoltagePlane) -> float:

@@ -11,12 +11,13 @@ product).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError, MachineCheckError
 from repro.faults.margin import FaultModel, OperatingConditions
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 _MASK64 = (1 << 64) - 1
 
@@ -60,6 +61,12 @@ class FaultInjector:
     max_recorded_events:
         Cap on the number of concrete :class:`FaultEvent` records kept per
         window (the *count* is always exact).
+    telemetry:
+        Optional observability hook; fault windows, injections and
+        crashes are then counted and emitted as ``fault`` trace events.
+    clock:
+        Zero-argument time source for stamping fault events (the test
+        bench passes ``simulator.clock()``); defaults to a constant 0.
     """
 
     def __init__(
@@ -68,12 +75,21 @@ class FaultInjector:
         rng: np.random.Generator,
         *,
         max_recorded_events: int = 16,
+        telemetry: Optional[Telemetry] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if max_recorded_events < 0:
             raise ConfigurationError("max_recorded_events must be non-negative")
         self._fault_model = fault_model
         self._rng = rng
         self._max_recorded_events = max_recorded_events
+        telemetry = telemetry or NULL_TELEMETRY
+        self._tracer = telemetry.tracer
+        self._trace_on = telemetry.tracer.enabled
+        self._clock = clock or (lambda: 0.0)
+        self._windows_counter = telemetry.registry.counter("faults.windows")
+        self._injected_counter = telemetry.registry.counter("faults.injected")
+        self._crashes_counter = telemetry.registry.counter("faults.crashes")
 
     @property
     def fault_model(self) -> FaultModel:
@@ -115,9 +131,18 @@ class FaultInjector:
         """
         if ops < 0:
             raise ConfigurationError("ops must be non-negative")
+        self._windows_counter.inc()
         crashed = self._fault_model.is_crash(
             conditions.frequency_ghz, conditions.voltage_volts
         )
+        if crashed:
+            self._crashes_counter.inc()
+            if self._trace_on:
+                self._tracer.instant(
+                    "fault.crash", "fault", self._clock(), track="faults",
+                    frequency_ghz=conditions.frequency_ghz,
+                    offset_mv=conditions.offset_mv,
+                )
         if crashed and raise_on_crash:
             raise MachineCheckError(
                 f"machine check at {conditions.frequency_ghz:.1f} GHz / "
@@ -132,6 +157,17 @@ class FaultInjector:
         fault_count = 0
         if ops > 0 and probability > 0.0:
             fault_count = int(self._rng.binomial(ops, probability))
+        if fault_count:
+            self._injected_counter.inc(fault_count)
+            if self._trace_on:
+                self._tracer.instant(
+                    "fault.injection", "fault", self._clock(), track="faults",
+                    ops=ops,
+                    fault_count=fault_count,
+                    instruction=instruction,
+                    frequency_ghz=conditions.frequency_ghz,
+                    offset_mv=conditions.offset_mv,
+                )
         events: List[FaultEvent] = []
         if fault_count:
             recorded = min(fault_count, self._max_recorded_events)
@@ -167,6 +203,7 @@ class FaultInjector:
         individual arithmetic operation matters.
         """
         if self._fault_model.is_crash(conditions.frequency_ghz, conditions.voltage_volts):
+            self._crashes_counter.inc()
             raise MachineCheckError(
                 "machine check during single-instruction execution",
                 frequency_ghz=conditions.frequency_ghz,
@@ -177,4 +214,16 @@ class FaultInjector:
         )
         if probability <= 0.0 or self._rng.random() >= probability:
             return None
-        return self.flip_random_bit(value)
+        flip = self.flip_random_bit(value)
+        self._injected_counter.inc()
+        if self._trace_on:
+            self._tracer.instant(
+                "fault.injection", "fault", self._clock(), track="faults",
+                ops=1,
+                fault_count=1,
+                instruction=instruction,
+                frequency_ghz=conditions.frequency_ghz,
+                offset_mv=conditions.offset_mv,
+                flipped_bit=flip.flipped_bit,
+            )
+        return flip

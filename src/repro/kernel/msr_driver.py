@@ -9,7 +9,10 @@ simulator, in addition to forwarding to the architectural ``rdmsr`` /
 
 Accounting: the driver tallies accesses and total time spent, which the
 SPEC overhead harness uses to charge the polling module's CPU-time theft
-against benchmark throughput (Table 2).
+against benchmark throughput (Table 2).  When a
+:class:`~repro.telemetry.Telemetry` is bound, every access additionally
+emits an ``msr.read``/``msr.write`` span whose duration is the ioctl
+latency, and increments the ``msr.reads``/``msr.writes`` counters.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import Optional
 
 from repro.cpu.processor import SimulatedProcessor
 from repro.kernel.sim import Simulator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -52,16 +56,24 @@ class MSRDriver:
         that with :meth:`access_latency_s`) but the busy time is recorded.
     latency_s:
         Per-call latency; defaults to the CPU model's fused value.
+    telemetry:
+        Optional observability hook; disabled (no-op) by default.
     """
 
     processor: SimulatedProcessor
     simulator: Optional[Simulator] = None
     latency_s: Optional[float] = None
     stats: MSRAccessStats = field(default_factory=MSRAccessStats)
+    telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
         if self.latency_s is None:
             self.latency_s = self.processor.model.msr_ioctl_latency_s
+        telemetry = self.telemetry or NULL_TELEMETRY
+        self._tracer = telemetry.tracer
+        self._trace_on = telemetry.tracer.enabled
+        self._reads_counter = telemetry.registry.counter("msr.reads")
+        self._writes_counter = telemetry.registry.counter("msr.writes")
 
     @property
     def access_latency_s(self) -> float:
@@ -69,11 +81,26 @@ class MSRDriver:
         assert self.latency_s is not None
         return self.latency_s
 
+    def _now(self) -> float:
+        """Current simulation time (0.0 when driven without a simulator)."""
+        return self.simulator.now if self.simulator is not None else 0.0
+
     def read(self, core_index: int, address: int) -> int:
         """``rdmsr`` through the driver; charges ioctl latency."""
         self.stats.reads += 1
         self.stats.busy_seconds += self.access_latency_s
-        return self.processor.rdmsr(core_index, address)
+        self._reads_counter.inc()
+        value = self.processor.rdmsr(core_index, address)
+        if self._trace_on:
+            self._tracer.complete(
+                "msr.read",
+                "msr",
+                self._now(),
+                self.access_latency_s,
+                track=f"core{core_index}",
+                address=f"0x{address:x}",
+            )
+        return value
 
     def write(self, core_index: int, address: int, value: int) -> bool:
         """``wrmsr`` through the driver; charges ioctl latency.
@@ -82,7 +109,18 @@ class MSRDriver:
         """
         self.stats.writes += 1
         self.stats.busy_seconds += self.access_latency_s
+        self._writes_counter.inc()
         stored = self.processor.wrmsr(core_index, address, value)
         if not stored:
             self.stats.ignored_writes += 1
+        if self._trace_on:
+            self._tracer.complete(
+                "msr.write",
+                "msr",
+                self._now(),
+                self.access_latency_s,
+                track=f"core{core_index}",
+                address=f"0x{address:x}",
+                stored=stored,
+            )
         return stored

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(order=True)
@@ -111,6 +112,9 @@ class Task:
         except StopIteration as stop:
             self.done = True
             self.result = stop.value
+            sim = self._simulator
+            if sim._trace_on:
+                sim._tracer.instant("task.done", "sim", sim.now, track="sim", task=self.name)
             return
         except BaseException as error:  # noqa: BLE001 - surfaced via .error
             self.done = True
@@ -126,11 +130,17 @@ class Task:
 class Simulator:
     """Priority-queue discrete-event simulator with a monotone clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, telemetry: Optional[Telemetry] = None) -> None:
         self._now = 0.0
         self._heap: List[_QueueEntry] = []
         self._sequence = itertools.count()
         self.processed_events = 0
+        telemetry = telemetry or NULL_TELEMETRY
+        self._tracer = telemetry.tracer
+        self._trace_on = telemetry.tracer.enabled
+        self._scheduled_counter = telemetry.registry.counter("sim.events_scheduled")
+        self._processed_counter = telemetry.registry.counter("sim.events_processed")
+        self._spawned_counter = telemetry.registry.counter("sim.tasks_spawned")
 
     @property
     def now(self) -> float:
@@ -149,6 +159,7 @@ class Simulator:
             raise SimulationError(f"cannot schedule {delay} s in the past")
         event = Event(self._now + delay, callback)
         heapq.heappush(self._heap, _QueueEntry(event.time, next(self._sequence), event))
+        self._scheduled_counter.inc()
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -163,6 +174,9 @@ class Simulator:
         """Start a cooperative task; its first step runs at the current time."""
         task = Task(self, body, name)
         self.schedule(0.0, task._step)
+        self._spawned_counter.inc()
+        if self._trace_on:
+            self._tracer.instant("task.spawn", "sim", self._now, track="sim", task=name)
         return task
 
     # -- execution ---------------------------------------------------------------
@@ -177,6 +191,7 @@ class Simulator:
                 raise SimulationError("event queue produced a time in the past")
             self._now = entry.time
             self.processed_events += 1
+            self._processed_counter.inc()
             entry.event.callback()
             return True
         return False

@@ -1,0 +1,137 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` format.
+
+Both serializations are fully deterministic — keys are sorted, floats
+use Python's shortest-repr, and event order is emission order — so two
+identical (same seed, same scenario) runs export byte-identical files.
+The Chrome exporter produces the JSON object format understood by
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: timestamps
+and durations in *microseconds*, one ``pid`` per trace, tracks mapped to
+``tid`` with ``thread_name`` metadata so swimlanes are labelled.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.telemetry.events import PHASE_COMPLETE, PHASE_COUNTER, TraceEvent
+
+#: Export format names accepted by :func:`write_trace` and the CLI.
+EXPORT_FORMATS = ("jsonl", "chrome")
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    """JSON-safe dict for one event (the JSONL line payload)."""
+    payload: Dict[str, object] = {
+        "name": event.name,
+        "cat": event.category,
+        "ph": event.phase,
+        "ts": event.time_s,
+        "track": event.track,
+        "args": dict(event.args),
+    }
+    if event.phase == PHASE_COMPLETE:
+        payload["dur"] = event.duration_s
+    return payload
+
+
+def event_from_dict(payload: Dict[str, object]) -> TraceEvent:
+    """Inverse of :func:`event_to_dict`."""
+    args = payload.get("args") or {}
+    if not isinstance(args, dict):
+        raise ConfigurationError("trace event 'args' must be an object")
+    return TraceEvent(
+        name=str(payload["name"]),
+        category=str(payload["cat"]),
+        phase=str(payload["ph"]),
+        time_s=float(payload["ts"]),  # type: ignore[arg-type]
+        duration_s=float(payload.get("dur", 0.0)),  # type: ignore[arg-type]
+        track=str(payload.get("track", "main")),
+        args=tuple(sorted(args.items())),
+    )
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events to JSON Lines (one event per line)."""
+    lines = [
+        json.dumps(event_to_dict(event), sort_keys=True, separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Parse a JSONL trace back into events (round-trip of :func:`to_jsonl`)."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def _track_ids(events: Sequence[TraceEvent]) -> Dict[str, int]:
+    """Stable track -> tid mapping (first-appearance order)."""
+    ids: Dict[str, int] = {}
+    for event in events:
+        if event.track not in ids:
+            ids[event.track] = len(ids)
+    return ids
+
+
+def to_chrome_trace(events: Sequence[TraceEvent], *, pid: int = 0) -> str:
+    """Serialize events to the Chrome ``trace_event`` JSON object format.
+
+    The output opens directly in Perfetto or ``chrome://tracing``; span
+    events stack per track, instants draw as markers, and counter
+    samples render as value charts.
+    """
+    events = list(events)
+    tracks = _track_ids(events)
+    trace_events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in tracks.items()
+    ]
+    for event in events:
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": event.time_s * 1e6,
+            "pid": pid,
+            "tid": tracks[event.track],
+        }
+        if event.phase == PHASE_COMPLETE:
+            record["dur"] = event.duration_s * 1e6
+        if event.phase == PHASE_COUNTER:
+            # Counter tracks chart their args values directly.
+            record["args"] = dict(event.args)
+        elif event.args:
+            record["args"] = dict(event.args)
+        trace_events.append(record)
+    document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace(
+    path: Union[str, Path], events: Sequence[TraceEvent], *, fmt: str = "chrome"
+) -> Path:
+    """Write a trace file in the requested format; returns the path."""
+    if fmt not in EXPORT_FORMATS:
+        raise ConfigurationError(
+            f"unknown trace format {fmt!r}; expected one of {EXPORT_FORMATS}"
+        )
+    text = to_jsonl(events) if fmt == "jsonl" else to_chrome_trace(events)
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return target

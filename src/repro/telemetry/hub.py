@@ -1,0 +1,55 @@
+"""The :class:`Telemetry` facade: one handle for metrics + tracing.
+
+A :class:`~repro.testbench.Machine` owns exactly one ``Telemetry``; every
+instrumented component (the event simulator, the MSR driver, the
+processor's OCM/P-state hooks, the per-core voltage regulators, the
+fault injector, the polling module, the bench runner) receives it at
+construction and binds its instruments once.  The default is the shared
+:data:`NULL_TELEMETRY`, whose registry hands out no-op instruments and
+whose tracer drops events — the disabled fast path the sub-percent
+overhead budget of Table 2 requires.
+
+Timestamps always come from the simulation clock, so enabling telemetry
+never perturbs the simulated timeline: two runs of the same seeded
+scenario, one instrumented and one not, see identical physics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.telemetry.events import NULL_TRACER, Tracer
+from repro.telemetry.export import write_trace
+from repro.telemetry.registry import NULL_REGISTRY, Registry
+
+
+class Telemetry:
+    """Bundled metric registry and event tracer for one machine/run."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.registry: Registry = Registry() if enabled else NULL_REGISTRY
+        self.tracer: Tracer = Tracer() if enabled else NULL_TRACER
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared disabled instance (no-op instruments, no state)."""
+        return NULL_TELEMETRY
+
+    def export(self, path: Union[str, Path], *, fmt: str = "chrome") -> Path:
+        """Write the recorded trace to ``path`` (``chrome`` or ``jsonl``)."""
+        return write_trace(path, self.tracer.events, fmt=fmt)
+
+    def render_metrics(self) -> str:
+        """Human-readable dump of every counter/gauge/histogram."""
+        return self.registry.render()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, events={len(self.tracer.events)})"
+
+
+#: The process-wide disabled telemetry.  Its instruments never mutate, so
+#: sharing it across machines cannot leak state between runs.
+NULL_TELEMETRY = Telemetry(enabled=False)

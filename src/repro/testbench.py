@@ -33,6 +33,7 @@ from repro.kernel.cpufreq import CPUFreqDriver, CPUPower
 from repro.kernel.module import ModuleRegistry
 from repro.kernel.msr_driver import MSRDriver
 from repro.kernel.sim import Simulator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -49,6 +50,7 @@ class Machine:
     cpupower: CPUPower
     modules: ModuleRegistry
     rng: np.random.Generator
+    telemetry: Telemetry = field(default_factory=Telemetry.disabled)
     crash_count: int = field(default=0)
 
     @classmethod
@@ -58,21 +60,35 @@ class Machine:
         *,
         seed: int = 2024,
         shared_voltage_plane: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> "Machine":
         """Assemble a machine for a CPU model with a deterministic seed.
 
         ``shared_voltage_plane`` switches the processor to the real
         client-part topology where one 0x150 write moves every core's
         voltage (enabling cross-core attack scenarios).
+
+        ``telemetry`` is the single observability hook: pass an enabled
+        :class:`~repro.telemetry.Telemetry` and every layer (simulator,
+        MSR driver, OCM/P-state hooks, regulators, fault injector, the
+        polling module once loaded) records metrics and trace events on
+        the simulated timeline.  Defaults to the shared disabled
+        instance, whose instruments are no-ops.
         """
-        simulator = Simulator()
+        telemetry = telemetry or NULL_TELEMETRY
+        simulator = Simulator(telemetry=telemetry)
         processor = SimulatedProcessor(
-            model, clock=simulator.clock(), shared_voltage_plane=shared_voltage_plane
+            model,
+            clock=simulator.clock(),
+            shared_voltage_plane=shared_voltage_plane,
+            telemetry=telemetry,
         )
         fault_model = FaultModel(model)
         rng = np.random.default_rng(seed)
-        injector = FaultInjector(fault_model, rng)
-        msr_driver = MSRDriver(processor, simulator=simulator)
+        injector = FaultInjector(
+            fault_model, rng, telemetry=telemetry, clock=simulator.clock()
+        )
+        msr_driver = MSRDriver(processor, simulator=simulator, telemetry=telemetry)
         cpufreq = CPUFreqDriver(processor)
         return cls(
             model=model,
@@ -85,6 +101,7 @@ class Machine:
             cpupower=CPUPower(cpufreq),
             modules=ModuleRegistry(),
             rng=rng,
+            telemetry=telemetry,
         )
 
     # -- timeline helpers -------------------------------------------------------

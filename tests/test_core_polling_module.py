@@ -188,7 +188,7 @@ class TestLogging:
     def test_load_unload_and_remediation_logged(self, machine, unsafe, caplog):
         import logging
 
-        with caplog.at_level(logging.INFO, logger="repro.countermeasure"):
+        with caplog.at_level(logging.INFO, logger="repro.core.polling_module"):
             module = loaded_module(machine, unsafe)
             machine.set_frequency(2.0)
             machine.write_voltage_offset(-250)

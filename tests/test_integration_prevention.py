@@ -32,8 +32,10 @@ from repro.core import (
     install_msr_clamp,
 )
 from repro.cpu import COMET_LAKE, KABY_LAKE_R, PAPER_MODEL_TUPLE, SKY_LAKE
+from repro.core.polling_module import TURNAROUND_HISTOGRAM
 from repro.kernel.cpufreq import ScalingGovernor
 from repro.sgx import EnclaveHost
+from repro.telemetry import Telemetry
 from repro.testbench import Machine
 
 
@@ -175,6 +177,41 @@ class TestBenignAvailability:
             machine.cpufreq.set_governor(0, governor)
             machine.advance(2e-3)
         assert machine.crash_count == 0
+
+
+class TestTurnaroundTelemetry:
+    def test_turnaround_histogram_matches_sec5_decomposition(self, characterizations):
+        # Sec. 5 decomposes the remediation latency into (1) the driver
+        # ioctl chain and (2) the regulator settle window; the telemetry
+        # histogram the module records must reproduce exactly that sum.
+        telemetry = Telemetry()
+        machine = Machine.build(COMET_LAKE, seed=11, telemetry=telemetry)
+        machine.set_frequency(2.0)
+        # Let the attack write settle *before* the module loads, so the
+        # remediation is a voltage raise from a settled unsafe state —
+        # the turnaround case Sec. 5 analyses.
+        machine.write_voltage_offset(-250)
+        machine.advance(1e-3)
+        module = PollingCountermeasure(
+            machine, characterizations["Comet Lake"].unsafe_states
+        )
+        machine.modules.insmod(module)
+        machine.advance(2e-3)
+        assert module.stats.detections >= 1
+
+        hist = telemetry.registry.histogram(TURNAROUND_HISTOGRAM)
+        assert hist.count == module.stats.detections
+        # Fast offset read: 2 rdmsr + 1 remediation wrmsr; the write
+        # raises the voltage, so the fast raise latency applies.
+        expected = (
+            3 * machine.msr_driver.access_latency_s
+            + COMET_LAKE.regulator_raise_latency_s
+        )
+        for observed in hist.values:
+            assert observed == pytest.approx(expected, rel=0.05)
+        # And the histogram stays below the module's worst-case bound
+        # (which adds the polling quantum on top).
+        assert hist.max < module.worst_case_turnaround_s()
 
 
 class TestAdaptiveWindowAndDeeperDeployments:

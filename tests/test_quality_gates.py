@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.defenses",
     "repro.bench",
     "repro.analysis",
+    "repro.telemetry",
 ]
 
 
