@@ -1,6 +1,6 @@
 # Plug Your Volt reproduction — common tasks.
 
-.PHONY: install test bench examples artifacts trace-demo clean
+.PHONY: install test bench campaign examples artifacts trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
+
+# The Sec. 4.3 prevention matrix through the campaign engine, sharded
+# across a process pool (EXECUTOR/WORKERS overridable).
+campaign:
+	python -m repro campaign --executor $${EXECUTOR:-process} --workers $${WORKERS:-4}
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script || exit 1; done

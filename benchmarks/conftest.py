@@ -13,8 +13,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.characterization import CharacterizationFramework, CharacterizationResult
+from repro.core.characterization import CharacterizationResult
 from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE, CPUModel
+from repro.engine import get_session
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -34,15 +35,14 @@ def write_artifact(name: str, content: str) -> Path:
     return path
 
 
-_CHARACTERIZATIONS: dict = {}
-
-
 def characterize(model: CPUModel, seed: int = 5) -> CharacterizationResult:
-    """Session-cached full Algo 2 sweep for a model."""
-    key = (model.codename, seed)
-    if key not in _CHARACTERIZATIONS:
-        _CHARACTERIZATIONS[key] = CharacterizationFramework(model, seed=seed).run()
-    return _CHARACTERIZATIONS[key]
+    """Engine-cached full Algo 2 sweep for a model.
+
+    Goes through the shared :func:`repro.engine.get_session` cache — the
+    same one the experiment API uses — so a sweep is computed once per
+    process no matter which layer asks first.
+    """
+    return get_session().characterize(model, seed=seed)
 
 
 @pytest.fixture(scope="session")

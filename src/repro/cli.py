@@ -7,13 +7,23 @@ Exposes the reproduction's main flows without writing Python::
     python -m repro characterize --cpu "Sky Lake" --json skylake.json
     python -m repro attack --cpu "Comet Lake" --attack plundervolt
     python -m repro attack --cpu "Comet Lake" --attack imul --protect
+    python -m repro campaign --workers 4
     python -m repro spec
     python -m repro maximal
+
+Every heavy flow goes through the campaign engine (:mod:`repro.engine`):
+characterization sweeps are cached per content hash, and ``repro
+campaign`` can shard the Sec. 4.3 attack matrix across a process pool
+(``--executor process --workers N``, or the ``REPRO_EXECUTOR`` /
+``REPRO_WORKERS`` environment variables).  All per-command randomness is
+drawn from named seed streams under ``--seed`` rather than ad-hoc
+``seed + N`` offsets.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import logging
 import sys
 from typing import List, Optional
@@ -31,9 +41,19 @@ from repro.analysis.report import (
     render_table,
 )
 from repro.core.adaptive import AdaptiveCharacterization
-from repro.core.characterization import CharacterizationFramework
 from repro.core.polling_module import PollingCountermeasure
 from repro.cpu.models import PAPER_MODELS, PAPER_MODEL_TUPLE, model_by_codename
+from repro.engine import get_session, seed_stream
+
+
+def _characterize(model, seed: int):
+    """The cached Algo 2 sweep for ``model`` via the engine session."""
+    return get_session().characterize(model, seed=seed)
+
+
+def _cli_seed(root: int, command: str, codename: str) -> int:
+    """Machine seed for one CLI command, drawn from a named stream."""
+    return seed_stream(root, "cli", command, codename).integer()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +92,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument(
         "--protect", action="store_true", help="deploy the polling module first"
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the Sec. 4.3 prevention matrix through the campaign engine",
+    )
+    campaign.add_argument(
+        "--cpu", default=None, help="restrict to one CPU codename (default: all three)"
+    )
+    campaign.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default=None,
+        help="engine executor (default: REPRO_EXECUTOR or serial)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (implies --executor process)",
+    )
+    campaign.add_argument(
+        "--no-aes", action="store_true", help="skip the AES-DFA campaign"
+    )
+    campaign.add_argument(
+        "--json", metavar="PATH", help="write matrix + engine stats as JSON"
     )
 
     spec = sub.add_parser("spec", help="reproduce Table 2 (SPEC2017 overhead)")
@@ -149,7 +195,7 @@ def _cmd_characterize(args) -> int:
         print(f"adaptive characterization: {outcome.probes} probes, "
               f"{outcome.crashes} crashes")
     else:
-        result = CharacterizationFramework(model, seed=args.seed).run()
+        result = _characterize(model, args.seed)
         print(f"full sweep: {len(result.cells)} cells, {result.crashes} crashes")
     print(render_boundary_series(result))
     summary = summarize(result)
@@ -183,9 +229,9 @@ def _cmd_attack(args) -> int:
     from repro.testbench import Machine
 
     model = model_by_codename(args.cpu)
-    machine = Machine.build(model, seed=args.seed + 6)
+    machine = Machine.build(model, seed=_cli_seed(args.seed, "attack", model.codename))
     if args.protect:
-        unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+        unsafe = _characterize(model, args.seed).unsafe_states
         machine.modules.insmod(PollingCountermeasure(machine, unsafe))
         print("polling countermeasure deployed")
 
@@ -247,13 +293,79 @@ def _cmd_attack(args) -> int:
     return 0 if not outcome.succeeded else 1
 
 
+def _cmd_campaign(args) -> int:
+    from repro import experiments
+    from repro.engine import EngineSession, make_executor, set_session
+
+    if args.executor is not None or args.workers is not None:
+        kind = args.executor or "process"
+        session = set_session(
+            EngineSession(executor=make_executor(kind, workers=args.workers))
+        )
+    else:
+        session = get_session()
+    jobs = experiments.prevention_jobs(
+        seed=args.seed, include_aes=not args.no_aes
+    )
+    if args.cpu:
+        codename = model_by_codename(args.cpu).codename
+        jobs = [job for job in jobs if job.codename == codename]
+    outcomes = session.run_jobs(jobs)
+    rows = [
+        (
+            job.codename,
+            "polling" if job.protected else "none",
+            outcome.attack,
+            outcome.faults_observed,
+            outcome.crashes,
+            "yes" if outcome.succeeded else "no",
+        )
+        for job, outcome in zip(jobs, outcomes)
+    ]
+    print(render_table(
+        ["CPU", "defense", "attack", "faults", "crashes", "succeeded"],
+        rows,
+        title="Attack campaigns vs the polling countermeasure (Sec. 4.3)",
+    ))
+    protected_faults = sum(
+        outcome.faults_observed
+        for job, outcome in zip(jobs, outcomes)
+        if job.protected
+    )
+    engine = session.describe()
+    print(f"\nprotected-cell faults: {protected_faults} (claim: 0)")
+    print(
+        f"engine: executor={engine['executor']} workers={engine['workers']} "
+        f"cache hits={engine['cache']['hits']} misses={engine['cache']['misses']}"
+    )
+    if args.json:
+        payload = {
+            "engine": engine,
+            "counters": session.counters(),
+            "cells": [
+                {
+                    "codename": job.codename,
+                    "protected": job.protected,
+                    "attack": outcome.attack,
+                    "faults_observed": outcome.faults_observed,
+                    "crashes": outcome.crashes,
+                    "succeeded": outcome.succeeded,
+                }
+                for job, outcome in zip(jobs, outcomes)
+            ],
+        }
+        path = write_text(args.json, _json.dumps(payload, indent=2, sort_keys=True))
+        print(f"JSON artifact written to {path}")
+    return 0 if protected_faults == 0 else 1
+
+
 def _cmd_spec(args) -> int:
     from repro.bench.runner import SpecOverheadRunner
     from repro.testbench import Machine
 
     model = model_by_codename(args.cpu)
-    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
-    machine = Machine.build(model, seed=3)
+    unsafe = _characterize(model, args.seed).unsafe_states
+    machine = Machine.build(model, seed=_cli_seed(args.seed, "spec", model.codename))
     module = PollingCountermeasure(machine, unsafe)
     machine.modules.insmod(module)
     report = SpecOverheadRunner(machine, module).run()
@@ -284,7 +396,7 @@ def _cmd_maximal(args) -> int:
     rows = []
     for codename in PAPER_MODELS:
         model = model_by_codename(codename)
-        result = CharacterizationFramework(model, seed=args.seed).run()
+        result = _characterize(model, args.seed)
         rows.append((codename, f"{result.maximal_safe_offset_mv():.0f} mV"))
     print(render_table(["CPU", "maximal safe state"], rows, title="Sec. 5"))
     return 0
@@ -296,11 +408,13 @@ def _cmd_trace(args) -> int:
     from repro.testbench import Machine
 
     model = model_by_codename(args.cpu)
-    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+    unsafe = _characterize(model, args.seed).unsafe_states
     if args.out and not args.export:
         args.export = "chrome"  # --out alone still means "give me a trace file"
     telemetry = Telemetry() if args.export else Telemetry.disabled()
-    machine = Machine.build(model, seed=13, telemetry=telemetry)
+    machine = Machine.build(
+        model, seed=_cli_seed(args.seed, "trace", model.codename), telemetry=telemetry
+    )
     module = PollingCountermeasure(machine, unsafe)
     machine.modules.insmod(module)
     tracer = VoltageTracer(machine, sample_period_s=100e-6)
@@ -325,7 +439,7 @@ def _cmd_energy(args) -> int:
     from repro.cpu.power import CorePowerModel
 
     model = model_by_codename(args.cpu)
-    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
+    unsafe = _characterize(model, args.seed).unsafe_states
     power = CorePowerModel(model)
     rows = []
     for frequency in model.frequency_table.frequencies_ghz()[::4]:
@@ -353,8 +467,8 @@ def _cmd_verify(args) -> int:
     from repro.testbench import Machine
 
     model = model_by_codename(args.cpu)
-    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
-    machine = Machine.build(model, seed=51)
+    unsafe = _characterize(model, args.seed).unsafe_states
+    machine = Machine.build(model, seed=_cli_seed(args.seed, "verify", model.codename))
     machine.modules.insmod(PollingCountermeasure(machine, unsafe))
     report = verify_deployment(machine, unsafe, samples=args.samples)
     print(render_table(
@@ -432,8 +546,10 @@ def _cmd_status(args) -> int:
     from repro.testbench import Machine
 
     model = model_by_codename(args.cpu)
-    unsafe = CharacterizationFramework(model, seed=args.seed).run().unsafe_states
-    machine = Machine.build(model, seed=1, telemetry=Telemetry())
+    unsafe = _characterize(model, args.seed).unsafe_states
+    machine = Machine.build(
+        model, seed=_cli_seed(args.seed, "status", model.codename), telemetry=Telemetry()
+    )
     machine.modules.insmod(PollingCountermeasure(machine, unsafe))
     machine.advance(5e-3)
     print(render_system_status(machine))
@@ -461,6 +577,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_characterize(args)
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "spec":
         return _cmd_spec(args)
     if args.command == "maximal":

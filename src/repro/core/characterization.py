@@ -25,6 +25,12 @@ Two execution modes are provided:
 
 Both modes discover the same boundary because the direct mode is simply
 the settled fixed point of the event mode.
+
+Direct mode is organised as independent per-frequency *rows*: each row
+draws its randomness from a named seed stream keyed by (seed, system,
+row), so the sweep can be sharded across the campaign engine's worker
+processes and still reproduce the serial result byte for byte.  ``run()``
+is simply the in-process fold of every row job.
 """
 
 from __future__ import annotations
@@ -136,48 +142,92 @@ class CharacterizationFramework:
 
     # -- direct mode ------------------------------------------------------------
 
-    def run(self) -> CharacterizationResult:
-        """Sweep the full grid at settled conditions (fast path)."""
-        import numpy as np
-
-        fault_model = FaultModel(self.model)
-        injector = FaultInjector(fault_model, np.random.default_rng(self.seed))
-        loop = ImulLoop(self.config.iterations)
-        result = CharacterizationResult(
+    def empty_result(self) -> CharacterizationResult:
+        """A result shell rows are folded into (used by the engine too)."""
+        return CharacterizationResult(
             model=self.model,
             config=self.config,
             unsafe_states=UnsafeStateSet(system=self.model.codename),
         )
+
+    def row_stream(self, frequency_ghz: float):
+        """The named seed stream one row's fault sampling draws from.
+
+        Keyed by (seed, system, row frequency) only — independent of row
+        execution order and of which process runs the row, which is what
+        makes serial and process-pool sweeps byte-identical.
+        """
+        from repro.engine.seeds import seed_stream
+
+        return seed_stream(
+            self.seed,
+            "characterization",
+            self.model.codename,
+            f"row@{int(round(frequency_ghz * 10))}",
+        )
+
+    def run_row(self, frequency_ghz: float, *, telemetry=None) -> List[CellResult]:
+        """Probe every offset of one frequency row (Algo 2's inner loop)."""
+        fault_model = FaultModel(self.model)
+        injector = FaultInjector(
+            fault_model, self.row_stream(frequency_ghz).rng(), telemetry=telemetry
+        )
+        loop = ImulLoop(self.config.iterations)
+        cells: List[CellResult] = []
+        for offset in self.config.offsets_mv():
+            conditions = fault_model.conditions_for_offset(frequency_ghz, offset)
+            fault_count = 0
+            crashed = False
+            for _ in range(self.config.repetitions):
+                try:
+                    report = loop.run(injector, conditions)
+                except MachineCheckError:
+                    crashed = True
+                    break
+                fault_count += report.fault_count
+            if crashed:
+                cells.append(CellResult(frequency_ghz, offset, fault_count=0, crashed=True))
+                logger.debug("crash at %.1f GHz / %d mV", frequency_ghz, offset)
+                if self.config.stop_after_crash:
+                    break
+                continue
+            cells.append(CellResult(frequency_ghz, offset, fault_count, crashed=False))
+        return cells
+
+    def row_jobs(self, *, as_of_seed: Optional[int] = None) -> List[object]:
+        """The sweep expressed as engine row jobs, one per frequency."""
+        from repro.engine.jobs import CharacterizationRowJob
+
+        seed = self.seed if as_of_seed is None else as_of_seed
+        return [
+            CharacterizationRowJob(
+                codename=self.model.codename,
+                frequency_ghz=frequency,
+                config=self.config,
+                seed=seed,
+            )
+            for frequency in self.config.frequency_list(self.model)
+        ]
+
+    def fold_row(self, result: CharacterizationResult, cells: Iterable[CellResult]) -> None:
+        """Fold one row's cells into ``result`` (order-preserving)."""
+        for cell in cells:
+            result.cells.append(cell)
+            if cell.crashed:
+                result.unsafe_states.add_crash(cell.frequency_ghz, cell.offset_mv)
+                result.crashes += 1
+            elif cell.is_unsafe:
+                result.unsafe_states.add_unsafe(cell.frequency_ghz, cell.offset_mv)
+
+    def run(self) -> CharacterizationResult:
+        """Sweep the full grid at settled conditions (fast path).
+
+        Identical to executing :meth:`row_jobs` through any engine
+        executor and folding the rows in frequency order.
+        """
+        result = self.empty_result()
         for frequency in self.config.frequency_list(self.model):
-            for offset in self.config.offsets_mv():
-                conditions = fault_model.conditions_for_offset(frequency, offset)
-                fault_count = 0
-                crashed = False
-                for _ in range(self.config.repetitions):
-                    try:
-                        report = loop.run(injector, conditions)
-                    except MachineCheckError:
-                        crashed = True
-                        break
-                    fault_count += report.fault_count
-                if crashed:
-                    cell = CellResult(frequency, offset, fault_count=0, crashed=True)
-                    result.cells.append(cell)
-                    result.unsafe_states.add_crash(frequency, offset)
-                    result.crashes += 1
-                    logger.debug(
-                        "crash at %.1f GHz / %d mV (boundary %s)",
-                        frequency,
-                        offset,
-                        result.unsafe_states.boundary_mv(frequency),
-                    )
-                    if self.config.stop_after_crash:
-                        break
-                    continue
-                cell = CellResult(frequency, offset, fault_count, crashed=False)
-                result.cells.append(cell)
-                if cell.is_unsafe:
-                    result.unsafe_states.add_unsafe(frequency, offset)
+            self.fold_row(result, self.run_row(frequency))
         return result
 
     # -- event mode --------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Content-addressed result cache for campaign jobs.
+
+Keys are job fingerprints (sha256 of the canonical job identity, see
+:meth:`repro.engine.jobs.JobSpec.fingerprint`); values are the job
+payloads (``CharacterizationResult``, ``AttackOutcome``,
+``OverheadReport`` — anything picklable).
+
+Two layers:
+
+* an in-process LRU dict with a hard ``max_entries`` bound — this is the
+  replacement for the old module-global ``_CHARACTERIZATION_CACHE`` that
+  leaked across tests and could never be cleared or bounded;
+* an optional on-disk layer (``directory`` argument, or the
+  ``REPRO_CACHE_DIR`` environment variable) that persists results across
+  processes, so pool workers and repeated CLI invocations share sweeps.
+
+A cache hit on the in-memory layer returns the *same object* — callers
+that relied on ``characterization(model) is characterization(model)``
+keep that identity.  Disk hits return an equal, freshly unpickled copy
+and are promoted into memory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: Default in-memory entry bound; full three-model campaigns use ~30.
+DEFAULT_MAX_ENTRIES = 128
+
+#: Environment variable naming the persistent cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_SENTINEL = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness for one session."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-safe dump for bench artifacts and ``repro campaign``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "stores": self.stores,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Bounded LRU mapping job fingerprints to result payloads."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    directory: Optional[Union[str, Path]] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ConfigurationError("max_entries must be at least 1")
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+
+    @classmethod
+    def from_env(cls, *, max_entries: int = DEFAULT_MAX_ENTRIES) -> "ResultCache":
+        """A cache whose disk layer follows ``REPRO_CACHE_DIR`` (if set)."""
+        directory = os.environ.get(CACHE_DIR_ENV) or None
+        return cls(max_entries=max_entries, directory=directory)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _disk_path(self, fingerprint: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return Path(self.directory) / f"{fingerprint}.pkl"
+
+    def get(self, fingerprint: str, default: Any = None) -> Any:
+        """The cached payload for a fingerprint, or ``default``."""
+        value = self._memory.get(fingerprint, _SENTINEL)
+        if value is not _SENTINEL:
+            self._memory.move_to_end(fingerprint)
+            self.stats.hits += 1
+            return value
+        path = self._disk_path(fingerprint)
+        if path is not None and path.exists():
+            try:
+                value = pickle.loads(path.read_bytes())
+            except (OSError, pickle.PickleError, EOFError):
+                # A torn write from a dead worker is a miss, not an error.
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._store_memory(fingerprint, value)
+            return value
+        self.stats.misses += 1
+        return default
+
+    def __contains__(self, fingerprint: str) -> bool:
+        if fingerprint in self._memory:
+            return True
+        path = self._disk_path(fingerprint)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- storage ---------------------------------------------------------------
+
+    def _store_memory(self, fingerprint: str, payload: Any) -> None:
+        self._memory[fingerprint] = payload
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def put(self, fingerprint: str, payload: Any) -> None:
+        """Store a payload under its fingerprint (memory + disk)."""
+        self._store_memory(fingerprint, payload)
+        self.stats.stores += 1
+        path = self._disk_path(fingerprint)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: a reader never sees a half-written pickle.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        tmp.replace(path)
+
+    def clear(self) -> None:
+        """Drop every entry, memory and disk."""
+        self._memory.clear()
+        if self.directory is not None:
+            root = Path(self.directory)
+            if root.exists():
+                for entry in root.glob("*.pkl"):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        pass

@@ -1,0 +1,124 @@
+"""Pluggable job executors: in-process serial and process-pool parallel.
+
+Executors run batches of :class:`~repro.engine.jobs.JobSpec` and return
+:class:`~repro.engine.jobs.JobResult` lists *in input order*.  Because
+every job derives its randomness from a seed stream keyed by its own
+identity, the two executors are interchangeable: sharding a sweep across
+worker processes reproduces the serial output byte for byte, only
+faster.  Selection is config-driven:
+
+* ``REPRO_EXECUTOR`` — ``serial`` (default) or ``process``;
+* ``REPRO_WORKERS`` — worker count for the process pool;
+* the CLI's ``--executor`` / ``--workers`` flags override both.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.engine.jobs import JobResult, JobSpec, execute_job
+from repro.errors import ConfigurationError
+
+#: Environment variables steering executor selection.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Recognised executor kinds.
+EXECUTOR_KINDS = ("serial", "process")
+
+
+class Executor(ABC):
+    """Runs job batches; concrete classes choose where the work lands."""
+
+    #: Kind tag used by config, CLI output and bench artifacts.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
+        """Execute every job and return results in input order."""
+
+    def close(self) -> None:
+        """Release any held workers (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Runs every job inline in the calling process."""
+
+    name = "serial"
+
+    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
+        return [execute_job(job) for job in jobs]
+
+
+class ParallelExecutor(Executor):
+    """Shards jobs across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    The pool is created lazily on first use and reused across batches for
+    the lifetime of the session, so repeated engine calls do not pay the
+    fork cost again.  Worker results carry their telemetry counter
+    increments home in :class:`JobResult.counters`; the session merges
+    them into its registry.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        self.workers = workers or max(1, os.cpu_count() or 1)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        pool = self._ensure_pool()
+        chunksize = max(1, len(jobs) // (self.workers * 4))
+        return list(pool.map(execute_job, jobs, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(kind: str, *, workers: Optional[int] = None) -> Executor:
+    """Build an executor by kind name (``serial`` or ``process``)."""
+    kind = (kind or "serial").lower()
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "process":
+        return ParallelExecutor(workers)
+    raise ConfigurationError(
+        f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
+    )
+
+
+def executor_from_env(*, workers: Optional[int] = None) -> Executor:
+    """The executor selected by ``REPRO_EXECUTOR`` / ``REPRO_WORKERS``."""
+    kind = os.environ.get(EXECUTOR_ENV, "serial")
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV)
+        if raw is not None:
+            try:
+                workers = int(raw)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from error
+    return make_executor(kind, workers=workers)

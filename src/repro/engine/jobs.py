@@ -1,0 +1,358 @@
+"""Frozen, hashable job specifications for the campaign engine.
+
+A :class:`JobSpec` is a pure value: everything a worker process needs to
+execute one unit of campaign work (a characterization row, an attack
+cell, a SPEC overhead run) plus the identity that addresses its seed
+stream and its cache slot.  Jobs are frozen dataclasses so they can be
+hashed, pickled across the process-pool boundary, and fingerprinted into
+a content hash that keys the persistent result cache.
+
+``execute_job`` is the single worker entry point: it runs the job under a
+fresh telemetry handle and returns the payload together with the job's
+counter increments, which the session merges back into its registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
+
+from repro.core.characterization import (
+    CharacterizationConfig,
+    CharacterizationFramework,
+    CharacterizationResult,
+)
+from repro.core.unsafe_states import CellResult, UnsafeStateSet
+from repro.cpu.models import model_by_codename
+from repro.engine.seeds import SeedStream, seed_stream
+from repro.errors import ConfigurationError
+from repro.telemetry import Telemetry
+
+#: Bumped whenever job execution semantics change, so stale persistent
+#: cache entries from older engine versions can never be replayed.
+JOB_SCHEMA_VERSION = 1
+
+#: Attack kinds :class:`AttackCampaignJob` can mount.
+ATTACK_KINDS = ("imul", "plundervolt", "v0ltpwn", "voltjockey", "aes-dfa")
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a field value to JSON-stable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _canonical(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Base class for engine jobs: identity, fingerprint, execution."""
+
+    #: Job family tag, part of the identity (subclasses override).
+    kind: ClassVar[str] = "job"
+
+    def identity(self) -> Dict[str, Any]:
+        """The canonical identity dict the fingerprint is computed from."""
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "schema": JOB_SCHEMA_VERSION,
+        }
+        for field in dataclasses.fields(self):
+            payload[field.name] = _canonical(getattr(self, field.name))
+        return payload
+
+    def fingerprint(self) -> str:
+        """Content hash of the job identity — the cache key."""
+        blob = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def seed_path(self) -> Tuple[str, ...]:
+        """The named seed-stream path this job's randomness hangs off."""
+        raise NotImplementedError
+
+    def stream(self) -> SeedStream:
+        """The job's seed stream (root seed comes from the job itself)."""
+        return seed_stream(getattr(self, "seed"), *self.seed_path())
+
+    def run(self, telemetry: Telemetry) -> Any:
+        """Execute the job and return its payload (subclasses override)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CharacterizationRowJob(JobSpec):
+    """One frequency row of the Algo 2 sweep (Figs. 2-4)."""
+
+    kind: ClassVar[str] = "characterization-row"
+
+    codename: str
+    frequency_ghz: float
+    config: CharacterizationConfig
+    seed: int
+
+    def seed_path(self) -> Tuple[str, ...]:
+        return (
+            "characterization",
+            self.codename,
+            f"row@{int(round(self.frequency_ghz * 10))}",
+        )
+
+    def run(self, telemetry: Telemetry) -> List[CellResult]:
+        framework = CharacterizationFramework(
+            model_by_codename(self.codename), config=self.config, seed=self.seed
+        )
+        return framework.run_row(self.frequency_ghz, telemetry=telemetry)
+
+
+@dataclass(frozen=True)
+class CharacterizationJob(JobSpec):
+    """A full per-model sweep; the unit the result cache stores."""
+
+    kind: ClassVar[str] = "characterization"
+
+    codename: str
+    config: CharacterizationConfig
+    seed: int
+
+    def seed_path(self) -> Tuple[str, ...]:
+        return ("characterization", self.codename)
+
+    def row_jobs(self) -> List[CharacterizationRowJob]:
+        """The sweep sharded into independent per-frequency row jobs."""
+        model = model_by_codename(self.codename)
+        return [
+            CharacterizationRowJob(
+                codename=self.codename,
+                frequency_ghz=frequency,
+                config=self.config,
+                seed=self.seed,
+            )
+            for frequency in self.config.frequency_list(model)
+        ]
+
+    def fold(self, rows: List[List[CellResult]]) -> CharacterizationResult:
+        """Merge executed rows (in frequency order) into one result."""
+        framework = CharacterizationFramework(
+            model_by_codename(self.codename), config=self.config, seed=self.seed
+        )
+        result = framework.empty_result()
+        for cells in rows:
+            framework.fold_row(result, cells)
+        return result
+
+    def run(self, telemetry: Telemetry) -> CharacterizationResult:
+        return self.fold([job.run(telemetry) for job in self.row_jobs()])
+
+
+@dataclass(frozen=True)
+class AttackCampaignJob(JobSpec):
+    """One (CPU, defense state, attack) cell of a prevention campaign.
+
+    The job is self-contained: it builds a fresh machine (seeded from its
+    own stream), optionally deploys the polling countermeasure from the
+    serialized unsafe-state set, mounts the named attack and returns the
+    :class:`~repro.attacks.base.AttackOutcome`.  Because the defense
+    configuration travels inside the spec (``unsafe_json``), the
+    fingerprint covers exactly what the outcome depends on.
+    """
+
+    kind: ClassVar[str] = "attack-campaign"
+
+    codename: str
+    attack: str
+    protected: bool
+    seed: int
+    #: ``UnsafeStateSet.to_dict()`` as canonical JSON (required when
+    #: ``protected`` — it is the deployed defense's whole configuration).
+    unsafe_json: Optional[str] = None
+    #: imul-campaign sweep points (ignored by the enclave attacks).
+    offsets_mv: Optional[Tuple[int, ...]] = None
+    frequency_ghz: Optional[float] = None
+    iterations_per_point: int = 500_000
+    max_signing_attempts: int = 40
+    max_attempts: int = 20
+    payload_ops: int = 500_000
+    rsa_key_seed: int = 42
+    aes_key_hex: str = "2b7e151628aed2a6abf7158809cf4f3c"
+    #: VoltJockey cross-frequency parameters (ignored by the others).
+    voltjockey_offset_mv: Optional[int] = None
+    voltjockey_repetitions: int = 3
+
+    def __post_init__(self) -> None:
+        if self.attack not in ATTACK_KINDS:
+            raise ConfigurationError(
+                f"unknown attack {self.attack!r}; expected one of {ATTACK_KINDS}"
+            )
+        if self.protected and self.unsafe_json is None:
+            raise ConfigurationError(
+                "protected campaign jobs must carry the characterized "
+                "unsafe-state set (unsafe_json)"
+            )
+
+    def seed_path(self) -> Tuple[str, ...]:
+        return (
+            "campaign",
+            self.codename,
+            self.attack,
+            "protected" if self.protected else "open",
+        )
+
+    def build_machine(self, telemetry: Optional[Telemetry] = None):
+        """The victim machine (plus module when protected) for this cell."""
+        from repro.core.polling_module import PollingCountermeasure
+        from repro.testbench import Machine
+
+        model = model_by_codename(self.codename)
+        machine = Machine.build(
+            model, seed=self.stream().child("machine").integer(), telemetry=telemetry
+        )
+        module = None
+        if self.protected:
+            unsafe = UnsafeStateSet.from_dict(json.loads(self.unsafe_json))
+            module = PollingCountermeasure(machine, unsafe)
+            machine.modules.insmod(module)
+        return machine, module
+
+    def run(self, telemetry: Telemetry) -> Any:
+        from repro.attacks import (
+            AESDFAAttack,
+            AESDFAConfig,
+            ImulCampaign,
+            PlundervoltAttack,
+            PlundervoltConfig,
+            RSACRTSigner,
+            RSAKey,
+            V0ltpwnAttack,
+            V0ltpwnConfig,
+            VectorChecksumPayload,
+            VoltJockeyAttack,
+            VoltJockeyConfig,
+        )
+        from repro.sgx import EnclaveHost
+
+        machine, _module = self.build_machine(telemetry)
+        model = machine.model
+        base = (
+            self.frequency_ghz
+            if self.frequency_ghz is not None
+            else model.frequency_table.base_ghz
+        )
+        if self.attack == "imul":
+            offsets = (
+                self.offsets_mv
+                if self.offsets_mv is not None
+                else tuple(range(-60, -301, -10))
+            )
+            attack = ImulCampaign(
+                machine,
+                frequency_ghz=base,
+                offsets_mv=offsets,
+                iterations_per_point=self.iterations_per_point,
+            )
+        elif self.attack == "plundervolt":
+            host = EnclaveHost(machine)
+            attack = PlundervoltAttack(
+                machine,
+                host.create_enclave("rsa"),
+                RSACRTSigner(RSAKey.generate(512, seed=self.rsa_key_seed)),
+                message=0xDEADBEEF,
+                config=PlundervoltConfig(
+                    frequency_ghz=base, max_signing_attempts=self.max_signing_attempts
+                ),
+            )
+        elif self.attack == "v0ltpwn":
+            host = EnclaveHost(machine)
+            attack = V0ltpwnAttack(
+                machine,
+                host.create_enclave("vec"),
+                VectorChecksumPayload(ops=self.payload_ops),
+                V0ltpwnConfig(frequency_ghz=base, max_attempts=self.max_attempts),
+            )
+        elif self.attack == "aes-dfa":
+            attack = AESDFAAttack(
+                machine,
+                bytes.fromhex(self.aes_key_hex),
+                AESDFAConfig(frequency_ghz=base),
+            )
+        else:  # voltjockey
+            table = model.frequency_table
+            attack = VoltJockeyAttack(
+                machine,
+                VoltJockeyConfig(
+                    table.min_ghz,
+                    table.max_ghz,
+                    offset_mv=self.voltjockey_offset_mv or -200,
+                    repetitions=self.voltjockey_repetitions,
+                ),
+            )
+        return attack.mount()
+
+
+@dataclass(frozen=True)
+class OverheadJob(JobSpec):
+    """One Table 2 SPEC overhead measurement on a protected machine."""
+
+    kind: ClassVar[str] = "spec-overhead"
+
+    codename: str
+    seed: int
+    unsafe_json: str
+    interval_s: float = 0.05
+
+    def seed_path(self) -> Tuple[str, ...]:
+        return ("overhead", self.codename)
+
+    def run(self, telemetry: Telemetry) -> Any:
+        from repro.bench.runner import SpecOverheadRunner
+        from repro.core.polling_module import PollingCountermeasure
+        from repro.testbench import Machine
+
+        model = model_by_codename(self.codename)
+        stream = self.stream()
+        machine = Machine.build(
+            model, seed=stream.child("machine").integer(), telemetry=telemetry
+        )
+        unsafe = UnsafeStateSet.from_dict(json.loads(self.unsafe_json))
+        module = PollingCountermeasure(machine, unsafe)
+        machine.modules.insmod(module)
+        runner = SpecOverheadRunner(
+            machine,
+            module,
+            interval_s=self.interval_s,
+            seed=stream.child("noise").integer(),
+        )
+        return runner.run()
+
+
+@dataclass
+class JobResult:
+    """What one executed job hands back to the session."""
+
+    fingerprint: str
+    payload: Any
+    #: Counter increments observed while the job ran, merged into the
+    #: session registry (this is how per-worker telemetry survives the
+    #: process boundary).
+    counters: Dict[str, int]
+
+
+def execute_job(job: JobSpec) -> JobResult:
+    """Worker entry point: run one job under fresh telemetry.
+
+    Top-level by design so :class:`concurrent.futures.ProcessPoolExecutor`
+    can pickle it by reference; the job spec itself travels by value.
+    """
+    telemetry = Telemetry()
+    payload = job.run(telemetry)
+    counters = {
+        counter.name: int(counter.value)
+        for counter in telemetry.registry.counters()
+        if counter.value
+    }
+    return JobResult(fingerprint=job.fingerprint(), payload=payload, counters=counters)

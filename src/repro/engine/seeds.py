@@ -1,0 +1,100 @@
+"""Deterministic named seed streams for the campaign engine.
+
+Every piece of randomness in a campaign — the fault sampling of one
+characterization row, the run-to-run noise of a SPEC measurement, the
+machine build of an attack cell — draws from a :class:`SeedStream`
+addressed by a *name path* under a root seed::
+
+    seed_stream(5, "characterization", "Comet Lake", "row@20").rng()
+    seed_stream(5, "campaign", "Sky Lake", "plundervolt", "machine").integer()
+
+Streams are derived with :class:`numpy.random.SeedSequence` using an
+explicit ``spawn_key`` computed from the path, i.e. the order-independent
+form of ``SeedSequence.spawn``: the stream a job receives depends only on
+the root seed and the job's identity, never on how many other jobs ran
+first or on which worker process it landed.  This is what lets the
+process-pool executor shard a sweep across workers and still reproduce
+the serial run byte for byte, and it replaces the ad-hoc ``seed + 6`` /
+``seed=13`` offsets the CLI and experiment helpers used to carry.
+
+Two sibling streams are statistically independent (SeedSequence's spawn
+guarantee); the same path always yields the same stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Number of 32-bit words of the path digest folded into the spawn key.
+_SPAWN_KEY_WORDS = 4
+
+#: Separator that keeps ("a", "bc") and ("ab", "c") on distinct streams.
+_PATH_SEPARATOR = "\x1f"
+
+
+def _spawn_key(path: Tuple[str, ...]) -> Tuple[int, ...]:
+    """Collapse a name path to a SeedSequence spawn key.
+
+    The empty path maps to the empty key so ``seed_stream(s)`` is exactly
+    ``SeedSequence(s)`` — the root stream is the plain user seed.
+    """
+    if not path:
+        return ()
+    digest = hashlib.sha256(_PATH_SEPARATOR.join(path).encode("utf-8")).digest()
+    return tuple(
+        int.from_bytes(digest[4 * i : 4 * i + 4], "little")
+        for i in range(_SPAWN_KEY_WORDS)
+    )
+
+
+@dataclass(frozen=True)
+class SeedStream:
+    """One named, deterministic randomness stream under a root seed."""
+
+    root: int
+    path: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(part, str) and part for part in self.path):
+            raise ConfigurationError("seed stream path parts must be non-empty strings")
+
+    @property
+    def sequence(self) -> np.random.SeedSequence:
+        """The underlying SeedSequence (pure — safe to rebuild at will)."""
+        return np.random.SeedSequence(entropy=self.root, spawn_key=_spawn_key(self.path))
+
+    def child(self, *names: str) -> "SeedStream":
+        """A sub-stream addressed by appending ``names`` to the path."""
+        return SeedStream(self.root, self.path + tuple(str(n) for n in names))
+
+    def rng(self) -> np.random.Generator:
+        """A fresh, independently seeded generator for this stream."""
+        return np.random.default_rng(self.sequence)
+
+    def integer(self, *, bits: int = 31) -> int:
+        """A deterministic non-negative integer seed for legacy ``seed=`` APIs.
+
+        Components that still take a plain integer seed (``Machine.build``,
+        ``RSAKey.generate``, the SPEC noise generator) are bridged through
+        this: the integer is the first word of the stream's generated
+        state, masked to ``bits`` bits.
+        """
+        if not 1 <= bits <= 64:
+            raise ConfigurationError("bits must lie in [1, 64]")
+        state = self.sequence.generate_state(2, np.uint64)
+        return int(state[0] & ((1 << bits) - 1))
+
+    def describe(self) -> str:
+        """Human-readable stream address (used in docs and trace notes)."""
+        return f"{self.root}/" + "/".join(self.path)
+
+
+def seed_stream(root: int, *names: str) -> SeedStream:
+    """The stream addressed by ``names`` under ``root``."""
+    return SeedStream(int(root), tuple(str(n) for n in names))

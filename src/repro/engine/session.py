@@ -1,0 +1,261 @@
+"""The engine session: one executor + one cache + one telemetry registry.
+
+:class:`EngineSession` is the front door every experiment path goes
+through: ``repro.experiments``, the CLI (including ``repro campaign``),
+the test and benchmark conftests.  It
+
+* turns characterization requests into per-frequency row jobs, runs them
+  through the configured executor, folds the rows back together and
+  caches the folded result under the sweep's content hash;
+* submits attack-campaign and overhead jobs, consulting the same cache;
+* merges the telemetry counter increments every worker reports back into
+  its own registry, so ``session.telemetry`` reflects the whole campaign
+  regardless of which process did the work.
+
+A process-global default session (shared by the experiment API, both
+conftests and the CLI) is reachable via :func:`get_session`; tests that
+need isolation construct their own.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import threading
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+from repro.core.characterization import (
+    CharacterizationConfig,
+    CharacterizationResult,
+)
+from repro.cpu.models import CPUModel, EXTENDED_MODELS, model_by_codename
+from repro.engine.cache import ResultCache
+from repro.engine.executors import Executor, executor_from_env
+from repro.engine.jobs import (
+    CharacterizationJob,
+    JobResult,
+    JobSpec,
+    execute_job,
+)
+from repro.engine.seeds import SeedStream, seed_stream
+from repro.telemetry import Telemetry
+
+#: Root seed of the canonical paper reproduction (matches the benchmarks
+#: and the historical ``experiments.CANONICAL_SEED``).
+DEFAULT_SEED = 5
+
+
+def _normalize_config(
+    config: Optional[CharacterizationConfig],
+) -> CharacterizationConfig:
+    """Default + freeze the sweep config so job specs stay hashable."""
+    config = config or CharacterizationConfig()
+    if config.frequencies_ghz is not None and not isinstance(
+        config.frequencies_ghz, tuple
+    ):
+        import dataclasses
+
+        config = dataclasses.replace(
+            config, frequencies_ghz=tuple(config.frequencies_ghz)
+        )
+    return config
+
+
+class EngineSession:
+    """One campaign-engine context: executor, cache, telemetry."""
+
+    def __init__(
+        self,
+        *,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.executor = executor or executor_from_env()
+        self.cache = cache or ResultCache.from_env()
+        self.telemetry = telemetry or Telemetry()
+        self._jobs_counter = self.telemetry.registry.counter("engine.jobs_executed")
+        self._cache_hit_counter = self.telemetry.registry.counter("engine.cache_hits")
+        self._cache_miss_counter = self.telemetry.registry.counter("engine.cache_misses")
+
+    # -- seed streams ------------------------------------------------------------
+
+    def seed_stream(self, root: int, *names: str) -> SeedStream:
+        """A named stream under ``root`` (convenience re-export)."""
+        return seed_stream(root, *names)
+
+    # -- generic submission ------------------------------------------------------
+
+    def _merge_counters(self, results: Iterable[JobResult]) -> None:
+        registry = self.telemetry.registry
+        for result in results:
+            for name, value in result.counters.items():
+                registry.counter(name).inc(value)
+
+    def run_jobs(
+        self, jobs: Sequence[JobSpec], *, cache: bool = True
+    ) -> List[Any]:
+        """Execute jobs (cache-aware) and return payloads in input order.
+
+        Cached jobs are served without touching the executor; the misses
+        are sharded through it in one batch, their results cached, and
+        their worker counters merged into the session registry.
+        """
+        jobs = list(jobs)
+        payloads: List[Any] = [None] * len(jobs)
+        pending: List[int] = []
+        if cache:
+            for index, job in enumerate(jobs):
+                hit = self.cache.get(job.fingerprint(), default=_MISS)
+                if hit is not _MISS:
+                    self._cache_hit_counter.inc()
+                    payloads[index] = hit
+                else:
+                    self._cache_miss_counter.inc()
+                    pending.append(index)
+        else:
+            pending = list(range(len(jobs)))
+        if pending:
+            results = self.executor.run_jobs([jobs[i] for i in pending])
+            self._merge_counters(results)
+            self._jobs_counter.inc(len(results))
+            for index, result in zip(pending, results):
+                payloads[index] = result.payload
+                if cache:
+                    self.cache.put(result.fingerprint, result.payload)
+        return payloads
+
+    def run_job(self, job: JobSpec, *, cache: bool = True) -> Any:
+        """Single-job convenience wrapper around :meth:`run_jobs`."""
+        return self.run_jobs([job], cache=cache)[0]
+
+    # -- characterization --------------------------------------------------------
+
+    def characterize(
+        self,
+        model: Union[CPUModel, str],
+        *,
+        seed: int = DEFAULT_SEED,
+        config: Optional[CharacterizationConfig] = None,
+    ) -> CharacterizationResult:
+        """The full Algo 2 sweep for a model, sharded by frequency row.
+
+        The folded :class:`CharacterizationResult` is cached under the
+        sweep's content hash; repeated in-process calls return the same
+        object (the identity the experiment API has always promised).
+        """
+        if isinstance(model, str):
+            model = model_by_codename(model)
+        config = _normalize_config(config)
+        job = CharacterizationJob(
+            codename=model.codename, config=config, seed=int(seed)
+        )
+        fingerprint = job.fingerprint()
+        cached = self.cache.get(fingerprint, default=_MISS)
+        if cached is not _MISS:
+            self._cache_hit_counter.inc()
+            return cached
+        self._cache_miss_counter.inc()
+        if model.codename in EXTENDED_MODELS:
+            row_results = self.executor.run_jobs(job.row_jobs())
+            self._merge_counters(row_results)
+            self._jobs_counter.inc(len(row_results))
+            result = job.fold([r.payload for r in row_results])
+        else:
+            # Models outside the catalog cannot be rebuilt by codename in
+            # a worker process; run their sweep inline instead.
+            from repro.core.characterization import CharacterizationFramework
+
+            result = CharacterizationFramework(
+                model, config=config, seed=int(seed)
+            ).run()
+        self.cache.put(fingerprint, result)
+        return result
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (memory and disk)."""
+        self.cache.clear()
+
+    def counters(self) -> dict:
+        """Name → value snapshot of the merged session counters."""
+        return {c.name: c.value for c in self.telemetry.registry.counters()}
+
+    def describe(self) -> dict:
+        """JSON-safe session summary for CLI output and bench artifacts."""
+        workers = getattr(self.executor, "workers", 1)
+        return {
+            "executor": self.executor.name,
+            "workers": workers,
+            "cache": self.cache.stats.as_dict(),
+            "cached_entries": len(self.cache),
+        }
+
+    def close(self) -> None:
+        """Shut down the executor's workers (cache contents survive)."""
+        self.executor.close()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+_MISS = object()
+
+_session_lock = threading.Lock()
+_session: Optional[EngineSession] = None
+
+
+def get_session() -> EngineSession:
+    """The process-global default session (created on first use)."""
+    global _session
+    with _session_lock:
+        if _session is None:
+            _session = EngineSession()
+        return _session
+
+
+def set_session(session: EngineSession) -> EngineSession:
+    """Install ``session`` as the process-global default."""
+    global _session
+    with _session_lock:
+        previous, _session = _session, session
+    if previous is not None and previous is not session:
+        previous.close()
+    return session
+
+
+def reset_session() -> None:
+    """Drop the default session (next :func:`get_session` builds anew)."""
+    global _session
+    with _session_lock:
+        previous, _session = _session, None
+    if previous is not None:
+        previous.close()
+
+
+def clear_session_cache() -> None:
+    """Clear the default session's result cache (if one exists)."""
+    with _session_lock:
+        session = _session
+    if session is not None:
+        session.cache.clear()
+
+
+def _close_default_session() -> None:
+    """Shut the default session's worker pool down before interpreter exit.
+
+    Without this a process-pool session that is still alive at shutdown
+    gets torn down by garbage collection mid-finalization, which spews a
+    spurious traceback from concurrent.futures.
+    """
+    with _session_lock:
+        session = _session
+    if session is not None:
+        session.close()
+
+
+atexit.register(_close_default_session)

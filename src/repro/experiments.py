@@ -6,39 +6,44 @@ downstream users can embed the experiments in their own pipelines
 benchmark targets under ``benchmarks/`` call these functions and add the
 shape assertions and on-disk artifacts.
 
+All heavy lifting is submitted through the campaign engine
+(:mod:`repro.engine`): characterization sweeps are sharded into
+per-frequency row jobs, attack campaigns and the SPEC overhead run are
+self-contained job specs, and everything draws its randomness from named
+seed streams keyed by job identity — so results are identical whether
+the engine runs serial or across a process pool, and repeated calls are
+served from the engine's result cache.
+
 All functions are deterministic for a given seed.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.attacks import (
-    AESDFAAttack,
-    AESDFAConfig,
     AttackOutcome,
-    ImulCampaign,
-    PlundervoltAttack,
-    PlundervoltConfig,
-    RSACRTSigner,
     RSAKey,
-    V0ltpwnAttack,
-    V0ltpwnConfig,
-    VectorChecksumPayload,
     VoltJockeyAttack,
     VoltJockeyConfig,
 )
-from repro.bench.runner import OverheadReport, SpecOverheadRunner
+from repro.bench.runner import OverheadReport
 from repro.core import (
-    CharacterizationFramework,
     CharacterizationResult,
     MicrocodeGuard,
     PollingCountermeasure,
     install_msr_clamp,
 )
 from repro.cpu import COMET_LAKE, PAPER_MODEL_TUPLE, CPUModel
-from repro.sgx import EnclaveHost
+from repro.engine import (
+    AttackCampaignJob,
+    EngineSession,
+    OverheadJob,
+    get_session,
+    seed_stream,
+)
 from repro.testbench import Machine
 
 #: Seed used by all canonical reproductions (matches the benchmarks).
@@ -47,22 +52,49 @@ CANONICAL_SEED = 5
 #: Attack attempts per defense in the comparison harness.
 COMPARISON_ATTEMPTS = 40
 
-_CHARACTERIZATION_CACHE: Dict[Tuple[str, int], CharacterizationResult] = {}
+#: The attacks mounted per (CPU, defense) cell of the prevention matrix.
+PREVENTION_ATTACKS = ("imul", "plundervolt", "v0ltpwn")
+
+#: Victim secrets targeted by the prevention campaigns.  The values match
+#: the :class:`~repro.engine.AttackCampaignJob` defaults (``rsa_key_seed``
+#: and ``aes_key_hex``), so the recovered secrets in the matrix can be
+#: checked against them.
+PREVENTION_RSA_KEY = RSAKey.generate(512, seed=42)
+PREVENTION_AES_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 
 
-def characterization(model: CPUModel, *, seed: int = CANONICAL_SEED) -> CharacterizationResult:
-    """Figs. 2-4: the full Algo 2 sweep for one CPU model (cached)."""
-    key = (model.codename, seed)
-    if key not in _CHARACTERIZATION_CACHE:
-        _CHARACTERIZATION_CACHE[key] = CharacterizationFramework(model, seed=seed).run()
-    return _CHARACTERIZATION_CACHE[key]
+def characterization(
+    model: CPUModel, *, seed: int = CANONICAL_SEED
+) -> CharacterizationResult:
+    """Figs. 2-4: the full Algo 2 sweep for one CPU model.
+
+    Served from the engine's result cache: repeated calls with the same
+    (model, seed) return the *same object*.  ``clear_characterization_cache``
+    (or ``get_session().clear_cache()``) resets it explicitly — the cache
+    is bounded and never leaks across sessions the way the old
+    module-global dict did.
+    """
+    return get_session().characterize(model, seed=seed)
+
+
+def clear_characterization_cache() -> None:
+    """Explicitly drop every cached sweep (and campaign) result."""
+    get_session().clear_cache()
+
+
+def _unsafe_json(result: CharacterizationResult) -> str:
+    """The characterized unsafe set as canonical JSON for job specs."""
+    return json.dumps(result.unsafe_states.to_dict(), sort_keys=True)
 
 
 def protected_machine(
     model: CPUModel, *, seed: int = 11, characterization_seed: int = CANONICAL_SEED
 ) -> Tuple[Machine, PollingCountermeasure]:
     """A machine with the polling countermeasure deployed."""
-    machine = Machine.build(model, seed=seed)
+    machine_seed = seed_stream(
+        seed, "experiments", "protected-machine", model.codename
+    ).integer()
+    machine = Machine.build(model, seed=machine_seed)
     module = PollingCountermeasure(
         machine, characterization(model, seed=characterization_seed).unsafe_states
     )
@@ -72,8 +104,12 @@ def protected_machine(
 
 def table2_overhead(*, seed: int = 3) -> OverheadReport:
     """Table 2: SPEC2017 overhead of the polling module on Comet Lake."""
-    machine, module = protected_machine(COMET_LAKE, seed=seed)
-    return SpecOverheadRunner(machine, module).run()
+    job = OverheadJob(
+        codename=COMET_LAKE.codename,
+        seed=seed,
+        unsafe_json=_unsafe_json(characterization(COMET_LAKE)),
+    )
+    return get_session().run_job(job)
 
 
 @dataclass
@@ -106,61 +142,55 @@ class PreventionMatrix:
         return sum(c.outcome.faults_observed for c in self.outcomes(protected=True))
 
 
-#: The victim RSA key used by the canonical prevention run.
-PREVENTION_RSA_KEY = RSAKey.generate(512, seed=42)
-#: The victim AES key used by the canonical prevention run.
-PREVENTION_AES_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
-
-
-def prevention_matrix(
+def prevention_jobs(
     *, seed: int = 11, include_aes: bool = True
-) -> PreventionMatrix:
-    """Sec. 4.3: attack campaigns vs the polling module on all three CPUs."""
-    matrix = PreventionMatrix()
+) -> List[AttackCampaignJob]:
+    """The Sec. 4.3 campaign expressed as engine job specs.
+
+    One self-contained job per (CPU, defense state, attack): the
+    characterized unsafe set travels inside protected specs, so the jobs
+    can be sharded across worker processes (``repro campaign --workers``)
+    and still reproduce the serial matrix byte for byte.
+    """
+    jobs: List[AttackCampaignJob] = []
     for model in PAPER_MODEL_TUPLE:
+        result = characterization(model)
         base = model.frequency_table.base_ghz
-        boundary = int(characterization(model).unsafe_states.boundary_mv(base))
+        boundary = int(result.unsafe_states.boundary_mv(base))
         offsets = (
             boundary + 20, boundary - 5, boundary - 10,
             boundary - 15, boundary - 20, -300,
         )
+        unsafe_json = _unsafe_json(result)
+        attacks = list(PREVENTION_ATTACKS)
+        if include_aes and model.codename == "Comet Lake":
+            attacks.append("aes-dfa")
         for protected in (False, True):
-            if protected:
-                machine, _ = protected_machine(model, seed=seed)
-            else:
-                machine = Machine.build(model, seed=seed)
-            host = EnclaveHost(machine)
-            campaigns: List[AttackOutcome] = [
-                ImulCampaign(
-                    machine,
-                    frequency_ghz=base,
-                    offsets_mv=offsets,
-                    iterations_per_point=500_000,
-                ).mount(),
-                PlundervoltAttack(
-                    machine,
-                    host.create_enclave("rsa"),
-                    RSACRTSigner(PREVENTION_RSA_KEY),
-                    message=0xDEADBEEF,
-                    config=PlundervoltConfig(frequency_ghz=base, max_signing_attempts=40),
-                ).mount(),
-                V0ltpwnAttack(
-                    machine,
-                    host.create_enclave("vec"),
-                    VectorChecksumPayload(ops=500_000),
-                    V0ltpwnConfig(frequency_ghz=base, max_attempts=20),
-                ).mount(),
-            ]
-            if include_aes and model.codename == "Comet Lake":
-                campaigns.append(
-                    AESDFAAttack(
-                        machine, PREVENTION_AES_KEY, AESDFAConfig(frequency_ghz=base)
-                    ).mount()
+            for attack in attacks:
+                jobs.append(
+                    AttackCampaignJob(
+                        codename=model.codename,
+                        attack=attack,
+                        protected=protected,
+                        seed=seed,
+                        unsafe_json=unsafe_json if protected else None,
+                        offsets_mv=offsets if attack == "imul" else None,
+                        frequency_ghz=base,
+                    )
                 )
-            for outcome in campaigns:
-                matrix.cells.append(
-                    PreventionCell(model.codename, protected, outcome)
-                )
+    return jobs
+
+
+def prevention_matrix(
+    *, seed: int = 11, include_aes: bool = True, session: Optional[EngineSession] = None
+) -> PreventionMatrix:
+    """Sec. 4.3: attack campaigns vs the polling module on all three CPUs."""
+    session = session or get_session()
+    jobs = prevention_jobs(seed=seed, include_aes=include_aes)
+    outcomes = session.run_jobs(jobs)
+    matrix = PreventionMatrix()
+    for job, outcome in zip(jobs, outcomes):
+        matrix.cells.append(PreventionCell(job.codename, job.protected, outcome))
     return matrix
 
 
@@ -214,16 +244,16 @@ class DefenseComparison:
 
 def defense_comparison(*, seed: int = 41, attempts: int = COMPARISON_ATTEMPTS) -> DefenseComparison:
     """Run the three-philosophy comparison (see the matching benchmark)."""
-    import numpy as np
-
     from repro.defenses import AccessControlDefense, MinefieldDefense, WindowVerdict
     from repro.faults.injector import FaultInjector
     from repro.faults.margin import FaultModel
+    from repro.sgx import EnclaveHost
 
     comparison = DefenseComparison()
+    stream = seed_stream(seed, "experiments", "defense-comparison")
 
     # -- Intel SA-00289 ------------------------------------------------------
-    machine = Machine.build(COMET_LAKE, seed=seed)
+    machine = Machine.build(COMET_LAKE, seed=stream.child("sa00289").integer())
     host = EnclaveHost(machine)
     access = AccessControlDefense(machine, host)
     access.deploy()
@@ -233,7 +263,7 @@ def defense_comparison(*, seed: int = 41, attempts: int = COMPARISON_ATTEMPTS) -
 
     # -- Minefield -------------------------------------------------------------
     fault_model = FaultModel(COMET_LAKE)
-    injector = FaultInjector(fault_model, np.random.default_rng(seed))
+    injector = FaultInjector(fault_model, stream.child("minefield").rng())
     vcrit = fault_model.critical_voltage(2.0)
     conditions = type(fault_model.conditions_for_offset(2.0, 0.0))(
         2.0, vcrit - 0.003, -999

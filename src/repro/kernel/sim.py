@@ -209,6 +209,16 @@ class Simulator:
                 break
             self.step()
         self._now = time
+        # Stopping with a live head beyond ``time`` can strand cancelled
+        # entries deeper in the heap; purge them so repeated run_until
+        # calls against long-lived simulators cannot accumulate garbage.
+        self._prune_cancelled()
+
+    def _prune_cancelled(self) -> None:
+        """Drop every cancelled entry still parked in the event heap."""
+        if any(entry.event.cancelled for entry in self._heap):
+            self._heap = [e for e in self._heap if not e.event.cancelled]
+            heapq.heapify(self._heap)
 
     def run(self, *, max_events: int = 10_000_000) -> None:
         """Drain the event queue entirely (bounded by ``max_events``)."""

@@ -1,8 +1,10 @@
 """Shared fixtures.
 
 Characterizations are expensive enough (a few tenths of a second per CPU
-model) that session-scoped fixtures share them across the suite; machines
-are cheap and always built fresh per test to keep state isolated.
+model) that the suite shares them through the engine's cached session —
+the same cache the experiment API and the CLI use, so a sweep computed
+by any of them is computed only once per process.  Machines are cheap
+and always built fresh per test to keep state isolated.
 """
 
 from __future__ import annotations
@@ -11,29 +13,29 @@ import pytest
 
 from repro.core.characterization import (
     CharacterizationConfig,
-    CharacterizationFramework,
     CharacterizationResult,
 )
 from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE
+from repro.engine import get_session
 from repro.testbench import Machine
 
 
 @pytest.fixture(scope="session")
 def comet_characterization() -> CharacterizationResult:
     """Full Algo 2 sweep for Comet Lake (the paper's Table 2 machine)."""
-    return CharacterizationFramework(COMET_LAKE, seed=5).run()
+    return get_session().characterize(COMET_LAKE, seed=5)
 
 
 @pytest.fixture(scope="session")
 def skylake_characterization() -> CharacterizationResult:
     """Full Algo 2 sweep for Sky Lake."""
-    return CharacterizationFramework(SKY_LAKE, seed=5).run()
+    return get_session().characterize(SKY_LAKE, seed=5)
 
 
 @pytest.fixture(scope="session")
 def kabylake_characterization() -> CharacterizationResult:
     """Full Algo 2 sweep for Kaby Lake R."""
-    return CharacterizationFramework(KABY_LAKE_R, seed=5).run()
+    return get_session().characterize(KABY_LAKE_R, seed=5)
 
 
 @pytest.fixture(scope="session")

@@ -111,6 +111,21 @@ class TestRunUntil:
         sim.run_until(2.0)
         assert fired == [1]
 
+    def test_cancelled_events_purged_when_stopping_early(self):
+        # Regression: stopping before a live head used to leave cancelled
+        # entries parked behind it, accumulating across run_until calls.
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.5, lambda: fired.append("live"))
+        cancelled = sim.schedule(3.0, lambda: fired.append("cancelled"))
+        cancelled.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+        assert not any(entry.event.cancelled for entry in sim._heap)
+        sim.run_until(3.5)
+        assert fired == ["live"]
+        assert sim._heap == []
+
 
 class TestRecurring:
     def test_fires_every_period(self):
