@@ -1,6 +1,6 @@
 # Plug Your Volt reproduction — common tasks.
 
-.PHONY: install test bench campaign examples artifacts trace-demo clean
+.PHONY: install test bench campaign fuzz examples artifacts trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,6 +15,12 @@ bench:
 # across a process pool (EXECUTOR/WORKERS overridable).
 campaign:
 	python -m repro campaign --executor $${EXECUTOR:-process} --workers $${WORKERS:-4}
+
+# Adversarial-schedule fuzzing under the runtime invariant checker
+# (SEED/BUDGET overridable).  Exits nonzero and writes fuzz-repro.json
+# when an invariant is violated.
+fuzz:
+	python -m repro fuzz --seed $${SEED:-0} --budget $${BUDGET:-200}
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script || exit 1; done

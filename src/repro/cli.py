@@ -120,6 +120,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write matrix + engine stats as JSON"
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz adversarial DVFS schedules under the runtime invariant checker",
+    )
+    fuzz.add_argument(
+        "--cpu", default=None, help="restrict to one CPU codename (default: all three)"
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="deterministic seed (same as the global --seed)",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=200,
+        help="total fuzz cases, split across the selected CPUs",
+    )
+    fuzz.add_argument(
+        "--actions", type=int, default=12, help="actions per fuzzed schedule"
+    )
+    fuzz.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default=None,
+        help="engine executor (default: REPRO_EXECUTOR or serial)",
+    )
+    fuzz.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (implies --executor process)",
+    )
+    fuzz.add_argument(
+        "--no-module",
+        action="store_true",
+        help="skip characterization; module load/unload actions become no-ops",
+    )
+    fuzz.add_argument(
+        "--out",
+        metavar="PATH",
+        default="fuzz-repro.json",
+        help="shrunk-repro artifact path (written only on a violation)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="PATH",
+        default=None,
+        help="replay a repro artifact under the checker instead of fuzzing",
+    )
+
     spec = sub.add_parser("spec", help="reproduce Table 2 (SPEC2017 overhead)")
     spec.add_argument("--cpu", default="Comet Lake", help="CPU codename")
     spec.add_argument("--csv", metavar="PATH", help="export rows as CSV")
@@ -359,6 +409,106 @@ def _cmd_campaign(args) -> int:
     return 0 if protected_faults == 0 else 1
 
 
+def _cmd_fuzz(args) -> int:
+    import hashlib
+
+    from repro.engine import EngineSession, FuzzJob, executor_from_env, make_executor
+    from repro.verify import (
+        FuzzSchedule,
+        InvariantChecker,
+        run_schedule,
+        shrink_schedule,
+    )
+
+    if args.replay:
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            schedule = FuzzSchedule.from_json(handle.read())
+        summary = run_schedule(schedule)
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        if summary["violation"] is not None:
+            print(f"\nreplay reproduced: [{summary['violation']['invariant']}] "
+                  f"{summary['violation']['message']}")
+            return 1
+        print("\nreplay ran clean (violation not reproduced)")
+        return 0
+
+    models = (
+        [model_by_codename(args.cpu)] if args.cpu else list(PAPER_MODEL_TUPLE)
+    )
+    unsafe_by_model = {}
+    for model in models:
+        if args.no_module:
+            unsafe_by_model[model.codename] = None
+        else:
+            result = _characterize(model, args.seed)
+            unsafe_by_model[model.codename] = _json.dumps(
+                result.unsafe_states.to_dict(), sort_keys=True
+            )
+    jobs = []
+    for index, model in enumerate(models):
+        count = args.budget // len(models) + (
+            1 if index < args.budget % len(models) else 0
+        )
+        jobs.extend(
+            FuzzJob(
+                codename=model.codename,
+                seed=args.seed,
+                case_index=case,
+                num_actions=args.actions,
+                unsafe_json=unsafe_by_model[model.codename],
+            )
+            for case in range(count)
+        )
+    if args.executor is not None or args.workers is not None:
+        executor = make_executor(args.executor or "process", workers=args.workers)
+    else:
+        executor = executor_from_env()
+    # Fuzz cases always re-execute (cache=False): the byte-identity
+    # guarantee is about recomputation, not about replaying cached runs.
+    with EngineSession(executor=executor, verifier=InvariantChecker()) as session:
+        summaries = session.run_jobs(jobs, cache=False)
+    rows = []
+    for model in models:
+        cases = [s for s in summaries if s["codename"] == model.codename]
+        rows.append(
+            (
+                model.codename,
+                len(cases),
+                sum(s["checks"] for s in cases),
+                sum(len(s["expected_errors"]) for s in cases),
+                sum(s["crashes"] for s in cases),
+                sum(1 for s in cases if s["violation"] is not None),
+            )
+        )
+    print(render_table(
+        ["CPU", "cases", "checks", "expected errors", "crashes", "violations"],
+        rows,
+        title=f"Adversarial-schedule fuzzing — seed {args.seed}, "
+        f"{args.actions} actions/case",
+    ))
+    digest = hashlib.sha256(
+        _json.dumps(summaries, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+    print(f"\nresult digest: {digest}")
+    for job, summary in zip(jobs, summaries):
+        if summary["violation"] is None:
+            continue
+        violation = summary["violation"]
+        print(f"\nINVARIANT VIOLATION [{violation['invariant']}] "
+              f"{violation['message']}")
+        print(f"  case: {job.codename} #{job.case_index} "
+              f"(action {violation['action_index']})")
+        shrunk = shrink_schedule(job.schedule())
+        artifact = dict(shrunk.to_dict(), violation=run_schedule(shrunk)["violation"])
+        path = write_text(args.out, _json.dumps(artifact, indent=2, sort_keys=True))
+        print(f"  shrunk to {len(shrunk.actions)} action(s); "
+              f"replayable artifact written to {path}")
+        print(f"  replay with: repro fuzz --replay {path}")
+        return 1
+    print("no invariant violations")
+    return 0
+
+
 def _cmd_spec(args) -> int:
     from repro.bench.runner import SpecOverheadRunner
     from repro.testbench import Machine
@@ -579,6 +729,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_attack(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "spec":
         return _cmd_spec(args)
     if args.command == "maximal":

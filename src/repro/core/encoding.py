@@ -45,10 +45,14 @@ def offset_voltage(offset_mv: float, plane: int = 0) -> int:
     if not 0 <= plane <= 4:
         raise InvalidPlaneError(f"plane {plane} outside Table 1 range 0-4")
     val = int(offset_mv * 1024 / 1000)                      # line 2
-    if not ocm.MIN_OFFSET_UNITS <= val <= ocm.MAX_OFFSET_UNITS:
+    # Guard before line 3: the 0xFFF literal would silently fold 12-bit
+    # inputs into the 11-bit field (see ocm.validate_offset_units).
+    try:
+        ocm.validate_offset_units(val)
+    except InvalidVoltageOffsetError:
         raise InvalidVoltageOffsetError(
             f"offset {offset_mv} mV does not fit the 11-bit field"
-        )
+        ) from None
     val = 0xFFE00000 & ((val & 0xFFF) << 21)                # line 3
     val = val | 0x8000001100000000                          # line 4
     val = val | (plane << 40)                               # line 5

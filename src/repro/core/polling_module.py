@@ -83,21 +83,58 @@ class PollingStats:
         self._core_checks = registry.counter("countermeasure.core_checks")
         self._detections = registry.counter("countermeasure.detections")
         self.remediations: List[RemediationEvent] = []
+        # The registry counters are shared across module lifetimes (that
+        # sharing is the telemetry contract), so per-lifetime reporting
+        # subtracts a baseline snapshotted at construction and re-taken
+        # on every (re)load — without it a reloaded module starts its
+        # life claiming the previous lifetime's polls and detections.
+        self._polls_base = self._polls.value
+        self._core_checks_base = self._core_checks.value
+        self._detections_base = self._detections.value
+        self._frozen: Optional[tuple] = None
+
+    def begin_lifetime(self) -> None:
+        """Re-baseline the shared counters at a module (re)load.
+
+        The registry totals keep accumulating (``repro status`` sees the
+        machine-wide truth); the ``polls``/``core_checks``/``detections``
+        properties and the remediation log report this lifetime only.
+        """
+        self._polls_base = self._polls.value
+        self._core_checks_base = self._core_checks.value
+        self._detections_base = self._detections.value
+        self._frozen = None
+        self.remediations.clear()
+
+    def end_lifetime(self) -> None:
+        """Freeze the per-lifetime readings at module unload.
+
+        The shared counters keep counting for whoever polls next; without
+        the freeze an unloaded module's lifetime view would silently grow
+        with a successor's activity.
+        """
+        self._frozen = (self.polls, self.core_checks, self.detections)
 
     @property
     def polls(self) -> int:
         """Poll-loop iterations since load (``countermeasure.polls``)."""
-        return self._polls.value
+        if self._frozen is not None:
+            return self._frozen[0]
+        return self._polls.value - self._polls_base
 
     @property
     def core_checks(self) -> int:
         """Per-core checks since load (``countermeasure.core_checks``)."""
-        return self._core_checks.value
+        if self._frozen is not None:
+            return self._frozen[1]
+        return self._core_checks.value - self._core_checks_base
 
     @property
     def detections(self) -> int:
         """Unsafe-state detections since load (``countermeasure.detections``)."""
-        return self._detections.value
+        if self._frozen is not None:
+            return self._frozen[2]
+        return self._detections.value - self._detections_base
 
     def record_poll(self) -> None:
         """Count one poll-loop iteration."""
@@ -185,6 +222,12 @@ class PollingCountermeasure(KernelModule):
         self._tracer = machine.telemetry.tracer
         self._trace_on = self._tracer.enabled
         self._turnaround = self.stats.registry.histogram(TURNAROUND_HISTOGRAM)
+        # Like the stats counters, the turnaround histogram is shared
+        # across lifetimes; track a per-lifetime sample baseline so a
+        # reloaded module does not double-count the previous lifetime's
+        # samples in its own reporting.
+        self._turnaround_base = self._turnaround.count
+        self._turnaround_frozen: Optional[int] = None
 
     @property
     def period_s(self) -> float:
@@ -219,6 +262,13 @@ class PollingCountermeasure(KernelModule):
 
     def on_load(self) -> None:
         """Start the polling kthread (Algo 3's ``while True``)."""
+        # Defensive: a leftover kthread from a previous lifetime (e.g. a
+        # load that raced an unload) would double-poll and double-count
+        # every histogram sample once a second one is armed.
+        self._disarm()
+        self.stats.begin_lifetime()
+        self._turnaround_base = self._turnaround.count
+        self._turnaround_frozen = None
         if self._period_jitter > 0.0:
             self._arm_jittered()
         else:
@@ -234,12 +284,9 @@ class PollingCountermeasure(KernelModule):
 
     def on_unload(self) -> None:
         """Stop the polling kthread."""
-        if self._recurring is not None:
-            self._recurring.cancel()
-            self._recurring = None
-        if self._jitter_event is not None:
-            self._jitter_event.cancel()
-            self._jitter_event = None
+        self._disarm()
+        self._turnaround_frozen = self.turnaround_samples()
+        self.stats.end_lifetime()
         logger.info(
             "plug_your_volt unloaded: polls=%d detections=%d",
             self.stats.polls,
@@ -247,6 +294,25 @@ class PollingCountermeasure(KernelModule):
         )
 
     # -- the polling loop body ------------------------------------------------------
+
+    def _disarm(self) -> None:
+        """Cancel the kthread's pending events, whichever mode armed them."""
+        if self._recurring is not None:
+            self._recurring.cancel()
+            self._recurring = None
+        if self._jitter_event is not None:
+            self._jitter_event.cancel()
+            self._jitter_event = None
+
+    def turnaround_samples(self) -> int:
+        """Turnaround-histogram samples recorded this lifetime.
+
+        Frozen at unload, like the stats counters: the shared histogram
+        keeps accumulating for later lifetimes.
+        """
+        if self._turnaround_frozen is not None:
+            return self._turnaround_frozen
+        return self._turnaround.count - self._turnaround_base
 
     def _arm_jittered(self) -> None:
         """Schedule the next jittered poll interval."""

@@ -83,6 +83,30 @@ def units_to_mv(units: int) -> float:
     return units * 1000.0 / UNITS_PER_VOLT
 
 
+def validate_offset_units(units: int) -> int:
+    """Reject unit counts that do not fit the signed 11-bit field.
+
+    The Algo 1 literal ``(val & 0xFFF) << 21`` would otherwise silently
+    truncate 12-bit inputs into bits [31:21]: ``0x400`` (+1024) masks to
+    the same field bits as ``-0x400`` (-1024), turning a requested
+    *overvolt* into a 1 V *undervolt*.  Every encode path funnels through
+    this check so out-of-range offsets fail loudly instead.
+
+    Raises
+    ------
+    InvalidVoltageOffsetError
+        If ``units`` lies outside ``[-0x400, +0x3FF]``.
+    """
+    if not MIN_OFFSET_UNITS <= units <= MAX_OFFSET_UNITS:
+        raise InvalidVoltageOffsetError(
+            f"offset {units} units ({units_to_mv(units):+.1f} mV) outside "
+            f"[{MIN_OFFSET_UNITS}, {MAX_OFFSET_UNITS}] "
+            f"({units_to_mv(MIN_OFFSET_UNITS):+.1f} mV to "
+            f"{units_to_mv(MAX_OFFSET_UNITS):+.1f} mV)"
+        )
+    return units
+
+
 def encode_offset_field(units: int) -> int:
     """Place a two's-complement unit count into bits [31:21].
 
@@ -91,10 +115,7 @@ def encode_offset_field(units: int) -> int:
     InvalidVoltageOffsetError
         If the value does not fit the signed 11-bit field.
     """
-    if not MIN_OFFSET_UNITS <= units <= MAX_OFFSET_UNITS:
-        raise InvalidVoltageOffsetError(
-            f"offset {units} units outside [{MIN_OFFSET_UNITS}, {MAX_OFFSET_UNITS}]"
-        )
+    validate_offset_units(units)
     return ((units & 0x7FF) << OFFSET_SHIFT) & OFFSET_FIELD_MASK
 
 

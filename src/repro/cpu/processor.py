@@ -82,6 +82,12 @@ class SimulatedProcessor:
         ]
         self.msr = MSRFile()
         self.reboot_count = 0
+        #: Optional runtime-invariant observer (repro.verify).  Called as
+        #: ``observer(phase, core_index, value, command, response)`` with
+        #: ``phase`` of ``"command"`` (response ``None``, before the mailbox
+        #: acts) and ``"response"`` (after).  ``None`` keeps the 0x150 hot
+        #: path free of any extra work beyond one identity comparison.
+        self.ocm_observer: Optional[Callable] = None
         self._define_msrs()
 
     # -- construction ---------------------------------------------------------
@@ -137,6 +143,11 @@ class SimulatedProcessor:
         command = ocm.decode_command(value)
         core = self.core(core_index)
         self._ocm_counter.inc()
+        if self.ocm_observer is not None:
+            # Command-phase check runs BEFORE the mailbox acts so a broken
+            # decode is attributed to the protocol, not to whatever error
+            # the bogus offset triggers downstream.
+            self.ocm_observer("command", core_index, value, command, None)
         if self._trace_on:
             name = "ocm.write" if command.is_write else "ocm.read_request"
             self._tracer.instant(
@@ -152,7 +163,10 @@ class SimulatedProcessor:
             responded_units = ocm.mv_to_units(core.target_offset_mv(command.plane))
         # The stored value is the mailbox response: busy bit cleared,
         # offset/plane fields reflecting the plane's target offset.
-        return ocm.encode_response(responded_units, command.plane)
+        response = ocm.encode_response(responded_units, command.plane)
+        if self.ocm_observer is not None:
+            self.ocm_observer("response", core_index, value, command, response)
+        return response
 
     def _perf_status_read_hook(self, core_index: int, _stored: int) -> int:
         """Synthesise IA32_PERF_STATUS from live core state."""

@@ -23,7 +23,7 @@ is trivially testable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.cpu.ocm import VoltagePlane
@@ -74,6 +74,9 @@ class VoltageRegulator:
     slew: bool = False
     tracer: Optional[Tracer] = None
     track: str = "regulator"
+    #: Optional runtime-invariant observer (repro.verify); called as
+    #: ``observer(regulator, plane, transition, now)`` after each request.
+    observer: Optional[Callable] = field(default=None, repr=False)
     _transitions: Dict[VoltagePlane, _Transition] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -116,6 +119,8 @@ class VoltageRegulator:
                 from_mv=current,
                 to_mv=offset_mv,
             )
+        if self.observer is not None:
+            self.observer(self, plane, transition, now)
         return transition.settle_time
 
     def target_offset_mv(self, plane: VoltagePlane) -> float:
@@ -128,12 +133,16 @@ class VoltageRegulator:
         transition = self._transitions.get(plane)
         if transition is None:
             return 0.0
-        elapsed = now - transition.request_time
-        if elapsed >= transition.latency_s or transition.latency_s == 0.0:
+        # Compare against the settle time rather than re-deriving the
+        # elapsed window: ``(request_time + latency_s) - request_time``
+        # can round below ``latency_s``, which would leave the old offset
+        # visible at the exact instant ``settle_time``/``is_settled``
+        # report the transition as complete.
+        if transition.latency_s == 0.0 or now >= transition.settle_time:
             return transition.new_offset_mv
         if not self.slew:
             return transition.old_offset_mv
-        progress = elapsed / transition.latency_s
+        progress = min(1.0, (now - transition.request_time) / transition.latency_s)
         return (
             transition.old_offset_mv
             + (transition.new_offset_mv - transition.old_offset_mv) * progress

@@ -33,12 +33,15 @@ from repro.engine.executors import (
 )
 from repro.engine.jobs import (
     ATTACK_KINDS,
+    RESULT_AFFECTING_ENV,
     AttackCampaignJob,
     CharacterizationJob,
     CharacterizationRowJob,
+    FuzzJob,
     JobResult,
     JobSpec,
     OverheadJob,
+    environment_fingerprint,
     execute_job,
 )
 from repro.engine.seeds import SeedStream, seed_stream
@@ -61,15 +64,18 @@ __all__ = [
     "EXECUTOR_ENV",
     "EngineSession",
     "Executor",
+    "FuzzJob",
     "JobResult",
     "JobSpec",
     "OverheadJob",
     "ParallelExecutor",
+    "RESULT_AFFECTING_ENV",
     "ResultCache",
     "SeedStream",
     "SerialExecutor",
     "WORKERS_ENV",
     "clear_session_cache",
+    "environment_fingerprint",
     "execute_job",
     "executor_from_env",
     "get_session",

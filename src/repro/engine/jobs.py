@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
@@ -33,10 +34,29 @@ from repro.telemetry import Telemetry
 
 #: Bumped whenever job execution semantics change, so stale persistent
 #: cache entries from older engine versions can never be replayed.
-JOB_SCHEMA_VERSION = 1
+#: v2: result-affecting environment knobs folded into the identity.
+JOB_SCHEMA_VERSION = 2
+
+#: Environment knobs that can change job *outputs* and therefore belong
+#: in every job fingerprint.  ``REPRO_VERIFY`` qualifies because an
+#: installed invariant checker can abort a run mid-way (turning a payload
+#: into a raised violation).  ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` are
+#: deliberately absent: the engine's parity contract (tested by
+#: ``benchmarks/test_bench_engine_campaign.py``) asserts they cannot
+#: change results, so folding them in would only fragment the cache.
+RESULT_AFFECTING_ENV: Tuple[str, ...] = ("REPRO_VERIFY",)
 
 #: Attack kinds :class:`AttackCampaignJob` can mount.
 ATTACK_KINDS = ("imul", "plundervolt", "v0ltpwn", "voltjockey", "aes-dfa")
+
+
+def environment_fingerprint() -> Dict[str, str]:
+    """The result-affecting environment, canonicalized for hashing.
+
+    Unset and empty are the same state (both mean "feature off"), so the
+    cache is not fragmented by how the absence is spelled.
+    """
+    return {name: os.environ.get(name, "") for name in RESULT_AFFECTING_ENV}
 
 
 def _canonical(value: Any) -> Any:
@@ -62,6 +82,7 @@ class JobSpec:
         payload: Dict[str, Any] = {
             "kind": self.kind,
             "schema": JOB_SCHEMA_VERSION,
+            "env": environment_fingerprint(),
         }
         for field in dataclasses.fields(self):
             payload[field.name] = _canonical(getattr(self, field.name))
@@ -328,6 +349,42 @@ class OverheadJob(JobSpec):
             seed=stream.child("noise").integer(),
         )
         return runner.run()
+
+
+@dataclass(frozen=True)
+class FuzzJob(JobSpec):
+    """One adversarial-schedule fuzz case run under the invariant checker.
+
+    The schedule itself is *not* stored: it regenerates deterministically
+    from the job's seed stream (``fuzz/<codename>/case@<index>``), so the
+    spec stays tiny, the fingerprint still covers the whole case, and a
+    violating case can be re-materialized for shrinking from nothing but
+    this spec.
+    """
+
+    kind: ClassVar[str] = "fuzz"
+
+    codename: str
+    seed: int
+    case_index: int
+    num_actions: int = 12
+    #: Optional characterized unsafe set (canonical JSON) enabling the
+    #: module load/unload race actions; ``None`` records them as no-ops.
+    unsafe_json: Optional[str] = None
+
+    def seed_path(self) -> Tuple[str, ...]:
+        return ("fuzz", self.codename, f"case@{self.case_index}")
+
+    def schedule(self):
+        """The deterministic :class:`repro.verify.FuzzSchedule` this runs."""
+        from repro.verify.fuzz import schedule_for_job
+
+        return schedule_for_job(self)
+
+    def run(self, telemetry: Telemetry) -> Dict[str, Any]:
+        from repro.verify.fuzz import run_schedule
+
+        return run_schedule(self.schedule(), telemetry=telemetry)
 
 
 @dataclass

@@ -70,10 +70,16 @@ class EngineSession:
         executor: Optional[Executor] = None,
         cache: Optional[ResultCache] = None,
         telemetry: Optional[Telemetry] = None,
+        verifier: Optional[Any] = None,
     ) -> None:
         self.executor = executor or executor_from_env()
         self.cache = cache or ResultCache.from_env()
         self.telemetry = telemetry or Telemetry()
+        #: Optional invariant checker; when set, every executed batch is
+        #: audited for counter conservation (worker-reported increments
+        #: must merge into the session registry without loss, whichever
+        #: executor ran them).  ``None`` costs nothing.
+        self.verifier = verifier
         self._jobs_counter = self.telemetry.registry.counter("engine.jobs_executed")
         self._cache_hit_counter = self.telemetry.registry.counter("engine.cache_hits")
         self._cache_miss_counter = self.telemetry.registry.counter("engine.cache_misses")
@@ -116,8 +122,13 @@ class EngineSession:
         else:
             pending = list(range(len(jobs)))
         if pending:
+            before = self.counters() if self.verifier is not None else None
             results = self.executor.run_jobs([jobs[i] for i in pending])
             self._merge_counters(results)
+            if self.verifier is not None:
+                self.verifier.check_counter_conservation(
+                    before, self.counters(), results
+                )
             self._jobs_counter.inc(len(results))
             for index, result in zip(pending, results):
                 payloads[index] = result.payload
@@ -157,8 +168,13 @@ class EngineSession:
             return cached
         self._cache_miss_counter.inc()
         if model.codename in EXTENDED_MODELS:
+            before = self.counters() if self.verifier is not None else None
             row_results = self.executor.run_jobs(job.row_jobs())
             self._merge_counters(row_results)
+            if self.verifier is not None:
+                self.verifier.check_counter_conservation(
+                    before, self.counters(), row_results
+                )
             self._jobs_counter.inc(len(row_results))
             result = job.fold([r.payload for r in row_results])
         else:

@@ -83,6 +83,31 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant asserted by :mod:`repro.verify` was broken.
+
+    Carries enough context to be serialized into a shrunk-repro artifact:
+    the invariant's name, the simulated time at which it tripped, and a
+    JSON-safe detail mapping.
+    """
+
+    def __init__(self, invariant: str, message: str, *, time_s: float = 0.0, **details) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.detail_message = message
+        self.time_s = time_s
+        self.details = details
+
+    def to_dict(self) -> dict:
+        """JSON-safe description for repro artifacts and CLI output."""
+        return {
+            "invariant": self.invariant,
+            "message": self.detail_message,
+            "time_s": self.time_s,
+            "details": {k: v for k, v in sorted(self.details.items())},
+        }
+
+
 class EnclaveError(ReproError):
     """An SGX enclave operation failed."""
 

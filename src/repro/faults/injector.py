@@ -90,6 +90,10 @@ class FaultInjector:
         self._windows_counter = telemetry.registry.counter("faults.windows")
         self._injected_counter = telemetry.registry.counter("faults.injected")
         self._crashes_counter = telemetry.registry.counter("faults.crashes")
+        #: Optional runtime-invariant observer (repro.verify); called as
+        #: ``observer(conditions, fault_count, crashed, instruction)`` after
+        #: every sampled window / single-instruction probe.
+        self.observer: Optional[Callable] = None
 
     @property
     def fault_model(self) -> FaultModel:
@@ -144,6 +148,8 @@ class FaultInjector:
                     offset_mv=conditions.offset_mv,
                 )
         if crashed and raise_on_crash:
+            if self.observer is not None:
+                self.observer(conditions, 0, True, instruction)
             raise MachineCheckError(
                 f"machine check at {conditions.frequency_ghz:.1f} GHz / "
                 f"{conditions.voltage_volts * 1e3:.1f} mV "
@@ -182,6 +188,8 @@ class FaultInjector:
                         flipped_bit=flip.flipped_bit,
                     )
                 )
+        if self.observer is not None:
+            self.observer(conditions, fault_count, crashed, instruction)
         return WindowOutcome(
             ops=ops,
             fault_count=fault_count,
@@ -204,6 +212,8 @@ class FaultInjector:
         """
         if self._fault_model.is_crash(conditions.frequency_ghz, conditions.voltage_volts):
             self._crashes_counter.inc()
+            if self.observer is not None:
+                self.observer(conditions, 0, True, instruction)
             raise MachineCheckError(
                 "machine check during single-instruction execution",
                 frequency_ghz=conditions.frequency_ghz,
@@ -213,9 +223,13 @@ class FaultInjector:
             conditions.frequency_ghz, conditions.voltage_volts, instruction=instruction
         )
         if probability <= 0.0 or self._rng.random() >= probability:
+            if self.observer is not None:
+                self.observer(conditions, 0, False, instruction)
             return None
         flip = self.flip_random_bit(value)
         self._injected_counter.inc()
+        if self.observer is not None:
+            self.observer(conditions, 1, False, instruction)
         if self._trace_on:
             self._tracer.instant(
                 "fault.injection", "fault", self._clock(), track="faults",

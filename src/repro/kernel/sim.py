@@ -141,6 +141,10 @@ class Simulator:
         self._scheduled_counter = telemetry.registry.counter("sim.events_scheduled")
         self._processed_counter = telemetry.registry.counter("sim.events_processed")
         self._spawned_counter = telemetry.registry.counter("sim.tasks_spawned")
+        # Optional runtime-invariant observer (repro.verify).  ``None`` means
+        # the hot path pays a single identity comparison per event and
+        # nothing else, keeping tier-1 timing byte-identical.
+        self._observer: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -150,6 +154,32 @@ class Simulator:
     def clock(self) -> Callable[[], float]:
         """A time-source callable for time-driven hardware components."""
         return lambda: self._now
+
+    # -- observation -------------------------------------------------------------
+
+    def attach_observer(self, observer: Any) -> None:
+        """Install a runtime-invariant observer on the event loop.
+
+        The observer receives ``after_step(sim, event_time)`` after each
+        clock advance (before the event callback runs) and
+        ``after_run_until(sim)`` once a :meth:`run_until` window completes.
+        Only one observer may be attached at a time.
+        """
+        if self._observer is not None and self._observer is not observer:
+            raise SimulationError("an observer is already attached to this simulator")
+        self._observer = observer
+
+    def detach_observer(self) -> None:
+        """Remove the attached observer (no-op when none is attached)."""
+        self._observer = None
+
+    def pending_entries(self) -> List[tuple]:
+        """``(time, cancelled)`` snapshot of every entry still in the heap.
+
+        Exists for heap-hygiene auditing (repro.verify) and tests; the
+        returned list is a copy and mutating it does not affect the queue.
+        """
+        return [(entry.time, entry.event.cancelled) for entry in self._heap]
 
     # -- scheduling ------------------------------------------------------------
 
@@ -192,6 +222,8 @@ class Simulator:
             self._now = entry.time
             self.processed_events += 1
             self._processed_counter.inc()
+            if self._observer is not None:
+                self._observer.after_step(self, entry.time)
             entry.event.callback()
             return True
         return False
@@ -213,12 +245,25 @@ class Simulator:
         # entries deeper in the heap; purge them so repeated run_until
         # calls against long-lived simulators cannot accumulate garbage.
         self._prune_cancelled()
+        if self._observer is not None:
+            self._observer.after_run_until(self)
 
-    def _prune_cancelled(self) -> None:
-        """Drop every cancelled entry still parked in the event heap."""
+    def prune(self) -> None:
+        """Drop every cancelled entry still parked in the event heap.
+
+        :meth:`run_until` does this automatically at the end of each
+        window; quiescent-state audits (repro.verify) call it explicitly
+        before asserting heap hygiene, because a cancellation issued
+        after the last window legitimately leaves its entry parked until
+        the next purge.
+        """
         if any(entry.event.cancelled for entry in self._heap):
             self._heap = [e for e in self._heap if not e.event.cancelled]
             heapq.heapify(self._heap)
+
+    # Historical private spelling, kept for callers/tests that grew
+    # around it before the purge became part of the public contract.
+    _prune_cancelled = prune
 
     def run(self, *, max_events: int = 10_000_000) -> None:
         """Drain the event queue entirely (bounded by ``max_events``)."""

@@ -203,6 +203,10 @@ class Registry:
         for name in sorted(self._counters):
             yield self._counters[name]
 
+    def counter_values(self) -> Dict[str, int]:
+        """Name → value snapshot of every counter (conservation audits)."""
+        return {c.name: c.value for c in self.counters()}
+
     def gauges(self) -> Iterator[Gauge]:
         """All gauges, in name order."""
         for name in sorted(self._gauges):

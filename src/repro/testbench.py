@@ -52,6 +52,9 @@ class Machine:
     rng: np.random.Generator
     telemetry: Telemetry = field(default_factory=Telemetry.disabled)
     crash_count: int = field(default=0)
+    #: The runtime invariant checker installed on this machine, if any
+    #: (see :meth:`install_invariants` and the ``REPRO_VERIFY`` knob).
+    verifier: Optional[object] = field(default=None, repr=False)
 
     @classmethod
     def build(
@@ -61,6 +64,7 @@ class Machine:
         seed: int = 2024,
         shared_voltage_plane: bool = False,
         telemetry: Optional[Telemetry] = None,
+        verify: Optional[bool] = None,
     ) -> "Machine":
         """Assemble a machine for a CPU model with a deterministic seed.
 
@@ -74,6 +78,11 @@ class Machine:
         polling module once loaded) records metrics and trace events on
         the simulated timeline.  Defaults to the shared disabled
         instance, whose instruments are no-ops.
+
+        ``verify`` installs a :class:`repro.verify.InvariantChecker` on
+        the assembled machine; the default ``None`` consults the
+        ``REPRO_VERIFY`` environment knob (off unless set), so existing
+        callers pay nothing.
         """
         telemetry = telemetry or NULL_TELEMETRY
         simulator = Simulator(telemetry=telemetry)
@@ -90,7 +99,7 @@ class Machine:
         )
         msr_driver = MSRDriver(processor, simulator=simulator, telemetry=telemetry)
         cpufreq = CPUFreqDriver(processor)
-        return cls(
+        machine = cls(
             model=model,
             simulator=simulator,
             processor=processor,
@@ -103,6 +112,28 @@ class Machine:
             rng=rng,
             telemetry=telemetry,
         )
+        if verify is None:
+            from repro.verify import verify_enabled_from_env
+
+            verify = verify_enabled_from_env()
+        if verify:
+            machine.install_invariants()
+        return machine
+
+    def install_invariants(self, checker: Optional[object] = None) -> object:
+        """Attach a runtime invariant checker to every layer's hook.
+
+        Returns the installed :class:`repro.verify.InvariantChecker`
+        (also kept on :attr:`verifier`); a fresh checker is built when
+        none is passed.
+        """
+        from repro.verify import InvariantChecker
+
+        if checker is None:
+            checker = InvariantChecker()
+        checker.install(self)
+        self.verifier = checker
+        return checker
 
     # -- timeline helpers -------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""Runtime verification: invariant checking and adversarial fuzzing.
+
+Two halves, built for each other:
+
+* :class:`InvariantChecker` — installs on a built
+  :class:`~repro.testbench.Machine` and asserts, while the simulation
+  runs, the invariants the reproduction's claims rest on (event-time
+  monotonicity, heap hygiene, OCM encode/decode round trips, busy-bit
+  protocol ordering, regulator settle causality, safe-state consistency
+  of the fault injector, engine counter conservation).
+* the schedule fuzzer (:func:`generate_schedule` / :func:`run_schedule` /
+  :func:`shrink_schedule`) — drives deterministic adversarial schedules
+  under the checker and minimizes any violation to a replayable JSON
+  artifact.  ``repro fuzz`` and :class:`repro.engine.jobs.FuzzJob` are
+  the entry points.
+
+Set ``REPRO_VERIFY=1`` to have every :meth:`Machine.build` install a
+checker automatically (result-affecting: folded into engine job
+fingerprints).
+"""
+
+from repro.verify.fuzz import (
+    ACTION_WEIGHTS,
+    EXPECTED_ERRORS,
+    FuzzAction,
+    FuzzSchedule,
+    SCHEDULE_SCHEMA_VERSION,
+    generate_schedule,
+    run_schedule,
+    schedule_for_job,
+)
+from repro.verify.invariants import (
+    InvariantChecker,
+    VERIFY_ENV,
+    verify_enabled_from_env,
+)
+from repro.verify.shrink import schedule_violates, shrink_schedule
+
+__all__ = [
+    "ACTION_WEIGHTS",
+    "EXPECTED_ERRORS",
+    "FuzzAction",
+    "FuzzSchedule",
+    "InvariantChecker",
+    "SCHEDULE_SCHEMA_VERSION",
+    "VERIFY_ENV",
+    "generate_schedule",
+    "run_schedule",
+    "schedule_for_job",
+    "schedule_violates",
+    "shrink_schedule",
+    "verify_enabled_from_env",
+]

@@ -1,0 +1,72 @@
+"""Delta-debugging minimization of violating fuzz schedules.
+
+Classic ddmin (Zeller & Hildebrandt) over the action list: repeatedly
+try dropping chunks of the schedule, keeping any candidate that still
+trips an invariant, until no single action can be removed.  Replays are
+fully deterministic (same machine seed, same actions), so the shrink is
+too — the same violating schedule always minimizes to the same artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.errors import ReproError
+from repro.verify.fuzz import FuzzAction, FuzzSchedule, run_schedule
+
+
+def schedule_violates(schedule: FuzzSchedule) -> bool:
+    """Whether replaying the schedule trips any invariant."""
+    return run_schedule(schedule)["violation"] is not None
+
+
+def shrink_schedule(
+    schedule: FuzzSchedule,
+    *,
+    is_failing: Optional[Callable[[FuzzSchedule], bool]] = None,
+    max_replays: int = 2000,
+) -> FuzzSchedule:
+    """Minimize a violating schedule to a 1-minimal action list.
+
+    ``is_failing`` defaults to :func:`schedule_violates`; ``max_replays``
+    bounds the number of candidate replays (the current best schedule is
+    returned if the budget runs out).
+
+    Raises
+    ------
+    ReproError
+        If the input schedule does not fail to begin with — shrinking a
+        passing schedule would silently "minimize" to garbage.
+    """
+    test = is_failing or schedule_violates
+
+    def candidate(actions: List[FuzzAction]) -> FuzzSchedule:
+        return dataclasses.replace(schedule, actions=tuple(actions))
+
+    if not test(schedule):
+        raise ReproError("refusing to shrink: schedule does not violate any invariant")
+
+    actions = list(schedule.actions)
+    replays = 0
+    granularity = 2
+    while len(actions) >= 2 and replays < max_replays:
+        chunk = max(1, len(actions) // granularity)
+        reduced = False
+        for start in range(0, len(actions), chunk):
+            trial = actions[:start] + actions[start + chunk:]
+            if not trial:
+                continue
+            replays += 1
+            if test(candidate(trial)):
+                actions = trial
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if replays >= max_replays:
+                break
+        if not reduced:
+            if granularity >= len(actions):
+                break
+            granularity = min(len(actions), granularity * 2)
+    return candidate(actions)

@@ -235,3 +235,104 @@ class TestDetectionMargin:
         machine.write_voltage_offset(boundary + 6)
         machine.advance(2e-3)
         assert module.stats.detections == 0
+
+
+class TestReloadLifetimes:
+    """Load -> unload -> load must start a fresh lifetime.
+
+    The stats counters and the turnaround histogram live in the machine's
+    shared telemetry registry (that sharing is the telemetry contract),
+    so without per-lifetime baselines a reloaded module starts life
+    claiming every poll, detection and turnaround sample of the previous
+    lifetime — and a load that races an unload would leave two kthreads
+    double-polling.
+    """
+
+    def _telemetry_machine(self):
+        from repro.telemetry import Telemetry
+
+        return Machine.build(COMET_LAKE, seed=17, telemetry=Telemetry())
+
+    def test_reloaded_module_starts_at_zero(self, unsafe):
+        machine = self._telemetry_machine()
+        first = loaded_module(machine, unsafe)
+        machine.advance(5e-3)
+        assert first.stats.polls > 0
+        machine.modules.rmmod(first.name)
+
+        second = loaded_module(machine, unsafe)
+        assert second.stats.polls == 0
+        assert second.stats.core_checks == 0
+        assert second.stats.detections == 0
+        machine.advance(5e-3)
+        assert second.stats.polls == pytest.approx(10, abs=1)
+        # The registry keeps the machine-wide total across lifetimes.
+        total = machine.telemetry.registry.counter("countermeasure.polls").value
+        assert total == first.stats.polls + second.stats.polls
+
+    def test_same_instance_reload_rebaselines(self, unsafe):
+        machine = self._telemetry_machine()
+        module = loaded_module(machine, unsafe)
+        machine.advance(5e-3)
+        machine.modules.rmmod(module.name)
+        first_lifetime = module.stats.polls
+        assert first_lifetime > 0
+
+        machine.modules.insmod(module)
+        assert module.stats.polls == 0
+        machine.advance(2e-3)
+        assert 0 < module.stats.polls < first_lifetime
+
+    def test_reload_does_not_double_poll(self, unsafe):
+        machine = self._telemetry_machine()
+        module = loaded_module(machine, unsafe)
+        machine.advance(5e-3)
+        machine.modules.rmmod(module.name)
+        machine.modules.insmod(module)
+        before = machine.telemetry.registry.counter("countermeasure.polls").value
+        machine.advance(5e-3)
+        delta = machine.telemetry.registry.counter("countermeasure.polls").value - before
+        # One kthread's cadence, not two: ~10 polls in 5 ms at 500 us.
+        assert delta == pytest.approx(10, abs=1)
+
+    def test_racing_load_does_not_double_poll(self, unsafe):
+        # A load racing an unload calls on_load with a kthread already
+        # armed; the defensive disarm must keep a single cadence.
+        machine = self._telemetry_machine()
+        module = loaded_module(machine, unsafe)
+        module.on_load()  # the race: second load without an unload
+        before = machine.telemetry.registry.counter("countermeasure.polls").value
+        machine.advance(5e-3)
+        delta = machine.telemetry.registry.counter("countermeasure.polls").value - before
+        assert delta == pytest.approx(10, abs=1)
+
+    def test_turnaround_samples_not_double_counted(self, unsafe):
+        machine = self._telemetry_machine()
+        module = loaded_module(machine, unsafe)
+        machine.set_frequency(2.0)
+        boundary = unsafe.boundary_mv(2.0)
+        machine.write_voltage_offset(int(boundary) - 40)
+        machine.advance(3 * COMET_LAKE.regulator_latency_s)
+        first_samples = module.turnaround_samples()
+        assert first_samples > 0
+        machine.modules.rmmod(module.name)
+
+        machine.modules.insmod(module)
+        assert module.turnaround_samples() == 0
+        assert module.stats.detections == 0
+        histogram = module.stats.registry.histogram(
+            "countermeasure.turnaround_s"
+        )
+        # The shared histogram keeps the machine-wide sample count.
+        assert histogram.count == first_samples
+
+    def test_unload_cancels_recurring_event(self, unsafe):
+        machine = self._telemetry_machine()
+        module = loaded_module(machine, unsafe)
+        machine.advance(1e-3)
+        machine.modules.rmmod(module.name)
+        assert module._recurring is None
+        machine.simulator.prune()
+        assert not any(
+            cancelled for _, cancelled in machine.simulator.pending_entries()
+        )

@@ -127,3 +127,53 @@ class TestPlaneEnum:
         assert ocm.VoltagePlane.CACHE == 2
         assert ocm.VoltagePlane.UNCORE == 3
         assert ocm.VoltagePlane.ANALOG_IO == 4
+
+
+class TestOffsetValidation:
+    """Range validation at the signed 11-bit field boundaries.
+
+    The hazard is the Algo 1 literal ``(val & 0xFFF) << 21``: a 12-bit
+    input like ``+0x400`` masks to the same field bits as ``-0x400``,
+    silently turning a requested overvolt into a 1 V undervolt.  Every
+    encode path funnels through ``validate_offset_units`` so those inputs
+    fail loudly instead.
+    """
+
+    def test_boundaries_match_signed_11_bit(self):
+        assert ocm.MIN_OFFSET_UNITS == -0x400
+        assert ocm.MAX_OFFSET_UNITS == 0x3FF
+
+    @pytest.mark.parametrize("units", [-0x400, -0x3FF, -1, 0, 1, 0x3FF])
+    def test_in_range_accepted_and_roundtrips(self, units):
+        assert ocm.validate_offset_units(units) == units
+        assert ocm.decode_offset_field(ocm.encode_offset_field(units)) == units
+
+    @pytest.mark.parametrize("units", [0x400, -0x401, 0x7FF, -0x800, 1 << 12])
+    def test_out_of_range_rejected(self, units):
+        with pytest.raises(InvalidVoltageOffsetError):
+            ocm.validate_offset_units(units)
+        with pytest.raises(InvalidVoltageOffsetError):
+            ocm.encode_offset_field(units)
+
+    def test_error_carries_units_and_mv_context(self):
+        with pytest.raises(InvalidVoltageOffsetError) as excinfo:
+            ocm.validate_offset_units(0x400)
+        message = str(excinfo.value)
+        assert "1024" in message and "mV" in message
+
+    def test_plus_0x400_would_alias_minus_0x400(self):
+        # The raw hazard itself: without validation the masked field bits
+        # of +1024 and -1024 are identical.
+        masked_positive = ((0x400 & 0x7FF) << ocm.OFFSET_SHIFT) & ocm.OFFSET_FIELD_MASK
+        assert masked_positive == ocm.encode_offset_field(-0x400)
+
+    def test_full_mv_boundary_roundtrip(self):
+        # -1000 mV is exactly -1024 units (the deepest encodable offset);
+        # one more millivolt down must be rejected, not wrapped.
+        assert ocm.mv_to_units(-1000) == -0x400
+        encoded = ocm.encode_write(-1000, plane=0)
+        assert ocm.decode_command(encoded).offset_units == -0x400
+        with pytest.raises(InvalidVoltageOffsetError):
+            ocm.encode_write(-1001, plane=0)
+        with pytest.raises(InvalidVoltageOffsetError):
+            ocm.encode_write(1000, plane=0)  # +1000 mV = +1024 units > max

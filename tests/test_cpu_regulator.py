@@ -160,3 +160,35 @@ class TestRegulatorProperties:
         reg = VoltageRegulator(latency_s=650e-6)
         settle = reg.request_offset(CORE, target, now=0.0)
         assert reg.applied_offset_mv(CORE, settle + extra) == target
+
+
+class TestSettleCausality:
+    def test_applied_matches_target_at_exact_settle_time(self):
+        # Regression (found by the schedule fuzzer): the settle time is
+        # request + latency, but (request + latency) - request can round
+        # below latency, so an elapsed-based comparison left the old
+        # offset visible at the very instant is_settled reported True.
+        regulator = VoltageRegulator(latency_s=650e-6, raise_latency_s=80e-6)
+        mismatch_seen = False
+        for k in range(1, 2000):
+            now = k * 7.7e-7
+            settle = regulator.request_offset(CORE, -200.0, now=now)
+            assert settle == now + regulator.latency_s
+            if (settle - now) != regulator.latency_s:
+                mismatch_seen = True
+            assert regulator.is_settled(CORE, settle)
+            assert regulator.applied_offset_mv(CORE, settle) == -200.0
+            regulator.reset()
+        # The loop must actually cover the rounding hazard, not just the
+        # benign exact cases.
+        assert mismatch_seen
+
+    def test_slew_progress_never_overshoots(self):
+        regulator = VoltageRegulator(latency_s=650e-6, slew=True)
+        now = 0.0015393390625
+        settle = regulator.request_offset(CORE, -200.0, now=now)
+        assert regulator.applied_offset_mv(CORE, settle) == -200.0
+        just_before = settle - 1e-12
+        if just_before > now:
+            applied = regulator.applied_offset_mv(CORE, just_before)
+            assert -200.0 <= applied <= 0.0

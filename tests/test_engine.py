@@ -365,3 +365,70 @@ class TestExperimentIntegration:
     def test_environment_defaults_are_serial(self):
         if os.environ.get("REPRO_EXECUTOR", "serial") == "serial":
             assert isinstance(get_session().executor, (SerialExecutor, ParallelExecutor))
+
+
+class TestEnvironmentFingerprint:
+    """Result-affecting REPRO_* knobs are part of every job identity."""
+
+    def _job(self):
+        return CharacterizationJob(codename="Comet Lake", config=COARSE, seed=5)
+
+    def test_repro_verify_changes_fingerprint(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        baseline = self._job().fingerprint()
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert self._job().fingerprint() != baseline
+
+    def test_unset_and_empty_are_one_state(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        baseline = self._job().fingerprint()
+        monkeypatch.setenv("REPRO_VERIFY", "")
+        assert self._job().fingerprint() == baseline
+
+    def test_changed_knob_misses_the_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        cache = ResultCache(max_entries=8)
+        job = self._job()
+        cache.put(job.fingerprint(), "payload")
+        assert cache.get(job.fingerprint()) == "payload"
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert cache.get(self._job().fingerprint()) is None
+
+    def test_executor_knobs_deliberately_excluded(self, monkeypatch):
+        # The parity contract says the executor cannot change results, so
+        # REPRO_EXECUTOR/REPRO_WORKERS must not fragment the cache.
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        baseline = self._job().fingerprint()
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert self._job().fingerprint() == baseline
+
+    def test_identity_carries_env_section(self):
+        from repro.engine import RESULT_AFFECTING_ENV, environment_fingerprint
+
+        identity = self._job().identity()
+        assert identity["env"] == environment_fingerprint()
+        assert set(identity["env"]) == set(RESULT_AFFECTING_ENV)
+
+
+class TestFuzzJobs:
+    def _job(self, case_index: int = 0):
+        from repro.engine import FuzzJob
+
+        return FuzzJob(codename="Sky Lake", seed=0, case_index=case_index)
+
+    def test_fingerprint_covers_case_index(self):
+        assert self._job(0).fingerprint() != self._job(1).fingerprint()
+
+    def test_schedule_regenerates_identically(self):
+        assert self._job().schedule() == self._job().schedule()
+
+    def test_execute_job_reports_counters(self):
+        result = execute_job(self._job())
+        assert result.payload["violation"] is None
+        assert result.counters, "worker reported no telemetry increments"
+        assert all(value > 0 for value in result.counters.values())
+
+    def test_picklable_for_process_pool(self):
+        job = self._job()
+        assert pickle.loads(pickle.dumps(job)) == job

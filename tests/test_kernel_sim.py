@@ -240,3 +240,62 @@ class TestRunawayProtection:
         sim.schedule_recurring(1.0, lambda: count.__setitem__(0, count[0] + 1))
         sim.run_while(lambda: count[0] < 5)
         assert count[0] == 5
+
+
+class TestHeapHygiene:
+    """Satellite coverage: cancelled-entry purge x RecurringEvent re-arm."""
+
+    def test_pending_entries_snapshot(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        cancelled = sim.schedule(2.0, lambda: None)
+        cancelled.cancel()
+        assert sorted(sim.pending_entries()) == [(1.0, False), (2.0, True)]
+
+    def test_prune_drops_only_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.prune()
+        assert sim.pending_entries() == [(1.0, False)]
+
+    def test_private_prune_alias_kept(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None).cancel()
+        sim._prune_cancelled()
+        assert sim.pending_entries() == []
+
+    def test_recurring_rearm_storm_does_not_grow_heap(self):
+        # A sysfs set_period storm: cancel + re-create the recurring event
+        # many times between windows.  Each cancel strands one entry until
+        # the next purge; the heap must never accumulate them.
+        sim = Simulator()
+        fired = []
+        recurring = sim.schedule_recurring(1e-3, lambda: fired.append(sim.now))
+        for index in range(50):
+            recurring.cancel()
+            recurring = sim.schedule_recurring(1e-3, lambda: fired.append(sim.now))
+            sim.run_until(sim.now + 1e-4)
+            assert len(sim.pending_entries()) == 1, f"iteration {index}"
+        sim.run_until(sim.now + 5e-3)
+        assert len(fired) >= 4
+
+    def test_rearmed_recurring_keeps_firing(self):
+        sim = Simulator()
+        count = [0]
+        recurring = sim.schedule_recurring(1.0, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run_until(2.5)
+        assert count[0] == 2
+        recurring.cancel()
+        recurring = sim.schedule_recurring(0.5, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run_until(4.5)
+        assert count[0] == 6
+        assert not any(cancelled for _, cancelled in sim.pending_entries())
+
+    def test_cancelled_recurring_purged_while_live_head_waits(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)  # live head beyond the window
+        recurring = sim.schedule_recurring(5.0, lambda: None)
+        recurring.cancel()
+        sim.run_until(1.0)
+        assert sim.pending_entries() == [(10.0, False)]
