@@ -1,6 +1,6 @@
 # Plug Your Volt reproduction — common tasks.
 
-.PHONY: install test bench campaign fuzz examples artifacts trace-demo clean
+.PHONY: install test bench campaign fuzz examples artifacts trace-demo profile-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -36,6 +36,15 @@ trace-demo:
 	REPRO_TRACE=benchmarks/results/full_reproduction.trace.json \
 		python examples/full_reproduction.py
 	@echo "trace written to benchmarks/results/full_reproduction.trace.json"
+
+# Profile an imul campaign's dispatch loop and export a speedscope
+# document (open it at https://speedscope.app) plus collapsed stacks.
+profile-demo:
+	mkdir -p benchmarks/results
+	python -m repro profile --cpu "Comet Lake" \
+		--out benchmarks/results/imul_campaign.speedscope.json \
+		--collapsed benchmarks/results/imul_campaign.collapsed.txt
+	@echo "profile written to benchmarks/results/imul_campaign.speedscope.json"
 
 clean:
 	rm -rf .pytest_cache benchmarks/results build *.egg-info src/*.egg-info

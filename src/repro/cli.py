@@ -10,6 +10,9 @@ Exposes the reproduction's main flows without writing Python::
     python -m repro campaign --workers 4
     python -m repro spec
     python -m repro maximal
+    python -m repro profile --out profile.speedscope.json
+    python -m repro campaign --report run.json && python -m repro report run.json
+    python -m repro metrics serve --port 8787 --duration 30
 
 Every heavy flow goes through the campaign engine (:mod:`repro.engine`):
 characterization sweeps are cached per content hash, and ``repro
@@ -119,6 +122,18 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--json", metavar="PATH", help="write matrix + engine stats as JSON"
     )
+    campaign.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the engine run manifest (run.json) after the campaign",
+    )
+    campaign.add_argument(
+        "--serve-port",
+        type=int,
+        default=None,
+        help="serve live OpenMetrics on this port while the campaign runs",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -167,7 +182,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay",
         metavar="PATH",
         default=None,
-        help="replay a repro artifact under the checker instead of fuzzing",
+        help="replay a repro artifact or flight-recorder dump under the "
+        "checker instead of fuzzing",
     )
 
     spec = sub.add_parser("spec", help="reproduce Table 2 (SPEC2017 overhead)")
@@ -220,6 +236,78 @@ def _build_parser() -> argparse.ArgumentParser:
         "status", help="render a /proc/cpuinfo-style snapshot of a protected machine"
     )
     status.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the dispatch loop of a protected attack run "
+        "(deterministic flamegraph artifacts)",
+    )
+    profile.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    profile.add_argument(
+        "--iterations",
+        type=int,
+        default=200_000,
+        help="imul iterations per campaign sweep point",
+    )
+    profile.add_argument(
+        "--out",
+        metavar="PATH",
+        default="profile.speedscope.json",
+        help="speedscope profile path (open in https://www.speedscope.app)",
+    )
+    profile.add_argument(
+        "--collapsed",
+        metavar="PATH",
+        default=None,
+        help="also write a collapsed-stack file for flamegraph.pl/inferno",
+    )
+    profile.add_argument(
+        "--wall",
+        metavar="PATH",
+        default=None,
+        help="also write the wall-clock sidecar (non-deterministic) as JSON",
+    )
+
+    report = sub.add_parser(
+        "report", help="render an engine run manifest (run.json) as Markdown"
+    )
+    report.add_argument("path", metavar="RUN_JSON", help="manifest path")
+    report.add_argument(
+        "--md",
+        metavar="PATH",
+        default=None,
+        help="write the Markdown here instead of printing it",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="live telemetry serving (OpenMetrics over HTTP)"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    serve = metrics_sub.add_parser(
+        "serve",
+        help="drive a protected machine and serve its registry on /metrics",
+    )
+    serve.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = auto-assign)"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="wall-clock seconds to serve before shutting down",
+    )
+
+    observe = sub.add_parser(
+        "observe", help="post-mortem tooling for flight-recorder dumps"
+    )
+    observe_sub = observe.add_subparsers(dest="observe_command", required=True)
+    replay = observe_sub.add_parser(
+        "replay",
+        help="replay the schedule embedded in a flight-recorder dump",
+    )
+    replay.add_argument("path", metavar="DUMP", help="flight dump (JSONL)")
     return parser
 
 
@@ -354,13 +442,30 @@ def _cmd_campaign(args) -> int:
         )
     else:
         session = get_session()
-    jobs = experiments.prevention_jobs(
-        seed=args.seed, include_aes=not args.no_aes
-    )
-    if args.cpu:
-        codename = model_by_codename(args.cpu).codename
-        jobs = [job for job in jobs if job.codename == codename]
-    outcomes = session.run_jobs(jobs)
+    server = None
+    if args.serve_port is not None:
+        from repro.observe import MetricsServer
+
+        # Touch the counters the countermeasure reports so the scrape
+        # output declares the metric families from the first request,
+        # even before the first worker batch merges its increments.
+        session.telemetry.registry.counter("countermeasure.polls")
+        session.telemetry.registry.counter("countermeasure.detections")
+        server = MetricsServer(
+            provider=lambda: session.telemetry.registry, port=args.serve_port
+        ).start()
+        print(f"serving OpenMetrics at {server.url}", flush=True)
+    try:
+        jobs = experiments.prevention_jobs(
+            seed=args.seed, include_aes=not args.no_aes
+        )
+        if args.cpu:
+            codename = model_by_codename(args.cpu).codename
+            jobs = [job for job in jobs if job.codename == codename]
+        outcomes = session.run_jobs(jobs)
+    finally:
+        if server is not None:
+            server.stop()
     rows = [
         (
             job.codename,
@@ -406,6 +511,9 @@ def _cmd_campaign(args) -> int:
         }
         path = write_text(args.json, _json.dumps(payload, indent=2, sort_keys=True))
         print(f"JSON artifact written to {path}")
+    if args.report:
+        path = session.write_run_report(args.report)
+        print(f"run manifest written to {path} (render with: repro report {path})")
     return 0 if protected_faults == 0 else 1
 
 
@@ -421,8 +529,18 @@ def _cmd_fuzz(args) -> int:
     )
 
     if args.replay:
-        with open(args.replay, "r", encoding="utf-8") as handle:
-            schedule = FuzzSchedule.from_json(handle.read())
+        from repro.observe import is_flight_dump, load_flight_dump
+
+        if is_flight_dump(args.replay):
+            dump = load_flight_dump(args.replay)
+            if dump.schedule is None:
+                print(f"flight dump {args.replay} carries no schedule "
+                      f"(reason: {dump.reason}); nothing to replay")
+                return 2
+            schedule = FuzzSchedule.from_dict(dump.schedule)
+        else:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                schedule = FuzzSchedule.from_json(handle.read())
         summary = run_schedule(schedule)
         print(_json.dumps(summary, indent=2, sort_keys=True))
         if summary["violation"] is not None:
@@ -708,6 +826,132 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.attacks import ImulCampaign
+    from repro.observe import SimProfiler
+    from repro.testbench import Machine
+
+    model = model_by_codename(args.cpu)
+    unsafe = _characterize(model, args.seed).unsafe_states
+    machine = Machine.build(
+        model, seed=_cli_seed(args.seed, "profile", model.codename)
+    )
+    machine.modules.insmod(PollingCountermeasure(machine, unsafe))
+    profiler = SimProfiler().install(machine)
+    campaign = ImulCampaign(
+        machine,
+        frequency_ghz=model.frequency_table.base_ghz,
+        offsets_mv=tuple(range(-60, -301, -10)),
+        iterations_per_point=args.iterations,
+    )
+    outcome = campaign.mount()
+    profiler.uninstall()
+    rows = [
+        (
+            bucket.component,
+            bucket.site,
+            bucket.events,
+            f"{bucket.sim_time_s * 1e3:.3f}",
+        )
+        for bucket in profiler.buckets()
+    ]
+    print(render_table(
+        ["component", "site", "events", "sim ms"],
+        rows,
+        title=f"Dispatch-loop profile — {model.codename}, protected imul "
+        f"campaign ({profiler.total_events} events, "
+        f"attack {'succeeded' if outcome.succeeded else 'defeated'})",
+    ))
+    path = profiler.write_speedscope(args.out)
+    print(f"\nspeedscope profile written to {path} "
+          "(open in https://www.speedscope.app)")
+    if args.collapsed:
+        path = profiler.write_collapsed(args.collapsed)
+        print(f"collapsed stacks written to {path}")
+    if args.wall:
+        path = write_text(
+            args.wall, _json.dumps(profiler.wall_snapshot(), indent=2, sort_keys=True)
+        )
+        print(f"wall-clock sidecar (non-deterministic) written to {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.observe import load_manifest, render_markdown, write_markdown
+
+    manifest = load_manifest(args.path)
+    if args.md:
+        path = write_markdown(manifest, args.md)
+        print(f"Markdown report written to {path}")
+    else:
+        print(render_markdown(manifest), end="")
+    return 0
+
+
+def _cmd_metrics_serve(args) -> int:
+    import time
+
+    from repro.observe import MetricsServer
+    from repro.telemetry import Telemetry
+    from repro.testbench import Machine
+
+    model = model_by_codename(args.cpu)
+    unsafe = _characterize(model, args.seed).unsafe_states
+    telemetry = Telemetry()
+    machine = Machine.build(
+        model,
+        seed=_cli_seed(args.seed, "metrics", model.codename),
+        telemetry=telemetry,
+    )
+    machine.modules.insmod(PollingCountermeasure(machine, unsafe))
+    with MetricsServer(telemetry.registry, host=args.host, port=args.port) as server:
+        print(f"serving OpenMetrics at {server.url} "
+              f"(liveness at /healthz) for {args.duration:g}s", flush=True)
+        deadline = time.monotonic() + args.duration
+        try:
+            while time.monotonic() < deadline:
+                # Keep the countermeasure polling so scrapes see live
+                # counters; sim time needs no relation to wall time.
+                machine.advance(5e-3)
+                time.sleep(0.05)
+        except KeyboardInterrupt:
+            pass
+    print("metrics server stopped")
+    return 0
+
+
+def _cmd_observe_replay(args) -> int:
+    from repro.observe import load_flight_dump
+    from repro.verify import FuzzSchedule, run_schedule
+
+    dump = load_flight_dump(args.path)
+    header = dump.header
+    print(f"flight dump: reason={dump.reason} "
+          f"sim_time={header.get('sim_time_s', 0.0):g}s "
+          f"events={len(dump.events)}")
+    machine = header.get("machine")
+    if machine:
+        print(f"machine: {machine.get('codename')} seed={machine.get('seed')} "
+              f"spec={str(machine.get('sha256', ''))[:12]}")
+    if header.get("violation"):
+        violation = header["violation"]
+        print(f"recorded violation: [{violation['invariant']}] "
+              f"{violation['message']}")
+    if dump.schedule is None:
+        print("dump carries no schedule; nothing to replay "
+              "(inspect the trace tail with repro.observe.load_flight_dump)")
+        return 2
+    schedule = FuzzSchedule.from_dict(dump.schedule)
+    summary = run_schedule(schedule)
+    print(_json.dumps(summary, indent=2, sort_keys=True))
+    if summary["violation"] is not None:
+        print(f"\nreplay reproduced: [{summary['violation']['invariant']}] "
+              f"{summary['violation']['message']}")
+        return 1
+    print("\nreplay ran clean (violation not reproduced)")
+    return 0
+
+
 def _configure_logging(level_name: Optional[str]) -> None:
     """Apply the ``--log-level`` flag to the ``repro`` logger tree."""
     if level_name is None:
@@ -745,6 +989,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_reproduce(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "metrics":
+        return _cmd_metrics_serve(args)
+    if args.command == "observe":
+        return _cmd_observe_replay(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

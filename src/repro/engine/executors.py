@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.engine.jobs import JobResult, JobSpec, execute_job
 from repro.errors import ConfigurationError
@@ -29,6 +29,12 @@ WORKERS_ENV = "REPRO_WORKERS"
 EXECUTOR_KINDS = ("serial", "process")
 
 
+#: Per-job completion callback: ``progress(done_count, result)``.  Used
+#: by the engine session to keep live progress gauges current while a
+#: batch is in flight (``repro.observe`` serves them over ``/metrics``).
+ProgressCallback = Callable[[int, JobResult], None]
+
+
 class Executor(ABC):
     """Runs job batches; concrete classes choose where the work lands."""
 
@@ -36,8 +42,18 @@ class Executor(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
-        """Execute every job and return results in input order."""
+    def run_jobs(
+        self,
+        jobs: Sequence[JobSpec],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[JobResult]:
+        """Execute every job and return results in input order.
+
+        ``progress`` (when given) is invoked in the calling process as
+        each result lands, with the running completed count and the
+        result — results still return in input order either way.
+        """
 
     def close(self) -> None:
         """Release any held workers (idempotent)."""
@@ -54,8 +70,19 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
-        return [execute_job(job) for job in jobs]
+    def run_jobs(
+        self,
+        jobs: Sequence[JobSpec],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[JobResult]:
+        results: List[JobResult] = []
+        for job in jobs:
+            result = execute_job(job)
+            results.append(result)
+            if progress is not None:
+                progress(len(results), result)
+        return results
 
 
 class ParallelExecutor(Executor):
@@ -83,13 +110,25 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
-    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
+    def run_jobs(
+        self,
+        jobs: Sequence[JobSpec],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[JobResult]:
         jobs = list(jobs)
         if not jobs:
             return []
         pool = self._ensure_pool()
         chunksize = max(1, len(jobs) // (self.workers * 4))
-        return list(pool.map(execute_job, jobs, chunksize=chunksize))
+        # pool.map yields in input order as results complete, so the
+        # progress callback fires incrementally without reordering.
+        results: List[JobResult] = []
+        for result in pool.map(execute_job, jobs, chunksize=chunksize):
+            results.append(result)
+            if progress is not None:
+                progress(len(results), result)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

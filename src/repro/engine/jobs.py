@@ -404,9 +404,21 @@ def execute_job(job: JobSpec) -> JobResult:
 
     Top-level by design so :class:`concurrent.futures.ProcessPoolExecutor`
     can pickle it by reference; the job spec itself travels by value.
+
+    An exception escaping the job (including an invariant violation) is
+    re-raised unchanged, but first the job's trace tail is frozen into a
+    flight-recorder dump when ``REPRO_FLIGHT_DIR`` selects a directory —
+    in a process-pool worker the traceback alone crosses the boundary,
+    the dump preserves the scene.
     """
     telemetry = Telemetry()
-    payload = job.run(telemetry)
+    try:
+        payload = job.run(telemetry)
+    except Exception as error:
+        from repro.observe.flight import dump_job_failure
+
+        dump_job_failure(job, telemetry, error)
+        raise
     counters = {
         counter.name: int(counter.value)
         for counter in telemetry.registry.counters()

@@ -21,8 +21,11 @@ from __future__ import annotations
 
 import atexit
 import json
+import os
 import threading
-from typing import Any, Iterable, List, Optional, Sequence, Union
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.characterization import (
     CharacterizationConfig,
@@ -83,6 +86,22 @@ class EngineSession:
         self._jobs_counter = self.telemetry.registry.counter("engine.jobs_executed")
         self._cache_hit_counter = self.telemetry.registry.counter("engine.cache_hits")
         self._cache_miss_counter = self.telemetry.registry.counter("engine.cache_misses")
+        # Live progress gauges: cumulative jobs submitted / finished this
+        # session (cached jobs finish instantly).  The per-job executor
+        # callback keeps "completed" current mid-batch, which is what the
+        # repro.observe metrics endpoint serves during a campaign.
+        self._progress_total = 0
+        self._progress_done = 0
+        self._progress_total_gauge = self.telemetry.registry.gauge(
+            "engine.progress.total"
+        )
+        self._progress_done_gauge = self.telemetry.registry.gauge(
+            "engine.progress.completed"
+        )
+        #: Per-batch provenance records feeding :meth:`run_manifest` —
+        #: which jobs ran, which came from cache, and each batch's wall
+        #: time (the manifest's only non-deterministic field).
+        self.history: List[Dict[str, Any]] = []
 
     # -- seed streams ------------------------------------------------------------
 
@@ -98,6 +117,38 @@ class EngineSession:
             for name, value in result.counters.items():
                 registry.counter(name).inc(value)
 
+    def _announce_jobs(self, submitted: int, finished: int) -> None:
+        """Advance the progress gauges by whole-job counts."""
+        self._progress_total += submitted
+        self._progress_done += finished
+        self._progress_total_gauge.set(self._progress_total)
+        self._progress_done_gauge.set(self._progress_done)
+
+    def _note_progress(self, _done: int, _result: JobResult) -> None:
+        """Executor per-job callback: one more job finished."""
+        self._progress_done += 1
+        self._progress_done_gauge.set(self._progress_done)
+
+    def _record_batch(
+        self, jobs: Sequence[JobSpec], cached: Iterable[int], wall_s: float
+    ) -> None:
+        """Append one provenance record to :attr:`history`."""
+        cached_set = set(cached)
+        self.history.append(
+            {
+                "wall_s": wall_s,
+                "jobs": [
+                    {
+                        "kind": job.kind,
+                        "fingerprint": job.fingerprint(),
+                        "seed_path": list(job.seed_path()),
+                        "cached": index in cached_set,
+                    }
+                    for index, job in enumerate(jobs)
+                ],
+            }
+        )
+
     def run_jobs(
         self, jobs: Sequence[JobSpec], *, cache: bool = True
     ) -> List[Any]:
@@ -110,6 +161,7 @@ class EngineSession:
         jobs = list(jobs)
         payloads: List[Any] = [None] * len(jobs)
         pending: List[int] = []
+        started = perf_counter()
         if cache:
             for index, job in enumerate(jobs):
                 hit = self.cache.get(job.fingerprint(), default=_MISS)
@@ -121,9 +173,12 @@ class EngineSession:
                     pending.append(index)
         else:
             pending = list(range(len(jobs)))
+        self._announce_jobs(len(jobs), len(jobs) - len(pending))
         if pending:
             before = self.counters() if self.verifier is not None else None
-            results = self.executor.run_jobs([jobs[i] for i in pending])
+            results = self.executor.run_jobs(
+                [jobs[i] for i in pending], progress=self._note_progress
+            )
             self._merge_counters(results)
             if self.verifier is not None:
                 self.verifier.check_counter_conservation(
@@ -134,6 +189,8 @@ class EngineSession:
                 payloads[index] = result.payload
                 if cache:
                     self.cache.put(result.fingerprint, result.payload)
+        cached_indices = [i for i in range(len(jobs)) if i not in set(pending)]
+        self._record_batch(jobs, cached_indices, perf_counter() - started)
         return payloads
 
     def run_job(self, job: JobSpec, *, cache: bool = True) -> Any:
@@ -168,14 +225,20 @@ class EngineSession:
             return cached
         self._cache_miss_counter.inc()
         if model.codename in EXTENDED_MODELS:
+            started = perf_counter()
+            row_jobs = job.row_jobs()
+            self._announce_jobs(len(row_jobs), 0)
             before = self.counters() if self.verifier is not None else None
-            row_results = self.executor.run_jobs(job.row_jobs())
+            row_results = self.executor.run_jobs(
+                row_jobs, progress=self._note_progress
+            )
             self._merge_counters(row_results)
             if self.verifier is not None:
                 self.verifier.check_counter_conservation(
                     before, self.counters(), row_results
                 )
             self._jobs_counter.inc(len(row_results))
+            self._record_batch(row_jobs, (), perf_counter() - started)
             result = job.fold([r.payload for r in row_results])
         else:
             # Models outside the catalog cannot be rebuilt by codename in
@@ -207,6 +270,48 @@ class EngineSession:
             "cache": self.cache.stats.as_dict(),
             "cached_entries": len(self.cache),
         }
+
+    # -- run reports -------------------------------------------------------------
+
+    def run_manifest(self) -> dict:
+        """The ``run.json`` provenance manifest for this session so far.
+
+        Records what actually happened — per-batch job fingerprints and
+        seed-stream paths, cache versus execution, the ``REPRO_*``
+        environment in force, and a registry snapshot.  Everything is
+        deterministic for a given seed except the clearly labelled
+        ``wall_s`` batch durations.  Renderable with
+        :func:`repro.observe.render_markdown` / ``repro report``.
+        """
+        all_jobs = [job for batch in self.history for job in batch["jobs"]]
+        cached = sum(1 for job in all_jobs if job["cached"])
+        return {
+            "kind": "run-report",
+            "schema": 1,
+            "engine": self.describe(),
+            "env": {
+                name: value
+                for name, value in sorted(os.environ.items())
+                if name.startswith("REPRO_")
+            },
+            "jobs": {
+                "total": len(all_jobs),
+                "cached": cached,
+                "executed": len(all_jobs) - cached,
+            },
+            "batches": self.history,
+            "metrics": self.telemetry.registry.snapshot(),
+        }
+
+    def write_run_report(self, path) -> Path:
+        """Write :meth:`run_manifest` as JSON to ``path``; returns it."""
+        target = Path(path)
+        if target.parent and not target.parent.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.run_manifest(), sort_keys=True, indent=2) + "\n"
+        )
+        return target
 
     def close(self) -> None:
         """Shut down the executor's workers (cache contents survive)."""

@@ -108,6 +108,15 @@ class InvariantViolation(ReproError):
         }
 
 
+class ObserveError(ReproError):
+    """An observability operation failed (:mod:`repro.observe`).
+
+    Raised for malformed flight-recorder dumps or run manifests, bad
+    recorder configuration, and metrics-server lifecycle misuse — never
+    from the simulation hot path, which the observe layer only watches.
+    """
+
+
 class EnclaveError(ReproError):
     """An SGX enclave operation failed."""
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
@@ -145,6 +146,9 @@ class Simulator:
         # the hot path pays a single identity comparison per event and
         # nothing else, keeping tier-1 timing byte-identical.
         self._observer: Optional[Any] = None
+        # Optional dispatch-loop profiler (repro.observe) — same contract:
+        # ``None`` costs one identity comparison per processed event.
+        self._profiler: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -172,6 +176,23 @@ class Simulator:
     def detach_observer(self) -> None:
         """Remove the attached observer (no-op when none is attached)."""
         self._observer = None
+
+    def attach_profiler(self, profiler: Any) -> None:
+        """Install a dispatch-loop profiler on the event loop.
+
+        The profiler receives ``after_event(callback, advanced_s,
+        wall_s)`` after every event callback returns: the callback object
+        (for site attribution), the simulated time the event advanced the
+        clock by, and the callback's wall-clock cost.  Only one profiler
+        may be attached at a time.
+        """
+        if self._profiler is not None and self._profiler is not profiler:
+            raise SimulationError("a profiler is already attached to this simulator")
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        """Remove the attached profiler (no-op when none is attached)."""
+        self._profiler = None
 
     def pending_entries(self) -> List[tuple]:
         """``(time, cancelled)`` snapshot of every entry still in the heap.
@@ -219,6 +240,9 @@ class Simulator:
                 continue
             if entry.time < self._now:
                 raise SimulationError("event queue produced a time in the past")
+            if self._profiler is not None:
+                self._profiled_dispatch(entry)
+                return True
             self._now = entry.time
             self.processed_events += 1
             self._processed_counter.inc()
@@ -227,6 +251,26 @@ class Simulator:
             entry.event.callback()
             return True
         return False
+
+    def _profiled_dispatch(self, entry: _QueueEntry) -> None:
+        """The :meth:`step` dispatch body with profiler bookkeeping.
+
+        Split out so the unprofiled hot path pays exactly one identity
+        comparison; the sim-time fields handed to the profiler
+        (``advanced_s``) are deterministic, the wall-clock measurement is
+        not and the profiler keeps the two strictly apart.
+        """
+        advanced_s = entry.time - self._now
+        self._now = entry.time
+        self.processed_events += 1
+        self._processed_counter.inc()
+        if self._observer is not None:
+            self._observer.after_step(self, entry.time)
+        start = perf_counter()
+        entry.event.callback()
+        self._profiler.after_event(
+            entry.event.callback, advanced_s, perf_counter() - start
+        )
 
     def run_until(self, time: float) -> None:
         """Process events up to and including ``time``; clock ends at ``time``."""

@@ -1,0 +1,68 @@
+"""repro.observe — profiling, post-mortems, live metrics, run reports.
+
+The observability layer that rides on :mod:`repro.telemetry` without
+perturbing the simulation:
+
+* :class:`SimProfiler` — attributes the discrete-event dispatch loop's
+  work (events, sim-time, wall-time) per component/site and exports
+  deterministic collapsed-stack and speedscope flamegraphs;
+* :class:`FlightRecorder` — freezes the last N trace events into a
+  replayable JSONL dump when an invariant trips, a machine check fires,
+  or an exception escapes a campaign job;
+* :func:`render_openmetrics` / :class:`MetricsServer` — OpenMetrics text
+  exposition of a live registry over stdlib HTTP;
+* :func:`render_markdown` — the ``repro report`` view of an engine run
+  manifest.
+"""
+
+from repro.observe.flight import (
+    FLIGHT_DIR_ENV,
+    FLIGHT_SCHEMA_VERSION,
+    FlightDump,
+    FlightRecorder,
+    dump_job_failure,
+    flight_dir_from_env,
+    is_flight_dump,
+    load_flight_dump,
+)
+from repro.observe.openmetrics import (
+    OPENMETRICS_CONTENT_TYPE,
+    metric_name,
+    render_openmetrics,
+)
+from repro.observe.profiler import (
+    PROFILE_SCHEMA_VERSION,
+    ProfileBucket,
+    SimProfiler,
+    resolve_site,
+)
+from repro.observe.report import (
+    REPORT_SCHEMA_VERSION,
+    load_manifest,
+    render_markdown,
+    write_markdown,
+)
+from repro.observe.serve import MetricsServer
+
+__all__ = [
+    "FLIGHT_DIR_ENV",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightDump",
+    "FlightRecorder",
+    "MetricsServer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileBucket",
+    "REPORT_SCHEMA_VERSION",
+    "SimProfiler",
+    "dump_job_failure",
+    "flight_dir_from_env",
+    "is_flight_dump",
+    "load_flight_dump",
+    "load_manifest",
+    "metric_name",
+    "render_markdown",
+    "render_openmetrics",
+    "resolve_site",
+    "write_markdown",
+]

@@ -1,0 +1,85 @@
+"""OpenMetrics text exposition for a telemetry :class:`Registry`.
+
+Renders the dotted-name instruments (``countermeasure.polls``,
+``msr.writes``, ``engine.progress.completed``...) into the
+OpenMetrics/Prometheus text format so a live campaign can be scraped by
+any standard collector (or just ``curl``'d and eyeballed):
+
+* counters become ``counter`` families with the mandatory ``_total``
+  sample suffix;
+* gauges become ``gauge`` families;
+* histograms become ``summary`` families with ``quantile`` labels for
+  p50/p95/p99 plus exact ``_sum``/``_count`` samples — the quantiles use
+  :meth:`Histogram.percentile`, which falls back to the exact min/max
+  aggregates when sample truncation applies, so a scraped summary is
+  never silently wrong about the tails.
+
+Prometheus metric names cannot contain dots, so every name is prefixed
+with ``repro_`` and sanitized (dots → underscores); the ``HELP`` line
+preserves the original dotted name so scrape output stays greppable for
+the in-repo spelling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+#: Content type a compliant OpenMetrics endpoint must serve.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Summary quantiles exposed for each histogram.
+SUMMARY_QUANTILES = ((0.5, 50.0), (0.95, 95.0), (0.99, 99.0))
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(dotted: str) -> str:
+    """The OpenMetrics-legal name for a dotted instrument name."""
+    sanitized = _NAME_SANITIZER.sub("_", dotted)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _sample(value: Any) -> str:
+    """Format a sample value (integers stay integral)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(registry: Any) -> str:
+    """The full exposition text for every instrument in ``registry``.
+
+    Ends with the ``# EOF`` marker OpenMetrics requires; safe to call
+    mid-run (it only reads instrument state).
+    """
+    lines = []
+    for counter in registry.counters():
+        name = metric_name(counter.name)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"# HELP {name} repro counter {counter.name}")
+        lines.append(f"{name}_total {_sample(counter.value)}")
+    for gauge in registry.gauges():
+        name = metric_name(gauge.name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"# HELP {name} repro gauge {gauge.name}")
+        lines.append(f"{name} {_sample(gauge.value)}")
+    for hist in registry.histograms():
+        name = metric_name(hist.name)
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f"# HELP {name} repro histogram {hist.name}")
+        if hist.count:
+            for label, q in SUMMARY_QUANTILES:
+                lines.append(
+                    f'{name}{{quantile="{label}"}} {_sample(hist.percentile(q))}'
+                )
+        lines.append(f"{name}_sum {_sample(hist.total)}")
+        lines.append(f"{name}_count {_sample(hist.count)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

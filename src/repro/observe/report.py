@@ -1,0 +1,164 @@
+"""Campaign run reports: manifest loading and Markdown rendering.
+
+The engine session records what actually happened during a run — which
+jobs executed versus hit the cache, their fingerprints and seed-stream
+paths, batch wall times, the environment knobs in force, and a final
+metric snapshot — into a ``run.json`` manifest
+(:meth:`repro.engine.EngineSession.run_manifest`).  This module turns
+that manifest into the human-facing Markdown the ``repro report``
+command prints: the provenance page one attaches to a set of campaign
+artifacts.
+
+Wall-clock durations appear here (a report is about one concrete run),
+but they are clearly labelled and everything else in the manifest is
+deterministic, so two same-seed runs differ only in the ``wall_s``
+fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import ObserveError
+
+#: Manifest schema tag (see ``EngineSession.run_manifest``).
+REPORT_SCHEMA_VERSION = 1
+
+#: Manifest discriminator.
+REPORT_KIND = "run-report"
+
+
+def load_manifest(source: Union[str, Path, Dict[str, Any]]) -> Dict[str, Any]:
+    """Load and validate a run manifest (path, JSON text, or dict)."""
+    if isinstance(source, dict):
+        manifest = source
+    else:
+        if isinstance(source, Path) or "{" not in str(source):
+            text = Path(source).read_text()
+        else:
+            text = str(source)
+        manifest = json.loads(text)
+    if not isinstance(manifest, dict) or manifest.get("kind") != REPORT_KIND:
+        raise ObserveError("not a run-report manifest")
+    if manifest.get("schema") != REPORT_SCHEMA_VERSION:
+        raise ObserveError(
+            f"run-report schema {manifest.get('schema')!r} != {REPORT_SCHEMA_VERSION}"
+        )
+    return manifest
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_markdown(manifest: Dict[str, Any]) -> str:
+    """The Markdown report for one run manifest."""
+    manifest = load_manifest(manifest)
+    lines: List[str] = ["# Campaign run report", ""]
+
+    engine = manifest.get("engine", {})
+    cache = engine.get("cache", {})
+    jobs = manifest.get("jobs", {})
+    total = jobs.get("total", 0)
+    cached = jobs.get("cached", 0)
+    executed = jobs.get("executed", 0)
+    hit_rate = (cached / total) if total else 0.0
+    lines += [
+        "## Engine",
+        "",
+        f"- executor: `{engine.get('executor', '?')}` "
+        f"({engine.get('workers', 1)} worker(s))",
+        f"- jobs: {total} total, {executed} executed, {cached} served from "
+        f"cache (hit rate {hit_rate:.0%})",
+        f"- result cache: {cache.get('hits', 0)} hits / "
+        f"{cache.get('misses', 0)} misses, "
+        f"{engine.get('cached_entries', 0)} entries",
+        "",
+    ]
+
+    env = manifest.get("env", {})
+    if env:
+        lines += ["## Environment", ""]
+        lines += [f"- `{name}={value}`" for name, value in sorted(env.items())]
+        lines.append("")
+
+    batches = manifest.get("batches", [])
+    if batches:
+        lines += [
+            "## Batches",
+            "",
+            "| # | jobs | executed | cached | wall s (non-deterministic) |",
+            "|---|------|----------|--------|----------------------------|",
+        ]
+        for index, batch in enumerate(batches):
+            batch_jobs = batch.get("jobs", [])
+            batch_cached = sum(1 for j in batch_jobs if j.get("cached"))
+            lines.append(
+                f"| {index} | {len(batch_jobs)} | "
+                f"{len(batch_jobs) - batch_cached} | {batch_cached} | "
+                f"{_fmt(batch.get('wall_s', 0.0))} |"
+            )
+        lines.append("")
+
+        lines += [
+            "## Jobs",
+            "",
+            "| kind | seed path | fingerprint | source |",
+            "|------|-----------|-------------|--------|",
+        ]
+        for batch in batches:
+            for job in batch.get("jobs", []):
+                path = "/".join(str(p) for p in job.get("seed_path", ()))
+                source = "cache" if job.get("cached") else "executed"
+                lines.append(
+                    f"| {job.get('kind', '?')} | `{path}` | "
+                    f"`{str(job.get('fingerprint', ''))[:12]}` | {source} |"
+                )
+        lines.append("")
+
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines += [
+            "## Counters",
+            "",
+            "| counter | value |",
+            "|---------|-------|",
+        ]
+        lines += [
+            f"| `{name}` | {value} |" for name, value in sorted(counters.items())
+        ]
+        lines.append("")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines += [
+            "## Histograms",
+            "",
+            "| histogram | count | mean | stddev | min | max |",
+            "|-----------|-------|------|--------|-----|-----|",
+        ]
+        for name, stats in sorted(histograms.items()):
+            lines.append(
+                f"| `{name}` | {stats.get('count', 0)} | "
+                f"{_fmt(stats.get('mean', 0.0))} | "
+                f"{_fmt(stats.get('stddev', 0.0))} | "
+                f"{_fmt(stats.get('min'))} | {_fmt(stats.get('max'))} |"
+            )
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_markdown(
+    manifest: Union[str, Path, Dict[str, Any]], path: Union[str, Path]
+) -> Path:
+    """Render ``manifest`` and write the Markdown to ``path``."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_markdown(manifest))
+    return target

@@ -1,0 +1,125 @@
+"""Stdlib HTTP serving of live telemetry (``/metrics`` + ``/healthz``).
+
+:class:`MetricsServer` wraps a ``ThreadingHTTPServer`` running in a
+daemon thread and renders a telemetry :class:`Registry` to OpenMetrics
+text on every scrape.  It reads instrument state without locks — every
+instrument mutation is a single attribute store, so a scrape can at
+worst observe one metric mid-update, never a torn value — which keeps
+the simulation hot path entirely free of serving overhead.
+
+The registry is supplied as a zero-argument provider callable, so the
+server can follow whatever registry is current (e.g. the engine
+session's merged counters) rather than holding a stale handle.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional
+
+from repro.errors import ObserveError
+from repro.observe.openmetrics import OPENMETRICS_CONTENT_TYPE, render_openmetrics
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (OpenMetrics) and ``/healthz`` (liveness)."""
+
+    server_version = "repro-observe/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_openmetrics(self.server.registry_provider()).encode("utf-8")
+            self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    registry_provider: Callable[[], Any]
+
+
+class MetricsServer:
+    """Background OpenMetrics endpoint for one registry (or provider).
+
+    ``port=0`` asks the OS for a free port (read it back from
+    :attr:`port` after :meth:`start`); ``host`` defaults to loopback —
+    exposing simulation metrics beyond the local machine is a deliberate
+    caller decision.
+    """
+
+    def __init__(
+        self,
+        registry: Any = None,
+        *,
+        provider: Optional[Callable[[], Any]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if (registry is None) == (provider is None):
+            raise ObserveError("pass exactly one of registry or provider")
+        self._provider = provider if provider is not None else (lambda: registry)
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the requested one until :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """The ``/metrics`` URL of the running (or configured) server."""
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Bind and begin serving in a daemon thread."""
+        if self._server is not None:
+            raise ObserveError("metrics server already started")
+        server = _Server((self._host, self._requested_port), _MetricsHandler)
+        server.registry_provider = self._provider
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self._server is not None else "stopped"
+        return f"MetricsServer({self.url!r}, {state})"

@@ -20,8 +20,9 @@ a ``tid`` so related events stack on one swimlane.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Phase constants (Chrome trace_event vocabulary).
 PHASE_COMPLETE = "X"
@@ -80,12 +81,19 @@ class Tracer:
     Instrumented components bind the tracer once at construction and
     guard hot-path emission with the ``enabled`` flag, so a disabled
     tracer costs one attribute test per potential event.
+
+    ``max_events`` bounds the recorder to a ring of the most recent
+    events (the flight-recorder mode of :mod:`repro.observe`): recording
+    stays O(1) and memory stays constant however long the run, at the
+    price of forgetting the oldest events.  The default ``None`` keeps
+    everything, which is what trace exports want.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
+    def __init__(self, *, max_events: Optional[int] = None) -> None:
+        self.max_events = max_events
+        self._events: Any = [] if max_events is None else deque(maxlen=max_events)
 
     @property
     def events(self) -> Tuple[TraceEvent, ...]:

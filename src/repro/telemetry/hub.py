@@ -17,7 +17,7 @@ scenario, one instrumented and one not, see identical physics.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.telemetry.events import NULL_TRACER, Tracer
 from repro.telemetry.export import write_trace
@@ -27,15 +27,24 @@ from repro.telemetry.registry import NULL_REGISTRY, Registry
 class Telemetry:
     """Bundled metric registry and event tracer for one machine/run."""
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(self, *, enabled: bool = True, max_events: Optional[int] = None) -> None:
         self.enabled = enabled
         self.registry: Registry = Registry() if enabled else NULL_REGISTRY
-        self.tracer: Tracer = Tracer() if enabled else NULL_TRACER
+        self.tracer: Tracer = (
+            Tracer(max_events=max_events) if enabled else NULL_TRACER
+        )
 
     @classmethod
     def disabled(cls) -> "Telemetry":
         """The shared disabled instance (no-op instruments, no state)."""
         return NULL_TELEMETRY
+
+    @classmethod
+    def flight(cls, capacity: int = 512) -> "Telemetry":
+        """An enabled handle whose tracer keeps only the last ``capacity``
+        events — the bounded always-cheap mode the flight recorder
+        (:mod:`repro.observe.flight`) rides on."""
+        return cls(max_events=capacity)
 
     def export(self, path: Union[str, Path], *, fmt: str = "chrome") -> Path:
         """Write the recorded trace to ``path`` (``chrome`` or ``jsonl``)."""

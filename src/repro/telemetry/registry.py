@@ -18,6 +18,7 @@ metric state.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -69,11 +70,13 @@ class Histogram:
     """A distribution of observed values (sim-time latencies, sizes...).
 
     Keeps the raw observations (bounded by ``max_samples``) together with
-    exact aggregate count/sum/min/max, so tests can assert on individual
-    latencies while long runs stay bounded in memory.
+    exact aggregate count/sum/sum-of-squares/min/max, so tests can assert
+    on individual latencies while long runs stay bounded in memory.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_values", "_max_samples")
+    __slots__ = (
+        "name", "count", "total", "sum_sq", "min", "max", "_values", "_max_samples"
+    )
 
     def __init__(self, name: str, *, max_samples: int = 100_000) -> None:
         if max_samples < 0:
@@ -81,6 +84,7 @@ class Histogram:
         self.name = name
         self.count = 0
         self.total = 0.0
+        self.sum_sq = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._values: List[float] = []
@@ -91,6 +95,7 @@ class Histogram:
         value = float(value)
         self.count += 1
         self.total += value
+        self.sum_sq += value * value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -108,23 +113,61 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the recorded samples.
+    @property
+    def truncated(self) -> bool:
+        """Whether ``max_samples`` has dropped raw observations.
 
-        ``q`` lies in [0, 100]; raises when the histogram is empty.
+        The aggregates (``count``/``total``/``sum_sq``/``min``/``max``)
+        stay exact either way; only the raw-sample window is incomplete.
+        """
+        return self.count > len(self._values)
+
+    def stddev(self) -> float:
+        """Population standard deviation, exact even when truncated.
+
+        Computed from the running sum-of-squares, so it covers every
+        observation regardless of the ``max_samples`` window.
+        """
+        if not self.count:
+            return 0.0
+        mean = self.mean
+        variance = self.sum_sq / self.count - mean * mean
+        return math.sqrt(variance) if variance > 0.0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; exact aggregates at the extremes.
+
+        ``q`` lies in [0, 100]; raises when the histogram is empty.  When
+        ``max_samples`` truncation has dropped raw observations, the
+        extreme ranks fall back to the exact ``min``/``max`` aggregates
+        and interior ranks are computed over the retained window but
+        clamped into ``[min, max]`` — never silently reported from a
+        window that no longer covers the distribution's tails.
         """
         if not 0.0 <= q <= 100.0:
             raise ConfigurationError(f"percentile {q} outside [0, 100]")
-        if not self._values:
+        if not self.count:
             raise ConfigurationError(f"histogram {self.name} is empty")
+        if self.truncated:
+            if q == 0.0:
+                return self.min
+            if q == 100.0:
+                return self.max
+        if not self._values:
+            # max_samples=0: only the exact aggregates exist.
+            return self.min if q <= 50.0 else self.max
         ordered = sorted(self._values)
         rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[int(rank)]
+        value = ordered[int(rank)]
+        if self.truncated:
+            value = max(self.min, min(self.max, value))
+        return value
 
     def reset(self) -> None:
         """Drop all observations."""
         self.count = 0
         self.total = 0.0
+        self.sum_sq = 0.0
         self.min = None
         self.max = None
         self._values.clear()
@@ -229,6 +272,8 @@ class Registry:
                     "min": h.min,
                     "max": h.max,
                     "mean": h.mean,
+                    "stddev": h.stddev(),
+                    "truncated": h.truncated,
                 }
                 for h in self.histograms()
             },
@@ -242,10 +287,18 @@ class Registry:
         for gauge in self.gauges():
             lines.append(f"{gauge.name:40s} {gauge.value:g}")
         for hist in self.histograms():
-            lines.append(
-                f"{hist.name:40s} count={hist.count} mean={hist.mean:.3g}"
-                + (f" min={hist.min:.3g} max={hist.max:.3g}" if hist.count else "")
-            )
+            line = f"{hist.name:40s} count={hist.count} mean={hist.mean:.3g}"
+            if hist.count:
+                line += (
+                    f" min={hist.min:.3g} max={hist.max:.3g}"
+                    f" p50={hist.percentile(50):.3g}"
+                    f" p95={hist.percentile(95):.3g}"
+                    f" p99={hist.percentile(99):.3g}"
+                    f" stddev={hist.stddev():.3g}"
+                )
+                if hist.truncated:
+                    line += " (window truncated)"
+            lines.append(line)
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
     def reset(self) -> None:

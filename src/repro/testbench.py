@@ -55,6 +55,12 @@ class Machine:
     #: The runtime invariant checker installed on this machine, if any
     #: (see :meth:`install_invariants` and the ``REPRO_VERIFY`` knob).
     verifier: Optional[object] = field(default=None, repr=False)
+    #: The seed :meth:`build` assembled this machine from — kept so
+    #: post-mortem artifacts can fingerprint an equivalent rebuild.
+    build_seed: int = field(default=2024)
+    #: The flight recorder bound to this machine, if any (see
+    #: :class:`repro.observe.FlightRecorder`).
+    flight: Optional[object] = field(default=None, repr=False)
 
     @classmethod
     def build(
@@ -111,6 +117,7 @@ class Machine:
             modules=ModuleRegistry(),
             rng=rng,
             telemetry=telemetry,
+            build_seed=int(seed),
         )
         if verify is None:
             from repro.verify import verify_enabled_from_env
@@ -134,6 +141,30 @@ class Machine:
         checker.install(self)
         self.verifier = checker
         return checker
+
+    def spec_fingerprint(self) -> dict:
+        """JSON-safe identity of this machine's build specification.
+
+        Everything a post-mortem needs to rebuild an equivalent machine:
+        model codename, build seed, voltage-plane topology, whether an
+        invariant checker is installed — plus a content hash over those
+        fields so flight-recorder dumps from different specs can never be
+        conflated.
+        """
+        import hashlib
+        import json
+
+        spec = {
+            "codename": self.model.codename,
+            "seed": self.build_seed,
+            "shared_voltage_plane": bool(
+                getattr(self.processor, "shared_voltage_plane", False)
+            ),
+            "verify": self.verifier is not None,
+        }
+        blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        spec["sha256"] = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return spec
 
     # -- timeline helpers -------------------------------------------------------
 
@@ -200,6 +231,10 @@ class Machine:
         Kernel modules stay registered (they reload from initramfs on a
         real machine); the MSR and regulator state is wiped.
         """
+        if self.flight is not None:
+            # Snapshot the pre-crash trace tail before hardware state is
+            # wiped (opt-in: characterization sweeps crash by design).
+            self.flight.on_crash(self)
         self.processor.reboot()
         self.crash_count += 1
         if settle_s > 0:

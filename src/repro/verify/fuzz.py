@@ -234,8 +234,14 @@ def run_schedule(
     offending action) when an invariant tripped.  Expected domain errors
     are tallied, and a machine check triggers the same reboot-and-continue
     recovery the characterization harness uses.
+
+    A :class:`repro.observe.FlightRecorder` rides along carrying the
+    schedule itself, so a tripped invariant leaves a self-contained
+    post-mortem (``summary["flight_dump"]`` when ``REPRO_FLIGHT_DIR``
+    selects a directory) that ``repro fuzz --replay`` accepts directly.
     """
     from repro.core.unsafe_states import UnsafeStateSet
+    from repro.observe import FlightRecorder, flight_dir_from_env
     from repro.testbench import Machine
 
     model = model_by_codename(schedule.codename)
@@ -243,6 +249,8 @@ def run_schedule(
     machine = Machine.build(
         model, seed=schedule.machine_seed, telemetry=telemetry, verify=False
     )
+    recorder = FlightRecorder(machine, dump_dir=flight_dir_from_env())
+    recorder.context["schedule"] = schedule.to_dict()
     checker = InvariantChecker().install(machine)
     unsafe = (
         UnsafeStateSet.from_dict(json.loads(schedule.unsafe_json))
@@ -284,6 +292,9 @@ def run_schedule(
         "checks": checker.checks,
         "sim_time_s": machine.now,
         "violation": violation,
+        "flight_dump": (
+            str(recorder.dump_paths[-1]) if recorder.dump_paths else None
+        ),
     }
 
 

@@ -90,6 +90,10 @@ class InvariantChecker:
         self.checks = 0
         self._machine: Optional[Any] = None
         self._last_time = 0.0
+        #: Flight recorder to notify before a violation is raised (see
+        #: :class:`repro.observe.FlightRecorder`); picked up from the
+        #: machine at :meth:`install` time, settable directly too.
+        self.flight: Optional[Any] = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -101,6 +105,8 @@ class InvariantChecker:
             raise ReproError("InvariantChecker is already installed on a machine")
         self._machine = machine
         self._last_time = machine.simulator.now
+        if self.flight is None:
+            self.flight = getattr(machine, "flight", None)
         machine.simulator.attach_observer(self)
         machine.processor.ocm_observer = self._on_ocm
         for core in machine.processor.cores:
@@ -131,6 +137,9 @@ class InvariantChecker:
         time_s = self._machine.simulator.now if self._machine is not None else 0.0
         violation = InvariantViolation(invariant, message, time_s=time_s, **details)
         self.violations.append(violation)
+        if self.flight is not None:
+            # Freeze the trace tail before unwinding destroys the scene.
+            self.flight.on_violation(violation)
         raise violation
 
     # -- simulator observer (sim-monotonic, heap-hygiene) ------------------------

@@ -327,3 +327,131 @@ class TestCLI:
 
         assert main(["--log-level", "warning", "list-cpus"]) == 0
         assert logging.getLogger("repro").level == logging.WARNING
+
+
+class TestHistogramExactAggregates:
+    """PR-4 satellite: stddev + truncation-aware percentiles."""
+
+    def test_stddev_matches_population_formula(self):
+        hist = Histogram("lat")
+        values = [1.0, 2.0, 4.0, 8.0]
+        for value in values:
+            hist.observe(value)
+        mean = sum(values) / len(values)
+        expected = (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+        assert hist.stddev() == pytest.approx(expected)
+        assert hist.sum_sq == pytest.approx(sum(v * v for v in values))
+
+    def test_stddev_exact_despite_truncation(self):
+        full = Histogram("full")
+        capped = Histogram("capped", max_samples=3)
+        for value in range(100):
+            full.observe(float(value))
+            capped.observe(float(value))
+        assert capped.truncated
+        assert not full.truncated
+        assert capped.stddev() == pytest.approx(full.stddev())
+
+    def test_stddev_empty_and_constant(self):
+        hist = Histogram("lat")
+        assert hist.stddev() == 0.0
+        hist.observe(5.0)
+        hist.observe(5.0)
+        assert hist.stddev() == 0.0
+
+    def test_truncated_percentile_extremes_fall_back_to_aggregates(self):
+        hist = Histogram("lat", max_samples=2)
+        for value in range(100):
+            hist.observe(float(value))
+        # The retained window is [0, 1] — without the fallback both
+        # extremes would be silently wrong.
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(100) == 99.0
+
+    def test_truncated_interior_percentile_clamped_into_min_max(self):
+        hist = Histogram("lat", max_samples=4)
+        for value in (10.0, 20.0, 30.0, 40.0, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.truncated
+        for q in (25, 50, 75, 90):
+            assert hist.min <= hist.percentile(q) <= hist.max
+
+    def test_zero_window_uses_aggregates_only(self):
+        hist = Histogram("lat", max_samples=0)
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(50) == 1.0
+        assert hist.percentile(100) == 3.0
+
+    def test_reset_clears_new_aggregates(self):
+        hist = Histogram("lat", max_samples=1)
+        hist.observe(2.0)
+        hist.observe(4.0)
+        hist.reset()
+        assert hist.sum_sq == 0.0
+        assert not hist.truncated
+
+    def test_snapshot_carries_stddev_and_truncation(self):
+        registry = Registry()
+        hist = registry.histogram("turnaround", max_samples=1)
+        hist.observe(1.0)
+        hist.observe(3.0)
+        stats = registry.snapshot()["histograms"]["turnaround"]
+        assert stats["stddev"] == pytest.approx(1.0)
+        assert stats["truncated"] is True
+
+    def test_render_includes_percentile_columns(self):
+        registry = Registry()
+        registry.gauge("engine.progress.completed").set(3)
+        hist = registry.histogram("turnaround")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        rendered = registry.render()
+        assert "engine.progress.completed" in rendered
+        for column in ("p50=", "p95=", "p99=", "stddev="):
+            assert column in rendered
+        assert "window truncated" not in rendered
+        registry.histogram("tiny", max_samples=1).observe(1.0)
+        registry.histogram("tiny").observe(2.0)
+        assert "window truncated" in registry.render()
+
+
+class TestJsonlFieldFidelity:
+    """PR-4 satellite: round trips preserve every TraceEvent field."""
+
+    def _events(self):
+        tracer = Tracer()
+        tracer.instant("fault.injected", "fault", 1.5e-3, track="faults", core=0)
+        tracer.complete(
+            "msr.write", "msr", 2.0e-3, 4.2e-6, track="core0",
+            address=0x150, value=-150,
+        )
+        tracer.counter_sample("voltage.applied", "voltage", 3.0e-3, 0.81, track="core0")
+        return tracer.events
+
+    def test_round_trip_preserves_every_field_for_all_kinds(self):
+        events = self._events()
+        restored = events_from_jsonl(to_jsonl(events))
+        assert tuple(restored) == events
+        for original, back in zip(events, restored):
+            for field in (
+                "name", "category", "phase", "time_s", "duration_s", "track", "args"
+            ):
+                assert getattr(back, field) == getattr(original, field)
+
+    def test_round_trip_survives_ring_tracer(self):
+        tracer = Tracer(max_events=2)
+        for index in range(5):
+            tracer.instant("tick", "sim", float(index), track="sim", i=index)
+        events = tracer.events
+        assert len(events) == 2
+        assert events[0].args_dict["i"] == 3
+        assert tuple(events_from_jsonl(to_jsonl(events))) == events
+
+    def test_flight_telemetry_is_bounded(self):
+        telemetry = Telemetry.flight(capacity=3)
+        for index in range(10):
+            telemetry.tracer.instant("tick", "sim", float(index))
+        assert len(telemetry.tracer.events) == 3
+        assert telemetry.tracer.events[-1].time_s == 9.0
