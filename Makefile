@@ -1,6 +1,6 @@
 # Plug Your Volt reproduction — common tasks.
 
-.PHONY: install test bench campaign fuzz examples artifacts trace-demo profile-demo clean
+.PHONY: install test bench campaign chaos fuzz examples artifacts trace-demo profile-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,6 +15,12 @@ bench:
 # across a process pool (EXECUTOR/WORKERS overridable).
 campaign:
 	python -m repro campaign --executor $${EXECUTOR:-process} --workers $${WORKERS:-4}
+
+# Campaign under seeded chaos (worker kills, injected errors, stalls,
+# torn cache writes) followed by a byte-identity convergence check
+# (SEED/BUDGET overridable).  Exits nonzero if chaos changed a result.
+chaos:
+	python -m repro chaos --seed $${SEED:-0} --budget $${BUDGET:-50}
 
 # Adversarial-schedule fuzzing under the runtime invariant checker
 # (SEED/BUDGET overridable).  Exits nonzero and writes fuzz-repro.json

@@ -8,6 +8,9 @@ Exposes the reproduction's main flows without writing Python::
     python -m repro attack --cpu "Comet Lake" --attack plundervolt
     python -m repro attack --cpu "Comet Lake" --attack imul --protect
     python -m repro campaign --workers 4
+    python -m repro campaign --checkpoint ckpt/   # killable; resume below
+    python -m repro campaign --resume ckpt/
+    python -m repro chaos --budget 60 --out chaos.json
     python -m repro spec
     python -m repro maximal
     python -m repro profile --out profile.speedscope.json
@@ -134,6 +137,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve live OpenMetrics on this port while the campaign runs",
     )
+    campaign.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="persist completed jobs into this checkpoint directory as "
+        "they land (a killed campaign becomes resumable)",
+    )
+    campaign.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume from a checkpoint directory: jobs completed by the "
+        "interrupted run are served from it, not re-executed "
+        "(implies --checkpoint DIR)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -184,6 +202,84 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="replay a repro artifact or flight-recorder dump under the "
         "checker instead of fuzzing",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection harness: run a campaign twice under seeded "
+        "worker kills / errors / stalls / torn cache writes and prove the "
+        "results converge byte-for-byte",
+    )
+    chaos.add_argument(
+        "--cpu", default=None, help="restrict to one CPU codename (default: all three)"
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="deterministic seed (same as the global --seed)",
+    )
+    chaos.add_argument(
+        "--budget", type=int, default=60,
+        help="total fuzz-case jobs, split across the selected CPUs",
+    )
+    chaos.add_argument(
+        "--actions", type=int, default=8, help="actions per fuzz-case job"
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="seed of the chaos decision stream (default: --seed)",
+    )
+    chaos.add_argument(
+        "--kill-rate", type=float, default=0.05,
+        help="probability a first attempt os._exit()s its worker",
+    )
+    chaos.add_argument(
+        "--error-rate", type=float, default=0.10,
+        help="probability a first attempt raises an injected ChaosError",
+    )
+    chaos.add_argument(
+        "--stall-rate", type=float, default=0.05,
+        help="probability a first attempt stalls past the job timeout",
+    )
+    chaos.add_argument(
+        "--torn-rate", type=float, default=0.10,
+        help="probability a result's cache entry is torn after the write",
+    )
+    chaos.add_argument(
+        "--stall-s", type=float, default=0.75, help="injected stall length (s)"
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=0.35,
+        help="per-attempt wall-clock timeout (s)",
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=3, help="max attempts per job"
+    )
+    chaos.add_argument(
+        "--off",
+        action="store_true",
+        help="disable all injection: the clean baseline whose --out "
+        "artifact a chaos run must match byte-for-byte",
+    )
+    chaos.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="back the result cache with this directory so torn writes "
+        "hit real files (and leave .corrupt quarantines behind)",
+    )
+    chaos.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the canonical campaign results as JSON (identical "
+        "bytes for chaos-on and --off runs of the same seed)",
     )
 
     spec = sub.add_parser("spec", help="reproduce Table 2 (SPEC2017 overhead)")
@@ -433,12 +529,35 @@ def _cmd_attack(args) -> int:
 
 def _cmd_campaign(args) -> int:
     from repro import experiments
-    from repro.engine import EngineSession, make_executor, set_session
+    from repro.engine import (
+        CampaignCheckpoint,
+        EngineSession,
+        Quarantined,
+        RetryPolicy,
+        executor_from_env,
+        make_executor,
+        set_session,
+    )
 
+    checkpoint_dir = args.resume or args.checkpoint
+    checkpoint = (
+        CampaignCheckpoint(checkpoint_dir) if checkpoint_dir is not None else None
+    )
+    if args.resume and checkpoint is not None:
+        print(f"resuming from checkpoint {checkpoint_dir} "
+              f"({checkpoint.completed_count()} job(s) already completed)")
     if args.executor is not None or args.workers is not None:
-        kind = args.executor or "process"
+        executor = make_executor(
+            args.executor or "process",
+            workers=args.workers,
+            policy=RetryPolicy.from_env(),
+        )
         session = set_session(
-            EngineSession(executor=make_executor(kind, workers=args.workers))
+            EngineSession(executor=executor, checkpoint=checkpoint)
+        )
+    elif checkpoint is not None:
+        session = set_session(
+            EngineSession(executor=executor_from_env(), checkpoint=checkpoint)
         )
     else:
         session = get_session()
@@ -466,17 +585,26 @@ def _cmd_campaign(args) -> int:
     finally:
         if server is not None:
             server.stop()
-    rows = [
-        (
-            job.codename,
-            "polling" if job.protected else "none",
-            outcome.attack,
-            outcome.faults_observed,
-            outcome.crashes,
-            "yes" if outcome.succeeded else "no",
+    rows = []
+    quarantined = 0
+    for job, outcome in zip(jobs, outcomes):
+        defense = "polling" if job.protected else "none"
+        if isinstance(outcome, Quarantined):
+            quarantined += 1
+            rows.append(
+                (job.codename, defense, outcome.kind, "-", "-", "QUARANTINED")
+            )
+            continue
+        rows.append(
+            (
+                job.codename,
+                defense,
+                outcome.attack,
+                outcome.faults_observed,
+                outcome.crashes,
+                "yes" if outcome.succeeded else "no",
+            )
         )
-        for job, outcome in zip(jobs, outcomes)
-    ]
     print(render_table(
         ["CPU", "defense", "attack", "faults", "crashes", "succeeded"],
         rows,
@@ -485,7 +613,7 @@ def _cmd_campaign(args) -> int:
     protected_faults = sum(
         outcome.faults_observed
         for job, outcome in zip(jobs, outcomes)
-        if job.protected
+        if job.protected and not isinstance(outcome, Quarantined)
     )
     engine = session.describe()
     print(f"\nprotected-cell faults: {protected_faults} (claim: 0)")
@@ -493,28 +621,34 @@ def _cmd_campaign(args) -> int:
         f"engine: executor={engine['executor']} workers={engine['workers']} "
         f"cache hits={engine['cache']['hits']} misses={engine['cache']['misses']}"
     )
+    if quarantined:
+        print(f"WARNING: {quarantined} campaign cell(s) quarantined after "
+              "repeated failures; see the run report's quarantine list")
     if args.json:
+        cells = []
+        for job, outcome in zip(jobs, outcomes):
+            cell = {"codename": job.codename, "protected": job.protected}
+            if isinstance(outcome, Quarantined):
+                cell["quarantined"] = outcome.as_dict()
+            else:
+                cell.update(
+                    attack=outcome.attack,
+                    faults_observed=outcome.faults_observed,
+                    crashes=outcome.crashes,
+                    succeeded=outcome.succeeded,
+                )
+            cells.append(cell)
         payload = {
             "engine": engine,
             "counters": session.counters(),
-            "cells": [
-                {
-                    "codename": job.codename,
-                    "protected": job.protected,
-                    "attack": outcome.attack,
-                    "faults_observed": outcome.faults_observed,
-                    "crashes": outcome.crashes,
-                    "succeeded": outcome.succeeded,
-                }
-                for job, outcome in zip(jobs, outcomes)
-            ],
+            "cells": cells,
         }
         path = write_text(args.json, _json.dumps(payload, indent=2, sort_keys=True))
         print(f"JSON artifact written to {path}")
     if args.report:
         path = session.write_run_report(args.report)
         print(f"run manifest written to {path} (render with: repro report {path})")
-    return 0 if protected_faults == 0 else 1
+    return 0 if protected_faults == 0 and quarantined == 0 else 1
 
 
 def _cmd_fuzz(args) -> int:
@@ -625,6 +759,102 @@ def _cmd_fuzz(args) -> int:
         return 1
     print("no invariant violations")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import hashlib
+
+    from repro.engine import (
+        ChaosPolicy,
+        EngineSession,
+        FuzzJob,
+        ParallelExecutor,
+        Quarantined,
+        ResultCache,
+        RetryPolicy,
+    )
+
+    models = (
+        [model_by_codename(args.cpu)] if args.cpu else list(PAPER_MODEL_TUPLE)
+    )
+    jobs = []
+    for index, model in enumerate(models):
+        count = args.budget // len(models) + (
+            1 if index < args.budget % len(models) else 0
+        )
+        jobs.extend(
+            FuzzJob(
+                codename=model.codename,
+                seed=args.seed,
+                case_index=case,
+                num_actions=args.actions,
+            )
+            for case in range(count)
+        )
+    chaos = None
+    if not args.off:
+        chaos = ChaosPolicy(
+            seed=args.chaos_seed if args.chaos_seed is not None else args.seed,
+            kill_rate=args.kill_rate,
+            error_rate=args.error_rate,
+            stall_rate=args.stall_rate,
+            torn_write_rate=args.torn_rate,
+            stall_s=args.stall_s,
+        )
+    # A generous respawn budget: every injected kill costs one pool, and
+    # degrading to inline execution would quietly turn chaos off.
+    policy = RetryPolicy(
+        max_attempts=args.retries,
+        timeout_s=args.timeout,
+        backoff_s=0.01,
+        max_pool_respawns=10,
+    )
+    executor = ParallelExecutor(args.workers, policy=policy, chaos=chaos)
+    cache = (
+        ResultCache(directory=args.cache_dir) if args.cache_dir else ResultCache()
+    )
+    mode = "chaos OFF (clean baseline)" if args.off else "chaos ON"
+    print(f"{mode}: {len(jobs)} job(s) across {len(models)} CPU(s), "
+          f"retries={policy.max_attempts}, timeout={policy.timeout_s:g}s")
+    with EngineSession(executor=executor, cache=cache, chaos=chaos) as session:
+        # Two passes: the first executes everything under injection, the
+        # second must re-serve every payload — recomputing any result
+        # whose cache entry chaos tore — without changing a byte.
+        first = session.run_jobs(jobs)
+        second = session.run_jobs(jobs)
+        supervision = session.executor.stats.as_dict()
+        cache_stats = session.cache.stats.as_dict()
+    poisoned = sum(
+        1 for payload in first + second if isinstance(payload, Quarantined)
+    )
+    if poisoned:
+        print(f"\nERROR: {poisoned} job(s) quarantined — the retry budget "
+              f"({args.retries} attempts) must outlast the faulted attempts")
+        return 1
+    stats_rows = [(name, value) for name, value in sorted(supervision.items())]
+    stats_rows += [
+        ("cache corrupt entries quarantined", cache_stats["corrupt"]),
+        ("cache hits / misses",
+         f"{cache_stats['hits']} / {cache_stats['misses']}"),
+    ]
+    print()
+    print(render_table(
+        ["supervision", "value"], stats_rows, title="What the chaos did"
+    ))
+    canonical = _json.dumps(first, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    converged = first == second
+    print(f"\nresult digest: {digest}")
+    print("second pass byte-identical to first: "
+          + ("yes" if converged else "NO — determinism violated"))
+    if args.out:
+        artifact = {"jobs": len(jobs), "digest": digest, "results": first}
+        path = write_text(
+            args.out, _json.dumps(artifact, indent=2, sort_keys=True)
+        )
+        print(f"canonical results written to {path} "
+              "(diffable against a --off run)")
+    return 0 if converged else 1
 
 
 def _cmd_spec(args) -> int:
@@ -975,6 +1205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "spec":
         return _cmd_spec(args)
     if args.command == "maximal":

@@ -22,6 +22,7 @@ experiment API, the CLI and both conftests share one default session via
 """
 
 from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.checkpoint import CampaignCheckpoint
 from repro.engine.executors import (
     EXECUTOR_ENV,
     WORKERS_ENV,
@@ -30,6 +31,14 @@ from repro.engine.executors import (
     SerialExecutor,
     executor_from_env,
     make_executor,
+)
+from repro.engine.resilience import (
+    ChaosPolicy,
+    Quarantined,
+    RetryPolicy,
+    SupervisedTask,
+    SupervisionStats,
+    execute_supervised,
 )
 from repro.engine.jobs import (
     ATTACK_KINDS,
@@ -58,6 +67,8 @@ __all__ = [
     "ATTACK_KINDS",
     "AttackCampaignJob",
     "CacheStats",
+    "CampaignCheckpoint",
+    "ChaosPolicy",
     "CharacterizationJob",
     "CharacterizationRowJob",
     "DEFAULT_SEED",
@@ -69,14 +80,19 @@ __all__ = [
     "JobSpec",
     "OverheadJob",
     "ParallelExecutor",
+    "Quarantined",
     "RESULT_AFFECTING_ENV",
     "ResultCache",
+    "RetryPolicy",
     "SeedStream",
     "SerialExecutor",
+    "SupervisedTask",
+    "SupervisionStats",
     "WORKERS_ENV",
     "clear_session_cache",
     "environment_fingerprint",
     "execute_job",
+    "execute_supervised",
     "executor_from_env",
     "get_session",
     "make_executor",

@@ -397,6 +397,12 @@ class JobResult:
     #: session registry (this is how per-worker telemetry survives the
     #: process boundary).
     counters: Dict[str, int]
+    #: Which attempt produced this result (1 = first try).  Retried
+    #: attempts replay the job's exact seed stream, so the payload is
+    #: independent of this number — it exists for supervision
+    #: bookkeeping and run reports only, and is therefore deliberately
+    #: *not* part of any fingerprint.
+    attempts: int = 1
 
 
 def execute_job(job: JobSpec) -> JobResult:

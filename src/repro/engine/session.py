@@ -33,6 +33,7 @@ from repro.core.characterization import (
 )
 from repro.cpu.models import CPUModel, EXTENDED_MODELS, model_by_codename
 from repro.engine.cache import ResultCache
+from repro.engine.checkpoint import CampaignCheckpoint
 from repro.engine.executors import Executor, executor_from_env
 from repro.engine.jobs import (
     CharacterizationJob,
@@ -40,7 +41,9 @@ from repro.engine.jobs import (
     JobSpec,
     execute_job,
 )
+from repro.engine.resilience import ChaosPolicy, Quarantined, SupervisionStats
 from repro.engine.seeds import SeedStream, seed_stream
+from repro.errors import ReproError
 from repro.telemetry import Telemetry
 
 #: Root seed of the canonical paper reproduction (matches the benchmarks
@@ -74,10 +77,25 @@ class EngineSession:
         cache: Optional[ResultCache] = None,
         telemetry: Optional[Telemetry] = None,
         verifier: Optional[Any] = None,
+        checkpoint: Optional[CampaignCheckpoint] = None,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         self.executor = executor or executor_from_env()
-        self.cache = cache or ResultCache.from_env()
+        # `cache if ... is not None`, not `cache or ...`: ResultCache has
+        # __len__, so a freshly built (empty) cache is falsy and a bare
+        # `or` would silently swap in the environment default.
+        self.cache = cache if cache is not None else ResultCache.from_env()
         self.telemetry = telemetry or Telemetry()
+        #: Optional campaign checkpoint: completed results are persisted
+        #: as they land (so a SIGKILLed campaign resumes losslessly) and
+        #: consulted before execution on the next run.
+        self.checkpoint = checkpoint
+        #: Optional session-side chaos (torn cache writes).  Worker-side
+        #: chaos (kills/errors/stalls) travels on the executor instead.
+        self.chaos = chaos
+        #: Quarantine records for poison jobs this session gave up on
+        #: (the campaign continued without them; see the run report).
+        self.quarantined: List[Dict[str, Any]] = []
         #: Optional invariant checker; when set, every executed batch is
         #: audited for counter conservation (worker-reported increments
         #: must merge into the session registry without loss, whichever
@@ -86,6 +104,18 @@ class EngineSession:
         self._jobs_counter = self.telemetry.registry.counter("engine.jobs_executed")
         self._cache_hit_counter = self.telemetry.registry.counter("engine.cache_hits")
         self._cache_miss_counter = self.telemetry.registry.counter("engine.cache_misses")
+        # Supervision counters, fed from the executor's cumulative
+        # SupervisionStats deltas after every batch.
+        self._retries_counter = self.telemetry.registry.counter("engine.retries")
+        self._requeues_counter = self.telemetry.registry.counter("engine.requeues")
+        self._quarantined_counter = self.telemetry.registry.counter(
+            "engine.quarantined"
+        )
+        self._timeouts_counter = self.telemetry.registry.counter("engine.timeouts")
+        self._respawns_counter = self.telemetry.registry.counter(
+            "engine.pool_respawns"
+        )
+        self._resumed_counter = self.telemetry.registry.counter("engine.resumed")
         # Live progress gauges: cumulative jobs submitted / finished this
         # session (cached jobs finish instantly).  The per-job executor
         # callback keeps "completed" current mid-batch, which is what the
@@ -124,16 +154,53 @@ class EngineSession:
         self._progress_total_gauge.set(self._progress_total)
         self._progress_done_gauge.set(self._progress_done)
 
-    def _note_progress(self, _done: int, _result: JobResult) -> None:
-        """Executor per-job callback: one more job finished."""
+    def _note_progress(self, _done: int, result: JobResult) -> None:
+        """Executor per-job callback: one more job finished.
+
+        Completed results are checkpointed *here*, as they land, not at
+        batch end — that is what makes a SIGKILLed campaign resumable
+        without losing finished work.
+        """
         self._progress_done += 1
         self._progress_done_gauge.set(self._progress_done)
+        if self.checkpoint is not None and not isinstance(
+            result.payload, Quarantined
+        ):
+            self.checkpoint.record(result)
+
+    def _sync_supervision(self, before: SupervisionStats) -> None:
+        """Fold the executor's supervision deltas into session counters."""
+        delta = self.executor.stats.delta(before)
+        self._retries_counter.inc(delta.retries)
+        self._requeues_counter.inc(delta.requeues)
+        self._quarantined_counter.inc(delta.quarantined)
+        self._timeouts_counter.inc(delta.timeouts)
+        self._respawns_counter.inc(delta.respawns)
+
+    def _execute_batch(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
+        """Run one batch through the executor with full bookkeeping."""
+        before = self.counters() if self.verifier is not None else None
+        supervision_before = self.executor.stats.copy()
+        try:
+            results = self.executor.run_jobs(jobs, progress=self._note_progress)
+        finally:
+            self._sync_supervision(supervision_before)
+        self._merge_counters(results)
+        if self.verifier is not None:
+            self.verifier.check_counter_conservation(
+                before, self.counters(), results
+            )
+        self._jobs_counter.inc(len(results))
+        return results
 
     def _record_batch(
-        self, jobs: Sequence[JobSpec], cached: Iterable[int], wall_s: float
+        self, jobs: Sequence[JobSpec], sources: Sequence[str], wall_s: float
     ) -> None:
-        """Append one provenance record to :attr:`history`."""
-        cached_set = set(cached)
+        """Append one provenance record to :attr:`history`.
+
+        ``sources`` names where each payload came from: ``cache``,
+        ``resumed`` (checkpoint), ``executed`` or ``quarantined``.
+        """
         self.history.append(
             {
                 "wall_s": wall_s,
@@ -142,55 +209,76 @@ class EngineSession:
                         "kind": job.kind,
                         "fingerprint": job.fingerprint(),
                         "seed_path": list(job.seed_path()),
-                        "cached": index in cached_set,
+                        "cached": source == "cache",
+                        "source": source,
                     }
-                    for index, job in enumerate(jobs)
+                    for job, source in zip(jobs, sources)
                 ],
             }
         )
+
+    def _quarantine_payload(self, payload: Quarantined) -> None:
+        """Record one poison job the executor gave up on."""
+        info = payload.as_dict()
+        self.quarantined.append(info)
+        if self.checkpoint is not None:
+            self.checkpoint.record_quarantine(info)
 
     def run_jobs(
         self, jobs: Sequence[JobSpec], *, cache: bool = True
     ) -> List[Any]:
         """Execute jobs (cache-aware) and return payloads in input order.
 
-        Cached jobs are served without touching the executor; the misses
-        are sharded through it in one batch, their results cached, and
-        their worker counters merged into the session registry.
+        Cached jobs are served without touching the executor; a
+        configured checkpoint serves results completed by a previous
+        (possibly killed) run of the same campaign; the remaining misses
+        are sharded through the executor in one batch, their results
+        cached and checkpointed, and their worker counters merged into
+        the session registry.  A poison job the supervised executor
+        quarantined yields its :class:`Quarantined` marker as the
+        payload — the rest of the batch is unaffected.
         """
         jobs = list(jobs)
         payloads: List[Any] = [None] * len(jobs)
+        sources: List[str] = ["executed"] * len(jobs)
         pending: List[int] = []
         started = perf_counter()
-        if cache:
-            for index, job in enumerate(jobs):
-                hit = self.cache.get(job.fingerprint(), default=_MISS)
+        for index, job in enumerate(jobs):
+            fingerprint = job.fingerprint()
+            if cache:
+                hit = self.cache.get(fingerprint, default=_MISS)
                 if hit is not _MISS:
                     self._cache_hit_counter.inc()
                     payloads[index] = hit
-                else:
-                    self._cache_miss_counter.inc()
-                    pending.append(index)
-        else:
-            pending = list(range(len(jobs)))
+                    sources[index] = "cache"
+                    continue
+                self._cache_miss_counter.inc()
+            if self.checkpoint is not None:
+                hit = self.checkpoint.get(fingerprint, default=_MISS)
+                if hit is not _MISS:
+                    self._resumed_counter.inc()
+                    payloads[index] = hit
+                    sources[index] = "resumed"
+                    if cache:
+                        self.cache.put(fingerprint, hit)
+                    continue
+            pending.append(index)
         self._announce_jobs(len(jobs), len(jobs) - len(pending))
         if pending:
-            before = self.counters() if self.verifier is not None else None
-            results = self.executor.run_jobs(
-                [jobs[i] for i in pending], progress=self._note_progress
-            )
-            self._merge_counters(results)
-            if self.verifier is not None:
-                self.verifier.check_counter_conservation(
-                    before, self.counters(), results
-                )
-            self._jobs_counter.inc(len(results))
+            results = self._execute_batch([jobs[i] for i in pending])
             for index, result in zip(pending, results):
                 payloads[index] = result.payload
+                if isinstance(result.payload, Quarantined):
+                    sources[index] = "quarantined"
+                    self._quarantine_payload(result.payload)
+                    continue
                 if cache:
                     self.cache.put(result.fingerprint, result.payload)
-        cached_indices = [i for i in range(len(jobs)) if i not in set(pending)]
-        self._record_batch(jobs, cached_indices, perf_counter() - started)
+                    if self.chaos is not None and self.chaos.should_tear_cache(
+                        result.fingerprint
+                    ):
+                        self.chaos.tear(self.cache, result.fingerprint)
+        self._record_batch(jobs, sources, perf_counter() - started)
         return payloads
 
     def run_job(self, job: JobSpec, *, cache: bool = True) -> Any:
@@ -225,21 +313,20 @@ class EngineSession:
             return cached
         self._cache_miss_counter.inc()
         if model.codename in EXTENDED_MODELS:
-            started = perf_counter()
-            row_jobs = job.row_jobs()
-            self._announce_jobs(len(row_jobs), 0)
-            before = self.counters() if self.verifier is not None else None
-            row_results = self.executor.run_jobs(
-                row_jobs, progress=self._note_progress
-            )
-            self._merge_counters(row_results)
-            if self.verifier is not None:
-                self.verifier.check_counter_conservation(
-                    before, self.counters(), row_results
+            # Row jobs go through run_jobs (cache=False: only the folded
+            # sweep is cached) so they are checkpointed and resumable
+            # like any other job.
+            payloads = self.run_jobs(job.row_jobs(), cache=False)
+            lost = sum(1 for p in payloads if isinstance(p, Quarantined))
+            if lost:
+                # A sweep folded from partial rows would be silently
+                # wrong; characterization demands every row.
+                raise ReproError(
+                    f"characterization sweep for {model.codename} lost "
+                    f"{lost} row(s) to quarantine; see the run report's "
+                    "quarantine list"
                 )
-            self._jobs_counter.inc(len(row_results))
-            self._record_batch(row_jobs, (), perf_counter() - started)
-            result = job.fold([r.payload for r in row_results])
+            result = job.fold(payloads)
         else:
             # Models outside the catalog cannot be rebuilt by codename in
             # a worker process; run their sweep inline instead.
@@ -264,12 +351,16 @@ class EngineSession:
     def describe(self) -> dict:
         """JSON-safe session summary for CLI output and bench artifacts."""
         workers = getattr(self.executor, "workers", 1)
-        return {
+        description = {
             "executor": self.executor.name,
             "workers": workers,
             "cache": self.cache.stats.as_dict(),
             "cached_entries": len(self.cache),
+            "supervision": self.executor.stats.as_dict(),
         }
+        if self.checkpoint is not None:
+            description["checkpoint"] = self.checkpoint.describe()
+        return description
 
     # -- run reports -------------------------------------------------------------
 
@@ -284,10 +375,15 @@ class EngineSession:
         :func:`repro.observe.render_markdown` / ``repro report``.
         """
         all_jobs = [job for batch in self.history for job in batch["jobs"]]
-        cached = sum(1 for job in all_jobs if job["cached"])
+        by_source = {
+            source: sum(
+                1 for job in all_jobs if job.get("source", "executed") == source
+            )
+            for source in ("cache", "resumed", "executed", "quarantined")
+        }
         return {
             "kind": "run-report",
-            "schema": 1,
+            "schema": 2,
             "engine": self.describe(),
             "env": {
                 name: value
@@ -296,9 +392,12 @@ class EngineSession:
             },
             "jobs": {
                 "total": len(all_jobs),
-                "cached": cached,
-                "executed": len(all_jobs) - cached,
+                "cached": by_source["cache"],
+                "resumed": by_source["resumed"],
+                "executed": by_source["executed"],
+                "quarantined": by_source["quarantined"],
             },
+            "quarantined": list(self.quarantined),
             "batches": self.history,
             "metrics": self.telemetry.registry.snapshot(),
         }

@@ -21,6 +21,7 @@ from repro.observe.flight import (
     FlightDump,
     FlightRecorder,
     dump_job_failure,
+    dump_quarantine,
     flight_dir_from_env,
     is_flight_dump,
     load_flight_dump,
@@ -56,6 +57,7 @@ __all__ = [
     "REPORT_SCHEMA_VERSION",
     "SimProfiler",
     "dump_job_failure",
+    "dump_quarantine",
     "flight_dir_from_env",
     "is_flight_dump",
     "load_flight_dump",

@@ -242,6 +242,57 @@ class FlightRecorder:
         return path
 
 
+def dump_quarantine(
+    job: Any,
+    error: BaseException,
+    attempts: int,
+    *,
+    dump_dir: Optional[Union[str, Path]] = None,
+) -> Optional[Path]:
+    """Write a flight dump for a job the supervised executor quarantined.
+
+    Called from the *supervising* process, where the worker that failed
+    (or died — ``os._exit`` leaves no traceback at all) is gone, so no
+    trace ring is available: the dump is header-only, carrying the job's
+    identity, seed path, the terminal error and the attempt count.  A
+    worker-side :func:`dump_job_failure` dump for the same fingerprint
+    (written on each raising attempt when ``REPRO_FLIGHT_DIR`` is set)
+    holds the trace tail; this artifact is the supervisor's verdict.
+    Writes below ``dump_dir`` or ``REPRO_FLIGHT_DIR``; returns ``None``
+    (and writes nothing) when neither is set.
+    """
+    directory = Path(dump_dir) if dump_dir is not None else flight_dir_from_env()
+    if directory is None:
+        return None
+    fingerprint = job.fingerprint()
+    header: Dict[str, Any] = {
+        "kind": DUMP_KIND,
+        "schema": FLIGHT_SCHEMA_VERSION,
+        "reason": "quarantined-job",
+        "capacity": 0,
+        "events": 0,
+        "sim_time_s": 0.0,
+        "crash_count": None,
+        "machine": None,
+        "violation": error.to_dict() if hasattr(error, "to_dict") else None,
+        "error": {"type": type(error).__name__, "message": str(error)},
+        "context": {
+            "job": {
+                "kind": job.kind,
+                "fingerprint": fingerprint,
+                "seed_path": list(job.seed_path()),
+            },
+            "attempts": attempts,
+        },
+    }
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"quarantine-{fingerprint[:12]}.flight.jsonl"
+    path.write_text(
+        json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    return path
+
+
 def dump_job_failure(
     job: Any,
     telemetry: Any,

@@ -24,7 +24,13 @@ from typing import Any, Dict, List, Union
 from repro.errors import ObserveError
 
 #: Manifest schema tag (see ``EngineSession.run_manifest``).
-REPORT_SCHEMA_VERSION = 1
+#: v2 added the resilience fields: per-job payload sources
+#: (cache/resumed/executed/quarantined), the quarantine list and the
+#: supervision stats.  v1 manifests still load and render.
+REPORT_SCHEMA_VERSION = 2
+
+#: Schemas this renderer accepts.
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: Manifest discriminator.
 REPORT_KIND = "run-report"
@@ -42,9 +48,10 @@ def load_manifest(source: Union[str, Path, Dict[str, Any]]) -> Dict[str, Any]:
         manifest = json.loads(text)
     if not isinstance(manifest, dict) or manifest.get("kind") != REPORT_KIND:
         raise ObserveError("not a run-report manifest")
-    if manifest.get("schema") != REPORT_SCHEMA_VERSION:
+    if manifest.get("schema") not in SUPPORTED_SCHEMAS:
         raise ObserveError(
-            f"run-report schema {manifest.get('schema')!r} != {REPORT_SCHEMA_VERSION}"
+            f"run-report schema {manifest.get('schema')!r} not in "
+            f"{SUPPORTED_SCHEMAS}"
         )
     return manifest
 
@@ -66,19 +73,62 @@ def render_markdown(manifest: Dict[str, Any]) -> str:
     total = jobs.get("total", 0)
     cached = jobs.get("cached", 0)
     executed = jobs.get("executed", 0)
+    resumed = jobs.get("resumed", 0)
     hit_rate = (cached / total) if total else 0.0
+    job_line = (
+        f"- jobs: {total} total, {executed} executed, {cached} served from "
+        f"cache (hit rate {hit_rate:.0%})"
+    )
+    if resumed:
+        job_line += f", {resumed} resumed from checkpoint"
     lines += [
         "## Engine",
         "",
         f"- executor: `{engine.get('executor', '?')}` "
         f"({engine.get('workers', 1)} worker(s))",
-        f"- jobs: {total} total, {executed} executed, {cached} served from "
-        f"cache (hit rate {hit_rate:.0%})",
+        job_line,
         f"- result cache: {cache.get('hits', 0)} hits / "
         f"{cache.get('misses', 0)} misses, "
         f"{engine.get('cached_entries', 0)} entries",
-        "",
     ]
+    checkpoint = engine.get("checkpoint")
+    if checkpoint:
+        lines.append(
+            f"- checkpoint: `{checkpoint.get('directory', '?')}` "
+            f"({checkpoint.get('completed', 0)} completed, "
+            f"{checkpoint.get('quarantined', 0)} quarantined)"
+        )
+    lines.append("")
+
+    supervision = engine.get("supervision") or {}
+    quarantined = manifest.get("quarantined", [])
+    if quarantined or any(supervision.values()):
+        lines += [
+            "## Resilience",
+            "",
+            f"- retries: {supervision.get('retries', 0)}, "
+            f"timeouts: {supervision.get('timeouts', 0)}, "
+            f"requeues after pool loss: {supervision.get('requeues', 0)}",
+            f"- pool respawns: {supervision.get('respawns', 0)}, "
+            f"jobs degraded to inline execution: "
+            f"{supervision.get('degraded', 0)}",
+            f"- quarantined jobs: {supervision.get('quarantined', 0)}",
+            "",
+        ]
+        if quarantined:
+            lines += [
+                "| quarantined job | fingerprint | attempts | error |",
+                "|-----------------|-------------|----------|-------|",
+            ]
+            for record in quarantined:
+                lines.append(
+                    f"| {record.get('kind', '?')} | "
+                    f"`{str(record.get('fingerprint', ''))[:12]}` | "
+                    f"{record.get('attempts', '?')} | "
+                    f"{record.get('error_type', '?')}: "
+                    f"{record.get('error_message', '')} |"
+                )
+            lines.append("")
 
     env = manifest.get("env", {})
     if env:
@@ -113,7 +163,9 @@ def render_markdown(manifest: Dict[str, Any]) -> str:
         for batch in batches:
             for job in batch.get("jobs", []):
                 path = "/".join(str(p) for p in job.get("seed_path", ()))
-                source = "cache" if job.get("cached") else "executed"
+                source = job.get(
+                    "source", "cache" if job.get("cached") else "executed"
+                )
                 lines.append(
                     f"| {job.get('kind', '?')} | `{path}` | "
                     f"`{str(job.get('fingerprint', ''))[:12]}` | {source} |"

@@ -132,3 +132,48 @@ class TestStatus:
         out = capsys.readouterr().out
         assert "plug_your_volt" in out
         assert "processor\t: 0" in out
+
+
+class TestChaos:
+    def test_chaos_and_baseline_artifacts_match(self, tmp_path, capsys):
+        on_path = tmp_path / "on.json"
+        off_path = tmp_path / "off.json"
+        base = [
+            "chaos", "--cpu", "Comet Lake", "--budget", "4",
+            "--actions", "4", "--workers", "2",
+        ]
+        assert main(base + ["--out", str(on_path)]) == 0
+        assert main(base + ["--off", "--out", str(off_path)]) == 0
+        capsys.readouterr()
+        assert on_path.read_bytes() == off_path.read_bytes()
+        artifact = json.loads(on_path.read_text())
+        assert artifact["jobs"] == 4
+        assert len(artifact["results"]) == 4
+
+    def test_chaos_reports_convergence(self, capsys):
+        code = main(
+            ["chaos", "--cpu", "Sky Lake", "--budget", "3",
+             "--actions", "4", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "second pass byte-identical to first: yes" in out
+        assert "result digest:" in out
+
+
+class TestCampaignCheckpoint:
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        args = ["campaign", "--cpu", "Comet Lake", "--no-aes"]
+        assert main(args + ["--checkpoint", str(ckpt)]) == 0
+        first = capsys.readouterr().out
+        assert (ckpt / "checkpoint.json").exists()
+        assert main(args + ["--resume", str(ckpt)]) == 0
+        second = capsys.readouterr().out
+        assert "resuming from checkpoint" in second
+        assert "already completed" in second
+        # The resumed campaign renders the same prevention matrix.
+        matrix = lambda text: [
+            line for line in text.splitlines() if line.startswith("Comet Lake")
+        ]
+        assert matrix(first) == matrix(second)

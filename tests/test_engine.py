@@ -184,15 +184,86 @@ class TestResultCache:
         cache = ResultCache(directory=tmp_path)
         assert cache.get("cafe", default="fallback") == "fallback"
 
+    def test_contains_and_get_agree_on_torn_entry(self, tmp_path):
+        """Regression: ``in`` used to test bare file existence, so a torn
+        entry was reported present and then missed by ``get()``."""
+        writer = ResultCache(directory=tmp_path)
+        writer.put("feed", {"rows": [1]})
+        entry = tmp_path / "feed.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        reader = ResultCache(directory=tmp_path)
+        assert "feed" not in reader
+        assert reader.get("feed", default="fallback") == "fallback"
+
+    def test_torn_entry_quarantined_as_corrupt_file(self, tmp_path):
+        writer = ResultCache(directory=tmp_path)
+        writer.put("feed", {"rows": [1]})
+        entry = tmp_path / "feed.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        reader = ResultCache(directory=tmp_path)
+        reader.get("feed")
+        assert not entry.exists()
+        assert (tmp_path / "feed.pkl.corrupt").exists()
+        assert reader.stats.corrupt == 1
+        # Quarantine is terminal: the entry never flaps back.
+        assert reader.get("feed", default="gone") == "gone"
+
+    def test_flipped_payload_byte_fails_integrity(self, tmp_path):
+        writer = ResultCache(directory=tmp_path)
+        writer.put("feed", {"rows": [1, 2, 3]})
+        entry = tmp_path / "feed.pkl"
+        raw = bytearray(entry.read_bytes())
+        raw[-1] ^= 0xFF
+        entry.write_bytes(bytes(raw))
+        reader = ResultCache(directory=tmp_path)
+        assert reader.get("feed", default="fallback") == "fallback"
+        assert reader.stats.corrupt == 1
+
+    def test_disk_bound_evicts_oldest(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_disk_entries=2)
+        for index, name in enumerate(("a", "b", "c")):
+            cache.put(name, index)
+            os.utime(
+                tmp_path / f"{name}.pkl", (1_000_000 + index, 1_000_000 + index)
+            )
+        cache.put("d", 3)
+        survivors = sorted(p.stem for p in tmp_path.glob("*.pkl"))
+        assert len(survivors) == 2 and "d" in survivors
+        assert cache.stats.disk_evictions == 2
+
+    def test_max_disk_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_DISK", "7")
+        assert ResultCache.from_env().max_disk_entries == 7
+        monkeypatch.setenv("REPRO_CACHE_MAX_DISK", "lots")
+        with pytest.raises(ConfigurationError):
+            ResultCache.from_env()
+
+    def test_stats_dict_carries_integrity_fields(self):
+        stats = ResultCache().stats.as_dict()
+        assert "corrupt" in stats and "disk_evictions" in stats
+
     def test_clear_also_removes_disk_entries(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
         cache.put("a", 1)
         cache.clear()
         assert list(tmp_path.glob("*.pkl")) == []
 
+    def test_clear_also_removes_quarantined_entries(self, tmp_path):
+        ResultCache(directory=tmp_path).put("a", 1)
+        entry = tmp_path / "a.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        cache = ResultCache(directory=tmp_path)
+        assert "a" not in cache  # quarantines the torn file...
+        assert (tmp_path / "a.pkl.corrupt").exists()
+        cache.clear()
+        assert list(tmp_path.glob("*.pkl.corrupt")) == []  # ...then removes it
+
     def test_rejects_nonpositive_bound(self):
         with pytest.raises(ConfigurationError):
             ResultCache(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_disk_entries=0)
 
 
 class TestExecutorSelection:

@@ -507,7 +507,13 @@ class TestRunManifest:
         manifest = session.run_manifest()
         session.close()
         assert load_manifest(manifest) is manifest
-        assert manifest["jobs"] == {"total": 4, "cached": 2, "executed": 2}
+        assert manifest["jobs"] == {
+            "total": 4,
+            "cached": 2,
+            "executed": 2,
+            "resumed": 0,
+            "quarantined": 0,
+        }
         assert len(manifest["batches"]) == 2
         first, second = manifest["batches"]
         assert [job["cached"] for job in first["jobs"]] == [False, False]
