@@ -9,6 +9,8 @@ and shape assertions encode what "reproduced" means.
 
 from __future__ import annotations
 
+import os
+
 from pathlib import Path
 
 import pytest
@@ -18,6 +20,20 @@ from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE, CPUModel
 from repro.engine import get_session
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_registry(tmp_path_factory) -> None:
+    """Run-registry isolation: temp dir unless the environment chose one.
+
+    CI exports ``REPRO_REGISTRY_DIR`` so the recorded runs become a
+    build artifact; a developer's ad-hoc bench run must not write to
+    their ``~/.repro/registry`` by surprise.
+    """
+    if "REPRO_REGISTRY" not in os.environ and "REPRO_REGISTRY_DIR" not in os.environ:
+        os.environ["REPRO_REGISTRY_DIR"] = str(
+            tmp_path_factory.mktemp("registry")
+        )
 
 
 @pytest.fixture(scope="session")
@@ -33,6 +49,43 @@ def write_artifact(name: str, content: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(content + "\n")
     return path
+
+
+def record_trajectory(
+    bench: str,
+    metric: str,
+    value: float,
+    *,
+    unit: str = "s",
+    lower_is_better: bool = True,
+    context: dict | None = None,
+) -> None:
+    """Append one perf point to the env-selected registry (best effort).
+
+    Benchmarks call this after writing their artifact so every bench run
+    grows the local trajectory; a disabled registry (``REPRO_REGISTRY=0``)
+    or any registry failure silently skips — recording perf history must
+    never fail the bench that produced the number.
+    """
+    try:
+        from repro.registry import RunRegistry, make_point, record_point
+
+        registry = RunRegistry.from_env()
+        if registry is None:
+            return
+        record_point(
+            make_point(
+                bench,
+                metric,
+                value,
+                unit=unit,
+                lower_is_better=lower_is_better,
+                context=context,
+            ),
+            registry=registry,
+        )
+    except Exception:
+        pass
 
 
 def characterize(model: CPUModel, seed: int = 5) -> CharacterizationResult:

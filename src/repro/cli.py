@@ -16,6 +16,14 @@ Exposes the reproduction's main flows without writing Python::
     python -m repro profile --out profile.speedscope.json
     python -m repro campaign --report run.json && python -m repro report run.json
     python -m repro metrics serve --port 8787 --duration 30
+    python -m repro runs list --cpu "Comet Lake"
+    python -m repro runs show <run-id>
+    python -m repro reproduce <run-id>          # byte-identity re-execution
+    python -m repro diff <run-a> <run-b>
+    python -m repro trajectory record engine_campaign --from bench.json \\
+        --metric serial_seconds --file benchmarks/trajectories/BENCH_engine_campaign.json
+    python -m repro trajectory check engine_campaign --value 1.9
+    python -m repro status --registry
 
 Every heavy flow goes through the campaign engine (:mod:`repro.engine`):
 characterization sweeps are cached per content hash, and ``repro
@@ -32,6 +40,7 @@ import argparse
 import json as _json
 import logging
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.export import (
@@ -319,19 +328,179 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--samples", type=int, default=10, help="unsafe cells to probe")
 
     reproduce = sub.add_parser(
-        "reproduce", help="regenerate a paper artifact programmatically"
+        "reproduce",
+        help="regenerate a paper artifact, or re-execute a recorded "
+        "registry run and assert byte-identity of every result",
+    )
+    reproduce.add_argument(
+        "run_id",
+        nargs="?",
+        metavar="RUN_ID",
+        default=None,
+        help="registry run id (or unique prefix): re-execute every "
+        "recorded job under the recorded environment and fail with a "
+        "per-job diff unless every payload reproduces byte-for-byte",
     )
     reproduce.add_argument(
         "--experiment",
         choices=("fig2", "fig3", "fig4", "table2", "prevention", "maximal"),
-        required=True,
+        default=None,
     )
     reproduce.add_argument("--out", metavar="PATH", help="also write the artifact here")
+    reproduce.add_argument(
+        "--registry",
+        metavar="DIR",
+        default=None,
+        help="registry directory (default: REPRO_REGISTRY_DIR or ~/.repro/registry)",
+    )
+    reproduce.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the per-job reproduction report as JSON (RUN_ID mode)",
+    )
+
+    runs = sub.add_parser("runs", help="query the local run registry")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs, newest first")
+    runs_list.add_argument("--cpu", default=None, help="filter by CPU codename")
+    runs_list.add_argument(
+        "--status",
+        choices=("complete", "quarantined"),
+        default=None,
+        help="filter by run status",
+    )
+    runs_list.add_argument(
+        "--since",
+        metavar="ISO_DATE",
+        default=None,
+        help="only runs recorded at or after this UTC date/time",
+    )
+    runs_list.add_argument(
+        "--spec",
+        metavar="FINGERPRINT",
+        default=None,
+        help="only runs containing a job whose spec fingerprint starts with this",
+    )
+    runs_list.add_argument(
+        "--limit", type=int, default=None, help="show at most N runs"
+    )
+    runs_list.add_argument(
+        "--porcelain",
+        action="store_true",
+        help="print full run ids only, one per line (for scripts)",
+    )
+    runs_list.add_argument("--registry", metavar="DIR", default=None)
+    runs_show = runs_sub.add_parser(
+        "show", help="everything recorded about one run"
+    )
+    runs_show.add_argument("run_id", metavar="RUN_ID", help="run id or unique prefix")
+    runs_show.add_argument("--registry", metavar="DIR", default=None)
+
+    diff = sub.add_parser(
+        "diff",
+        help="attribute the drift between two recorded runs "
+        "(code vs environment vs spec vs results)",
+    )
+    diff.add_argument("run_a", metavar="RUN_A", help="run id or unique prefix")
+    diff.add_argument("run_b", metavar="RUN_B", help="run id or unique prefix")
+    diff.add_argument("--registry", metavar="DIR", default=None)
+    diff.add_argument(
+        "--json", action="store_true", help="emit the structured diff as JSON"
+    )
+
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="append and gate perf-trajectory points (BENCH_<name>.json)",
+    )
+    trajectory_sub = trajectory.add_subparsers(
+        dest="trajectory_command", required=True
+    )
+    t_record = trajectory_sub.add_parser(
+        "record", help="append one canonical point to a bench trajectory"
+    )
+    t_record.add_argument("bench", metavar="BENCH", help="bench name")
+    t_record.add_argument(
+        "--value", type=float, default=None, help="the metric value itself"
+    )
+    t_record.add_argument(
+        "--from",
+        dest="artifact",
+        metavar="JSON",
+        default=None,
+        help="pull the value out of this benchmark artifact instead",
+    )
+    t_record.add_argument(
+        "--metric", default="value", help="metric name (key in --from artifacts)"
+    )
+    t_record.add_argument("--unit", default="s", help="metric unit (default: s)")
+    t_record.add_argument(
+        "--higher-better",
+        action="store_true",
+        help="larger values are better (default: lower is better)",
+    )
+    t_record.add_argument(
+        "--file",
+        metavar="PATH",
+        default=None,
+        help="also append to this BENCH_<name>.json file "
+        "(the committed baseline format)",
+    )
+    t_record.add_argument(
+        "--run", metavar="RUN_ID", default=None, help="attribute to this run id"
+    )
+    t_record.add_argument("--registry", metavar="DIR", default=None)
+    t_record.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="write only the --file, skip the registry trajectory table",
+    )
+    t_check = trajectory_sub.add_parser(
+        "check",
+        help="gate a candidate point against a committed baseline "
+        "trajectory (nonzero exit on regression)",
+    )
+    t_check.add_argument("bench", metavar="BENCH", help="bench name")
+    t_check.add_argument("--value", type=float, default=None)
+    t_check.add_argument("--from", dest="artifact", metavar="JSON", default=None)
+    t_check.add_argument("--metric", default="value")
+    t_check.add_argument(
+        "--higher-better",
+        action="store_true",
+        help="larger values are better (default: lower is better)",
+    )
+    t_check.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline trajectory file "
+        "(default: benchmarks/trajectories/BENCH_<bench>.json)",
+    )
+    t_check.add_argument(
+        "--max-regress",
+        type=float,
+        default=None,
+        help="allowed regression ratio (default: 0.25 = 25%%)",
+    )
+    t_list = trajectory_sub.add_parser(
+        "list", help="the benches with recorded trajectories and their latest points"
+    )
+    t_list.add_argument("--registry", metavar="DIR", default=None)
 
     status = sub.add_parser(
         "status", help="render a /proc/cpuinfo-style snapshot of a protected machine"
     )
     status.add_argument("--cpu", default="Comet Lake", help="CPU codename")
+    status.add_argument(
+        "--registry",
+        metavar="DIR",
+        nargs="?",
+        const="auto",
+        default=None,
+        help="show run-registry status instead (runs, store size, dedup "
+        "hit-rate, latest trajectory points); optional DIR overrides "
+        "REPRO_REGISTRY_DIR",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -403,7 +572,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "replay",
         help="replay the schedule embedded in a flight-recorder dump",
     )
-    replay.add_argument("path", metavar="DUMP", help="flight dump (JSONL)")
+    replay.add_argument(
+        "path",
+        metavar="DUMP_OR_RUN",
+        help="flight dump (JSONL), or a registry run id whose recorded "
+        "dumps should be replayed",
+    )
+    replay.add_argument("--registry", metavar="DIR", default=None)
     return parser
 
 
@@ -648,6 +823,11 @@ def _cmd_campaign(args) -> int:
     if args.report:
         path = session.write_run_report(args.report)
         print(f"run manifest written to {path} (render with: repro report {path})")
+    run_id = session.record_run()
+    if run_id:
+        print(f"recorded as run {run_id[:12]} "
+              f"(inspect: repro runs show {run_id[:12]}; "
+              f"re-execute: repro reproduce {run_id[:12]})")
     return 0 if protected_faults == 0 and quarantined == 0 else 1
 
 
@@ -981,9 +1161,251 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _open_registry(directory=None, *, required: bool = True):
+    """The registry named by ``--registry``/the environment, or ``None``."""
+    from repro.registry import RunRegistry
+
+    if directory:
+        return RunRegistry(directory)
+    registry = RunRegistry.from_env()
+    if registry is None and required:
+        print(
+            "run registry disabled (REPRO_REGISTRY=0); pass --registry DIR "
+            "or unset REPRO_REGISTRY",
+            file=sys.stderr,
+        )
+    return registry
+
+
+def _cmd_runs(args) -> int:
+    registry = _open_registry(args.registry)
+    if registry is None:
+        return 2
+    if args.runs_command == "list":
+        rows = registry.runs(
+            codename=args.cpu,
+            status=args.status,
+            since=args.since,
+            fingerprint=args.spec,
+            limit=args.limit,
+        )
+        if args.porcelain:
+            for row in rows:
+                print(row["run_id"])
+            return 0
+        if not rows:
+            print(f"no recorded runs in {registry.directory}")
+            return 0
+        print(render_table(
+            ["run id", "recorded (UTC)", "status", "jobs", "executed",
+             "cached", "CPUs"],
+            [
+                (
+                    row["run_id"][:12],
+                    row["created_at"],
+                    row["status"],
+                    row["jobs_total"],
+                    row["jobs_executed"],
+                    row["jobs_cached"] + row["jobs_resumed"],
+                    ", ".join(row["codenames"]) or "-",
+                )
+                for row in rows
+            ],
+            title=f"Recorded runs — {registry.directory}",
+        ))
+        return 0
+
+    run = registry.get_run(args.run_id)
+    code = run["code"]
+    describe = code.get("describe") or "unknown checkout"
+    print(f"run {run['run_id']}")
+    print(f"  recorded:  {run['created_at']} (status: {run['status']}, "
+          f"manifest schema {run['schema']})")
+    print(f"  code:      repro {code.get('version', '?')} ({describe})")
+    env = run["env"]
+    rendered_env = ", ".join(
+        f"{name}={value or '<unset>'}" for name, value in sorted(env.items())
+    )
+    print(f"  env:       {rendered_env or '-'}")
+    print(f"  jobs:      {run['jobs_total']} total — "
+          f"{run['jobs_executed']} executed, {run['jobs_cached']} cached, "
+          f"{run['jobs_resumed']} resumed, "
+          f"{run['jobs_quarantined']} quarantined")
+    print(f"  CPUs:      {', '.join(run['codenames']) or '-'}")
+    print(f"  manifest:  object {run['manifest_sha'][:12]}")
+    results = registry.results_for(run["run_id"])
+    if results:
+        print()
+        print(render_table(
+            ["kind", "seed path", "fingerprint", "source", "payload"],
+            [
+                (
+                    row["kind"],
+                    "/".join(str(p) for p in row["seed_path"]),
+                    row["fingerprint"][:12],
+                    row["source"],
+                    (row["payload_sha"] or "")[:12] or "-",
+                )
+                for row in results
+            ],
+        ))
+    flights = registry.flights_for(run["run_id"])
+    if flights:
+        print("\nflight dumps:")
+        for flight in flights:
+            print(f"  {flight['path']}  sha256={flight['sha256'][:12]} "
+                  f"({flight['reason']})")
+        print("replay one with: repro observe replay "
+              f"{run['run_id'][:12]}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.registry import diff_runs
+
+    registry = _open_registry(args.registry)
+    if registry is None:
+        return 2
+    diff = diff_runs(registry, args.run_a, args.run_b)
+    if args.json:
+        print(_json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    return 0 if diff.identical else 1
+
+
+def _trajectory_value(args) -> float:
+    from repro.registry import extract_metric
+
+    if (args.value is None) == (args.artifact is None):
+        raise SystemExit(
+            "trajectory: pass exactly one of --value or --from JSON"
+        )
+    if args.value is not None:
+        return float(args.value)
+    return extract_metric(args.artifact, args.metric)
+
+
+def _default_baseline(bench: str) -> str:
+    from repro.registry import trajectory_filename
+
+    return str(
+        Path("benchmarks") / "trajectories" / trajectory_filename(bench)
+    )
+
+
+def _cmd_trajectory(args) -> int:
+    from repro.registry import (
+        DEFAULT_MAX_REGRESS,
+        check_point,
+        load_trajectory,
+        make_point,
+        record_point,
+        trajectory_filename,
+    )
+
+    if args.trajectory_command == "list":
+        registry = _open_registry(args.registry)
+        if registry is None:
+            return 2
+        benches = registry.trajectory_benches()
+        if not benches:
+            print(f"no recorded trajectories in {registry.directory}")
+            return 0
+        rows = []
+        for bench in benches:
+            points = registry.trajectory(bench)
+            latest = points[-1]
+            rows.append(
+                (
+                    bench,
+                    len(points),
+                    latest.get("metric", "?"),
+                    f"{latest.get('value', 0.0):.6g} {latest.get('unit', '')}",
+                )
+            )
+        print(render_table(
+            ["bench", "points", "metric", "latest"],
+            rows,
+            title=f"Perf trajectories — {registry.directory}",
+        ))
+        return 0
+
+    value = _trajectory_value(args)
+    if args.trajectory_command == "record":
+        point = make_point(
+            args.bench,
+            args.metric,
+            value,
+            unit=args.unit,
+            lower_is_better=not args.higher_better,
+            run_id=args.run,
+        )
+        registry = None
+        if not args.no_registry:
+            registry = _open_registry(args.registry, required=False)
+        record_point(point, registry=registry, file=args.file)
+        where = []
+        if registry is not None:
+            where.append(f"registry {registry.directory}")
+        if args.file:
+            where.append(str(args.file))
+        print(f"recorded {args.bench}/{args.metric} = {value:.6g} "
+              f"→ {', '.join(where) or 'nowhere (no registry, no --file)'}")
+        return 0
+
+    baseline_path = args.baseline or _default_baseline(args.bench)
+    baseline = load_trajectory(baseline_path)
+    if not baseline:
+        print(f"baseline trajectory {baseline_path} is missing or empty; "
+              f"seed it with: repro trajectory record {args.bench} "
+              f"--value … --file {baseline_path}", file=sys.stderr)
+        return 2
+    metric = args.metric
+    if metric == "value" and not any(
+        point.get("metric") == "value" for point in baseline
+    ):
+        # Bare --value checks inherit the baseline's metric when it is
+        # unambiguous, so `trajectory check BENCH --value X` just works.
+        metrics = {point.get("metric") for point in baseline}
+        if len(metrics) == 1:
+            metric = metrics.pop()
+    candidate = make_point(
+        args.bench,
+        metric,
+        value,
+        lower_is_better=not args.higher_better,
+    )
+    max_regress = (
+        args.max_regress if args.max_regress is not None else DEFAULT_MAX_REGRESS
+    )
+    check = check_point(baseline, candidate, max_regress=max_regress)
+    print(check.render())
+    return 0 if check.ok else 1
+
+
 def _cmd_reproduce(args) -> int:
     from repro import experiments
     from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE
+
+    if args.run_id is not None:
+        from repro.registry import reproduce_run
+
+        registry = _open_registry(args.registry)
+        if registry is None:
+            return 2
+        report = reproduce_run(registry, args.run_id)
+        print(report.render())
+        if args.json:
+            path = write_text(
+                args.json, _json.dumps(report.as_dict(), indent=2, sort_keys=True)
+            )
+            print(f"reproduction report written to {path}")
+        return 0 if report.ok else 1
+    if args.experiment is None:
+        raise SystemExit(
+            "reproduce: pass a registry RUN_ID or --experiment NAME"
+        )
 
     if args.experiment in ("fig2", "fig3", "fig4"):
         model = {"fig2": SKY_LAKE, "fig3": KABY_LAKE_R, "fig4": COMET_LAKE}[
@@ -1039,6 +1461,36 @@ def _cmd_reproduce(args) -> int:
 
 
 def _cmd_status(args) -> int:
+    if args.registry is not None:
+        registry = _open_registry(
+            None if args.registry == "auto" else args.registry
+        )
+        if registry is None:
+            return 2
+        info = registry.describe()
+        jobs = info["jobs"]
+        rows = [
+            ("directory", info["directory"]),
+            ("recorded runs", info["runs"]),
+            ("jobs", f"{jobs['total']} ({jobs['executed']} executed, "
+                     f"{jobs['cached']} cached, {jobs['resumed']} resumed, "
+                     f"{jobs['quarantined']} quarantined)"),
+            ("dedup hit-rate", f"{info['dedup_hit_rate']:.0%}"),
+            ("objects", info["objects"]),
+            ("store size", f"{info['store_bytes'] / 1024:.1f} KiB"),
+            ("flight dumps", info["flights"]),
+        ]
+        for bench, point in sorted(info["trajectories"].items()):
+            rows.append(
+                (f"trajectory {bench}",
+                 f"{point.get('metric', '?')} = {point.get('value', 0.0):.6g} "
+                 f"{point.get('unit', '')}")
+            )
+        print(render_table(
+            ["registry", "value"], rows, title="Run registry status"
+        ))
+        return 0
+
     from repro.kernel import render_system_status
     from repro.telemetry import Telemetry
     from repro.testbench import Machine
@@ -1154,7 +1606,34 @@ def _cmd_observe_replay(args) -> int:
     from repro.observe import load_flight_dump
     from repro.verify import FuzzSchedule, run_schedule
 
-    dump = load_flight_dump(args.path)
+    path = args.path
+    if not Path(path).exists():
+        # Not a file — maybe a registry run id whose dumps were recorded.
+        registry = _open_registry(args.registry, required=False)
+        flights = []
+        if registry is not None:
+            try:
+                run_id = registry.resolve(path)
+                flights = registry.flights_for(run_id)
+            except Exception:
+                flights = []
+        if not flights:
+            print(f"{args.path}: neither a flight dump file nor a "
+                  "recorded run with flight dumps", file=sys.stderr)
+            return 2
+        print(f"run {run_id[:12]}: {len(flights)} recorded flight dump(s)")
+        for flight in flights:
+            print(f"  {flight['path']}  sha256={flight['sha256'][:12]} "
+                  f"({flight['reason']})")
+        available = [f for f in flights if Path(f["path"]).exists()]
+        if not available:
+            print("none of the recorded dump files still exist on disk",
+                  file=sys.stderr)
+            return 2
+        path = available[0]["path"]
+        print(f"replaying {path}\n")
+
+    dump = load_flight_dump(path)
     header = dump.header
     print(f"flight dump: reason={dump.reason} "
           f"sim_time={header.get('sim_time_s', 0.0):g}s "
@@ -1217,8 +1696,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_energy(args)
     if args.command == "verify":
         return _cmd_verify(args)
-    if args.command == "reproduce":
-        return _cmd_reproduce(args)
+    if args.command in ("reproduce", "runs", "diff", "trajectory"):
+        # Registry verbs fail with a one-line message, not a traceback:
+        # a missing run id or empty baseline is a usage error, not a bug.
+        from repro.errors import RegistryError
+
+        handler = {
+            "reproduce": _cmd_reproduce,
+            "runs": _cmd_runs,
+            "diff": _cmd_diff,
+            "trajectory": _cmd_trajectory,
+        }[args.command]
+        try:
+            return handler(args)
+        except RegistryError as exc:
+            print(f"repro {args.command}: {exc}", file=sys.stderr)
+            return 2
     if args.command == "status":
         return _cmd_status(args)
     if args.command == "profile":

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import atexit
 import json
+import logging
 import os
 import threading
 from pathlib import Path
@@ -39,16 +40,21 @@ from repro.engine.jobs import (
     CharacterizationJob,
     JobResult,
     JobSpec,
+    environment_fingerprint,
     execute_job,
 )
 from repro.engine.resilience import ChaosPolicy, Quarantined, SupervisionStats
 from repro.engine.seeds import SeedStream, seed_stream
 from repro.errors import ReproError
+from repro.registry.registry import RunRegistry, code_fingerprint, compute_run_id
+from repro.registry.store import encode_object
 from repro.telemetry import Telemetry
 
 #: Root seed of the canonical paper reproduction (matches the benchmarks
 #: and the historical ``experiments.CANONICAL_SEED``).
 DEFAULT_SEED = 5
+
+logger = logging.getLogger(__name__)
 
 
 def _normalize_config(
@@ -79,6 +85,7 @@ class EngineSession:
         verifier: Optional[Any] = None,
         checkpoint: Optional[CampaignCheckpoint] = None,
         chaos: Optional[ChaosPolicy] = None,
+        registry: Union[None, str, RunRegistry] = "auto",
     ) -> None:
         self.executor = executor or executor_from_env()
         # `cache if ... is not None`, not `cache or ...`: ResultCache has
@@ -132,6 +139,27 @@ class EngineSession:
         #: which jobs ran, which came from cache, and each batch's wall
         #: time (the manifest's only non-deterministic field).
         self.history: List[Dict[str, Any]] = []
+        #: Optional run registry (:mod:`repro.registry`): every batch's
+        #: job specs and payloads are staged into its content-addressed
+        #: blob store as they land, and :meth:`record_run` commits the
+        #: run to the sqlite index.  ``"auto"`` follows the environment
+        #: (``REPRO_REGISTRY=0`` opts out, ``REPRO_REGISTRY_DIR`` points
+        #: elsewhere); pass ``None`` to disable outright.
+        if registry == "auto":
+            try:
+                registry = RunRegistry.from_env()
+            except Exception:
+                # A broken registry directory must never take the
+                # campaign down; run unrecorded instead.
+                registry = None
+        self.registry: Optional[RunRegistry] = registry
+        #: Pending result rows for :meth:`record_run`, keyed by job
+        #: fingerprint (first occurrence wins; identical fingerprints
+        #: carry identical payloads by construction).
+        self._registry_rows: Dict[str, Dict[str, Any]] = {}
+        #: (batch count, run id) of the last :meth:`record_run` commit,
+        #: so closing an already-recorded session does not re-commit.
+        self._recorded: Optional[tuple] = None
 
     # -- seed streams ------------------------------------------------------------
 
@@ -217,6 +245,43 @@ class EngineSession:
             }
         )
 
+    def _stage_registry(self, job: JobSpec, payload: Any, source: str) -> None:
+        """Stage one job's spec + payload blobs for :meth:`record_run`.
+
+        Blob publishes are atomic and content-deduplicated, so staging
+        as results land (rather than at record time) costs one pickle
+        per new payload and makes a SIGKILL mid-campaign lose nothing
+        already staged.  Registry trouble never fails the campaign: the
+        session drops to unrecorded operation instead.
+        """
+        if self.registry is None:
+            return
+        fingerprint = job.fingerprint()
+        if fingerprint in self._registry_rows:
+            return
+        quarantined = isinstance(payload, Quarantined)
+        try:
+            row = self.registry.stage_result(
+                kind=job.kind,
+                fingerprint=fingerprint,
+                seed_path=job.seed_path(),
+                source=source,
+                identity=job.identity(),
+                spec_bytes=encode_object(job),
+                payload_bytes=None if quarantined else encode_object(payload),
+            )
+        except Exception:
+            logger.warning(
+                "run registry at %s failed while staging %s; disabling "
+                "recording for this session",
+                getattr(self.registry, "directory", "?"),
+                fingerprint[:12],
+                exc_info=True,
+            )
+            self.registry = None
+            return
+        self._registry_rows[fingerprint] = row
+
     def _quarantine_payload(self, payload: Quarantined) -> None:
         """Record one poison job the executor gave up on."""
         info = payload.as_dict()
@@ -278,6 +343,9 @@ class EngineSession:
                         result.fingerprint
                     ):
                         self.chaos.tear(self.cache, result.fingerprint)
+        if self.registry is not None:
+            for job, payload, source in zip(jobs, payloads, sources):
+                self._stage_registry(job, payload, source)
         self._record_batch(jobs, sources, perf_counter() - started)
         return payloads
 
@@ -360,6 +428,11 @@ class EngineSession:
         }
         if self.checkpoint is not None:
             description["checkpoint"] = self.checkpoint.describe()
+        if self.registry is not None:
+            description["registry"] = {
+                "directory": str(self.registry.directory),
+                "staged": len(self._registry_rows),
+            }
         return description
 
     # -- run reports -------------------------------------------------------------
@@ -381,15 +454,22 @@ class EngineSession:
             )
             for source in ("cache", "resumed", "executed", "quarantined")
         }
-        return {
+        env = {
+            name: value
+            for name, value in sorted(os.environ.items())
+            if name.startswith("REPRO_")
+        }
+        # Schema 3 (the registry schema) additionally pins the resolved
+        # result-affecting environment — including *unset* variables,
+        # which the REPRO_* scan above cannot see — so reproduction can
+        # re-establish it and the run id can fold it in.
+        env["result_affecting"] = environment_fingerprint()
+        manifest = {
             "kind": "run-report",
-            "schema": 2,
+            "schema": 3,
+            "code": code_fingerprint(),
             "engine": self.describe(),
-            "env": {
-                name: value
-                for name, value in sorted(os.environ.items())
-                if name.startswith("REPRO_")
-            },
+            "env": env,
             "jobs": {
                 "total": len(all_jobs),
                 "cached": by_source["cache"],
@@ -401,6 +481,84 @@ class EngineSession:
             "batches": self.history,
             "metrics": self.telemetry.registry.snapshot(),
         }
+        manifest["run_id"] = compute_run_id(manifest)
+        return manifest
+
+    def _collect_flights(self) -> List[Dict[str, Any]]:
+        """Flight dumps belonging to this session's jobs, with hashes.
+
+        Dump filenames embed ``fingerprint[:12]`` (see
+        :mod:`repro.observe.flight`), so the session's own dumps can be
+        picked out of a shared ``REPRO_FLIGHT_DIR`` by matching staged
+        fingerprints; quarantine records name their dump path directly.
+        """
+        from repro.observe.flight import flight_dir_from_env
+        from repro.registry.store import sha256_hex
+
+        prefixes = {fp[:12] for fp in self._registry_rows}
+        candidates: List[Path] = []
+        directory = flight_dir_from_env()
+        if directory is not None and directory.exists():
+            candidates.extend(sorted(directory.glob("*.flight.jsonl")))
+        for info in self.quarantined:
+            dump = info.get("flight_dump")
+            if dump:
+                candidates.append(Path(dump))
+        records, seen = [], set()
+        for path in candidates:
+            key = str(path)
+            if key in seen or not path.exists():
+                continue
+            if not any(prefix in path.name for prefix in prefixes):
+                continue
+            seen.add(key)
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            records.append(
+                {
+                    "path": key,
+                    "sha256": sha256_hex(blob),
+                    "reason": (
+                        "quarantined-job"
+                        if path.name.startswith("quarantine-")
+                        else "failed-attempt"
+                    ),
+                }
+            )
+        return records
+
+    def record_run(self) -> Optional[str]:
+        """Commit this session's run to the registry; returns the run id.
+
+        Idempotent per batch count: recording again without new batches
+        returns the already-committed id without touching the index.
+        Called automatically from :meth:`close`; safe to call earlier
+        (e.g. right after a campaign) to learn the run id.  Returns
+        ``None`` when recording is disabled or nothing ran.
+        """
+        if self.registry is None or not self.history:
+            return None
+        progress = len(self.history)
+        if self._recorded is not None and self._recorded[0] == progress:
+            return self._recorded[1]
+        manifest = self.run_manifest()
+        try:
+            run_id = self.registry.record_run(
+                manifest,
+                list(self._registry_rows.values()),
+                flights=self._collect_flights(),
+            )
+        except Exception:
+            logger.warning(
+                "run registry at %s failed to commit; run not recorded",
+                getattr(self.registry, "directory", "?"),
+                exc_info=True,
+            )
+            return None
+        self._recorded = (progress, run_id)
+        return run_id
 
     def write_run_report(self, path) -> Path:
         """Write :meth:`run_manifest` as JSON to ``path``; returns it."""
@@ -413,7 +571,15 @@ class EngineSession:
         return target
 
     def close(self) -> None:
-        """Shut down the executor's workers (cache contents survive)."""
+        """Record the run, then shut down the executor's workers.
+
+        Cache contents survive; registry commit failures are logged and
+        swallowed (closing a session must never raise over bookkeeping).
+        """
+        try:
+            self.record_run()
+        except Exception:
+            logger.warning("run registry commit failed on close", exc_info=True)
         self.executor.close()
 
     def __enter__(self) -> "EngineSession":

@@ -151,6 +151,29 @@ class ObserveError(ReproError):
     """
 
 
+class RegistryError(ReproError):
+    """A run-registry operation failed (:mod:`repro.registry`).
+
+    Raised for unknown or ambiguous run ids, malformed registry
+    directories, and trajectory bookkeeping misuse.
+    """
+
+
+class RegistryIntegrityError(RegistryError):
+    """A registry object failed content verification.
+
+    The blob store addresses every object by the sha256 of its bytes; a
+    read whose bytes no longer hash to their address (bit rot, tampering,
+    a torn write that survived the atomic-rename discipline) raises this
+    instead of returning silently wrong data.  Carries the expected
+    address so ``repro reproduce`` can name the job it belongs to.
+    """
+
+    def __init__(self, message: str, *, sha256: str = "") -> None:
+        super().__init__(message)
+        self.sha256 = sha256
+
+
 class EnclaveError(ReproError):
     """An SGX enclave operation failed."""
 

@@ -26,11 +26,14 @@ from repro.errors import ObserveError
 #: Manifest schema tag (see ``EngineSession.run_manifest``).
 #: v2 added the resilience fields: per-job payload sources
 #: (cache/resumed/executed/quarantined), the quarantine list and the
-#: supervision stats.  v1 manifests still load and render.
-REPORT_SCHEMA_VERSION = 2
+#: supervision stats.  v3 added the registry provenance fields: the
+#: content-addressed ``run_id``, the ``code`` fingerprint
+#: (version + git-describe) and the resolved result-affecting
+#: environment.  v1 and v2 manifests still load and render.
+REPORT_SCHEMA_VERSION = 3
 
 #: Schemas this renderer accepts.
-SUPPORTED_SCHEMAS = (1, 2)
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 #: Manifest discriminator.
 REPORT_KIND = "run-report"
@@ -66,6 +69,21 @@ def render_markdown(manifest: Dict[str, Any]) -> str:
     """The Markdown report for one run manifest."""
     manifest = load_manifest(manifest)
     lines: List[str] = ["# Campaign run report", ""]
+
+    # Schema-3 provenance header: the registry run id and the code that
+    # recorded it (older manifests simply have neither).
+    run_id = manifest.get("run_id")
+    code = manifest.get("code") or {}
+    if run_id or code:
+        lines += ["## Provenance", ""]
+        if run_id:
+            lines.append(f"- run id: `{run_id}`")
+        if code:
+            describe = code.get("describe") or "unknown checkout"
+            lines.append(
+                f"- code: repro {code.get('version', '?')} ({describe})"
+            )
+        lines.append("")
 
     engine = manifest.get("engine", {})
     cache = engine.get("cache", {})
@@ -130,10 +148,21 @@ def render_markdown(manifest: Dict[str, Any]) -> str:
                 )
             lines.append("")
 
-    env = manifest.get("env", {})
+    env = dict(manifest.get("env", {}))
+    result_affecting = env.pop("result_affecting", None)
     if env:
         lines += ["## Environment", ""]
         lines += [f"- `{name}={value}`" for name, value in sorted(env.items())]
+        lines.append("")
+    if result_affecting:
+        lines += [
+            "## Result-affecting environment (resolved)",
+            "",
+        ]
+        lines += [
+            f"- `{name}`: `{value}`" if value else f"- `{name}`: unset"
+            for name, value in sorted(result_affecting.items())
+        ]
         lines.append("")
 
     batches = manifest.get("batches", [])

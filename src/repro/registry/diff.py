@@ -1,0 +1,193 @@
+"""``repro diff <a> <b>``: explain *why* two recorded runs differ.
+
+Because a run id is a content address over provenance, two different
+run ids must differ in at least one attributable input.  The diff walks
+the attribution ladder from cheapest to most expensive explanation:
+
+1. **code** — the recorded code fingerprints (version / git-describe)
+   differ;
+2. **environment** — a resolved ``RESULT_AFFECTING_ENV`` value differs;
+3. **spec** — jobs sharing a seed-stream path hash to different
+   fingerprints, and the stored identity dicts name exactly which spec
+   fields moved (the ``env`` component of the identity is attributed to
+   the environment rung instead);
+4. **composition** — a job exists in one run with no counterpart in the
+   other;
+5. **results** — identical fingerprints with different payload bytes.
+   This is the rung that should be unreachable: same spec, same seeds,
+   same environment, different bytes means the simulation itself is
+   nondeterministic, and the diff says so explicitly.
+
+What the diff *cannot* attribute: payload differences between jobs whose
+specs already differ (the spec drift subsumes them), and anything about
+runs whose manifests were recorded by engines with different identity
+schemas — both are reported as such rather than guessed at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.registry.registry import RunRegistry
+
+
+@dataclass
+class SpecDrift:
+    """One job pair with the same seed path but different fingerprints."""
+
+    seed_path: List[str]
+    kind: str
+    fingerprint_a: str
+    fingerprint_b: str
+    changed_fields: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RunDiff:
+    """Structured drift explanation between two recorded runs."""
+
+    run_a: str
+    run_b: str
+    identical: bool = False
+    code_drift: Optional[Tuple[Dict[str, Any], Dict[str, Any]]] = None
+    env_drift: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    spec_drift: List[SpecDrift] = field(default_factory=list)
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+    result_drift: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "identical": self.identical,
+            "code_drift": list(self.code_drift) if self.code_drift else None,
+            "env_drift": {
+                name: list(values) for name, values in self.env_drift.items()
+            },
+            "spec_drift": [
+                {
+                    "seed_path": drift.seed_path,
+                    "kind": drift.kind,
+                    "fingerprint_a": drift.fingerprint_a,
+                    "fingerprint_b": drift.fingerprint_b,
+                    "changed_fields": drift.changed_fields,
+                }
+                for drift in self.spec_drift
+            ],
+            "only_in_a": self.only_in_a,
+            "only_in_b": self.only_in_b,
+            "result_drift": self.result_drift,
+        }
+
+    def render(self) -> str:
+        a, b = self.run_a[:12], self.run_b[:12]
+        if self.identical:
+            return (
+                f"runs {a} and {b} are the same content-addressed run — "
+                "no drift to explain"
+            )
+        lines = [f"diff {a} ↔ {b}"]
+        if self.code_drift:
+            code_a, code_b = self.code_drift
+            lines.append(
+                f"  code drift: {code_a} → {code_b} "
+                "(different code recorded these runs)"
+            )
+        for name, (value_a, value_b) in sorted(self.env_drift.items()):
+            lines.append(
+                f"  env drift: {name}={value_a or '<unset>'} → "
+                f"{value_b or '<unset>'}"
+            )
+        for drift in self.spec_drift:
+            fields = ", ".join(drift.changed_fields) or "unattributable fields"
+            lines.append(
+                f"  spec drift: {drift.kind} {'/'.join(drift.seed_path)} "
+                f"({drift.fingerprint_a[:12]} → {drift.fingerprint_b[:12]}): "
+                f"{fields}"
+            )
+        if self.only_in_a:
+            lines.append(
+                f"  composition: {len(self.only_in_a)} job(s) only in {a}"
+            )
+        if self.only_in_b:
+            lines.append(
+                f"  composition: {len(self.only_in_b)} job(s) only in {b}"
+            )
+        for fingerprint in self.result_drift:
+            lines.append(
+                f"  RESULT drift: fingerprint {fingerprint[:12]} has "
+                "identical spec+env+seeds but different payload bytes — "
+                "this indicates nondeterministic execution, not input drift"
+            )
+        if len(lines) == 1:
+            lines.append(
+                "  runs differ only in how they went (cache hits, wall "
+                "time), not in what they were"
+            )
+        return "\n".join(lines)
+
+
+def _identity_fields(
+    identity_a: Optional[Dict[str, Any]], identity_b: Optional[Dict[str, Any]]
+) -> List[str]:
+    """Which identity fields moved between two specs at one seed path."""
+    if not identity_a or not identity_b:
+        return []
+    changed = []
+    for key in sorted(set(identity_a) | set(identity_b)):
+        if identity_a.get(key) != identity_b.get(key):
+            changed.append("env" if key == "env" else key)
+    return changed
+
+
+def diff_runs(
+    registry: RunRegistry, a_id_or_prefix: str, b_id_or_prefix: str
+) -> RunDiff:
+    """Explain the drift between two recorded runs (see module docs)."""
+    run_a = registry.resolve(a_id_or_prefix)
+    run_b = registry.resolve(b_id_or_prefix)
+    diff = RunDiff(run_a=run_a, run_b=run_b)
+    if run_a == run_b:
+        diff.identical = True
+        return diff
+    row_a = registry.get_run(run_a)
+    row_b = registry.get_run(run_b)
+    if row_a["code"] != row_b["code"]:
+        diff.code_drift = (row_a["code"], row_b["code"])
+    env_a, env_b = row_a["env"], row_b["env"]
+    for name in sorted(set(env_a) | set(env_b)):
+        if env_a.get(name, "") != env_b.get(name, ""):
+            diff.env_drift[name] = (env_a.get(name, ""), env_b.get(name, ""))
+
+    results_a = registry.results_for(run_a)
+    results_b = registry.results_for(run_b)
+    by_path_a = {(tuple(r["seed_path"]), r["kind"]): r for r in results_a}
+    by_path_b = {(tuple(r["seed_path"]), r["kind"]): r for r in results_b}
+    for key in sorted(set(by_path_a) | set(by_path_b)):
+        in_a, in_b = by_path_a.get(key), by_path_b.get(key)
+        if in_a is None:
+            diff.only_in_b.append(in_b["fingerprint"])
+            continue
+        if in_b is None:
+            diff.only_in_a.append(in_a["fingerprint"])
+            continue
+        if in_a["fingerprint"] != in_b["fingerprint"]:
+            changed = _identity_fields(in_a["identity"], in_b["identity"])
+            diff.spec_drift.append(
+                SpecDrift(
+                    seed_path=list(key[0]),
+                    kind=key[1],
+                    fingerprint_a=in_a["fingerprint"],
+                    fingerprint_b=in_b["fingerprint"],
+                    changed_fields=changed,
+                )
+            )
+        elif (
+            in_a.get("payload_sha")
+            and in_b.get("payload_sha")
+            and in_a["payload_sha"] != in_b["payload_sha"]
+        ):
+            diff.result_drift.append(in_a["fingerprint"])
+    return diff

@@ -1,0 +1,236 @@
+"""``repro reproduce <run-id>``: re-execute a recorded run, assert bytes.
+
+The registry stores, for every job of a recorded campaign, the pickled
+:class:`~repro.engine.jobs.JobSpec` and the pickled result payload, both
+content-addressed.  Reproducing a run is therefore mechanical:
+
+1. restore the recorded result-affecting environment (the values are in
+   the schema-3 manifest, and the job fingerprints fold them in — a spec
+   re-hashed under the wrong environment would not even match its
+   recorded fingerprint);
+2. unpickle each job spec, re-hash it, and demand the fingerprint the
+   registry recorded (anything else means the code's identity scheme
+   drifted — a reproduction would be comparing apples to oranges);
+3. re-execute the job through the same ``execute_job`` worker entry
+   point every executor uses, pickle the payload, and demand
+   byte-identity with the stored blob.
+
+Every stored blob is integrity-verified on read (its bytes must hash to
+its address), so a tampered registry cannot silently "reproduce": the
+mismatch is reported per job, with the sha256 pair and a payload diff,
+and the CLI exits nonzero.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import RegistryError, RegistryIntegrityError
+from repro.registry.registry import RunRegistry
+from repro.registry.store import encode_object, sha256_hex
+
+#: Per-job verdicts a reproduction can reach.
+IDENTICAL = "identical"
+MISMATCH = "mismatch"
+TAMPERED = "tampered"
+SPEC_DRIFT = "spec-drift"
+ERROR = "error"
+SKIPPED = "skipped"
+
+
+@dataclass
+class JobReproduction:
+    """One job's verdict: stored bytes versus freshly recomputed bytes."""
+
+    fingerprint: str
+    kind: str
+    seed_path: List[str]
+    status: str
+    stored_sha: Optional[str] = None
+    recomputed_sha: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (IDENTICAL, SKIPPED)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "seed_path": self.seed_path,
+            "status": self.status,
+            "stored_sha": self.stored_sha,
+            "recomputed_sha": self.recomputed_sha,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ReproduceReport:
+    """The full verdict of one ``repro reproduce`` invocation."""
+
+    run_id: str
+    jobs: List[JobReproduction] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(job.ok for job in self.jobs)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for job in self.jobs:
+            out[job.status] = out.get(job.status, 0) + 1
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "jobs": [job.as_dict() for job in self.jobs],
+        }
+
+    def render(self) -> str:
+        """Human-readable verdict, one line per non-identical job."""
+        lines = [f"reproduce {self.run_id[:12]}: "
+                 + ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items()))]
+        for job in self.jobs:
+            if job.ok:
+                continue
+            lines.append(
+                f"  [{job.status}] {job.kind} {'/'.join(job.seed_path)} "
+                f"fingerprint={job.fingerprint[:12]}"
+            )
+            if job.stored_sha or job.recomputed_sha:
+                lines.append(
+                    f"    stored     sha256={job.stored_sha or '-'}"
+                )
+                lines.append(
+                    f"    recomputed sha256={job.recomputed_sha or '-'}"
+                )
+            if job.detail:
+                for detail_line in job.detail.splitlines():
+                    lines.append(f"    {detail_line}")
+        if self.ok:
+            lines.append("  every result blob reproduced byte-for-byte")
+        return "\n".join(lines)
+
+
+@contextmanager
+def _environment(values: Dict[str, str]) -> Iterator[None]:
+    """Temporarily pin the result-affecting environment to ``values``.
+
+    The empty string means "unset" (the engine canonicalizes absence and
+    emptiness to the same fingerprint input, see
+    ``repro.engine.jobs.environment_fingerprint``).
+    """
+    saved = {name: os.environ.get(name) for name in values}
+    try:
+        for name, value in values.items():
+            if value:
+                os.environ[name] = value
+            else:
+                os.environ.pop(name, None)
+        yield
+    finally:
+        for name, previous in saved.items():
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
+
+
+def _payload_diff(stored: Any, recomputed: Any, *, width: int = 160) -> str:
+    """A short structural diff between two unequal payloads."""
+    a, b = repr(stored), repr(recomputed)
+    if a == b:
+        return (
+            "payloads repr-equal but pickle bytes differ "
+            "(object graph / type drift)"
+        )
+    prefix = 0
+    for prefix, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            break
+    start = max(0, prefix - 40)
+    return (
+        f"payloads diverge at repr offset {prefix}:\n"
+        f"stored:     …{a[start:start + width]}…\n"
+        f"recomputed: …{b[start:start + width]}…"
+    )
+
+
+def reproduce_run(
+    registry: RunRegistry, run_id_or_prefix: str
+) -> ReproduceReport:
+    """Re-execute every job of a recorded run and compare result bytes.
+
+    Each distinct fingerprint is executed once (the registry never
+    stores two payloads for one fingerprint within a run).  Jobs the
+    original run quarantined have no payload to compare and are reported
+    as ``skipped``.
+    """
+    from repro.engine.jobs import RESULT_AFFECTING_ENV, execute_job
+
+    run_id = registry.resolve(run_id_or_prefix)
+    manifest = registry.manifest(run_id)
+    rows = registry.results_for(run_id)
+    if not rows:
+        raise RegistryError(f"run {run_id[:12]} has no recorded results")
+    recorded_env = dict(manifest.get("env", {}).get("result_affecting", {}))
+    # Older (schema < 3) manifests lack resolved values; reproduce under
+    # the current environment and let the fingerprint check arbitrate.
+    env = {name: recorded_env.get(name, "") for name in RESULT_AFFECTING_ENV}
+    report = ReproduceReport(run_id=run_id)
+    with _environment(env):
+        for row in rows:
+            job = JobReproduction(
+                fingerprint=row["fingerprint"],
+                kind=row["kind"],
+                seed_path=list(row["seed_path"]),
+                status=ERROR,
+                stored_sha=row.get("payload_sha"),
+            )
+            report.jobs.append(job)
+            if row["source"] == "quarantined" or not row.get("payload_sha"):
+                job.status = SKIPPED
+                job.detail = "no payload recorded (job was quarantined)"
+                continue
+            try:
+                stored_bytes = registry.store.get_bytes(row["payload_sha"])
+                spec = registry.store.get(row["spec_sha"])
+            except RegistryIntegrityError as error:
+                job.status = TAMPERED
+                job.detail = str(error)
+                continue
+            fingerprint = spec.fingerprint()
+            if fingerprint != row["fingerprint"]:
+                job.status = SPEC_DRIFT
+                job.recomputed_sha = None
+                job.detail = (
+                    f"stored spec re-hashes to {fingerprint[:12]} under the "
+                    "recorded environment — the job identity scheme changed "
+                    "since this run was recorded"
+                )
+                continue
+            try:
+                result = execute_job(spec)
+            except Exception as error:  # noqa: BLE001 - reported per job
+                job.detail = f"{type(error).__name__}: {error}"
+                continue
+            recomputed_bytes = encode_object(result.payload)
+            job.recomputed_sha = sha256_hex(recomputed_bytes)
+            if recomputed_bytes == stored_bytes:
+                job.status = IDENTICAL
+            else:
+                job.status = MISMATCH
+                try:
+                    stored_payload = registry.store.get(row["payload_sha"])
+                    job.detail = _payload_diff(stored_payload, result.payload)
+                except Exception:  # pragma: no cover - diff is best-effort
+                    job.detail = "stored payload could not be unpickled for diffing"
+    return report

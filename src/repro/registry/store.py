@@ -1,0 +1,165 @@
+"""Content-addressed blob store for the run registry.
+
+Every object — a pickled job payload, a pickled job spec, a run
+manifest — is stored once under the sha256 of its bytes::
+
+    <root>/objects/<sha256[:2]>/<sha256>
+
+The address *is* the integrity check: a read hashes the bytes it got and
+raises :class:`~repro.errors.RegistryIntegrityError` when they no longer
+match the name they were filed under, so a tampered or bit-rotted blob
+can never masquerade as the recorded result.  Writes follow the same
+atomic-publish discipline as :class:`repro.engine.cache.ResultCache` and
+:class:`repro.engine.checkpoint.CampaignCheckpoint` (write a temp file,
+``rename`` into place), so a SIGKILL mid-write leaves at worst an
+ignored ``*.tmp.*`` file, never a half-object at a valid address.
+
+Because addresses are content hashes, the store deduplicates for free:
+putting bytes that are already present touches nothing and is counted as
+a dedup hit (surfaced by ``repro status --registry``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Tuple, Union
+
+from repro.errors import RegistryIntegrityError
+
+#: Subdirectory of the registry root that holds the blobs.
+OBJECTS_DIR = "objects"
+
+
+def sha256_hex(blob: bytes) -> str:
+    """The store address for ``blob``."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def encode_object(payload: Any) -> bytes:
+    """Canonical pickle bytes for a payload (the bytes that get hashed).
+
+    Uses the highest protocol, matching the byte-identity contract the
+    engine benchmarks already pin (``pickle.dumps(a) == pickle.dumps(b)``
+    for equal seeded results).
+    """
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+@dataclass
+class StoreStats:
+    """Write-side effectiveness counters for one store handle."""
+
+    puts: int = 0
+    writes: int = 0
+    dedup_hits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "puts": self.puts,
+            "writes": self.writes,
+            "dedup_hits": self.dedup_hits,
+        }
+
+
+@dataclass
+class ObjectStore:
+    """sha256-addressed blob store under ``<root>/objects/``."""
+
+    root: Union[str, Path]
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @property
+    def objects_root(self) -> Path:
+        return Path(self.root) / OBJECTS_DIR
+
+    def _path(self, sha: str) -> Path:
+        return self.objects_root / sha[:2] / sha
+
+    # -- writing -----------------------------------------------------------------
+
+    def put_bytes(self, blob: bytes) -> str:
+        """Store ``blob``; returns its sha256 address.
+
+        Idempotent: an address that already exists is left untouched
+        (content-addressing makes overwrites meaningless) and counted as
+        a dedup hit.
+        """
+        sha = sha256_hex(blob)
+        self.stats.puts += 1
+        path = self._path(sha)
+        if path.exists():
+            self.stats.dedup_hits += 1
+            return sha
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{sha}.tmp.{os.getpid()}")
+        tmp.write_bytes(blob)
+        tmp.replace(path)
+        self.stats.writes += 1
+        return sha
+
+    def put(self, payload: Any) -> str:
+        """Pickle ``payload`` and store it; returns the sha256 address."""
+        return self.put_bytes(encode_object(payload))
+
+    # -- reading -----------------------------------------------------------------
+
+    def get_bytes(self, sha: str) -> bytes:
+        """The verified bytes stored at ``sha``.
+
+        Raises :class:`RegistryIntegrityError` when the object is
+        missing or its bytes no longer hash to their address.
+        """
+        path = self._path(sha)
+        try:
+            blob = path.read_bytes()
+        except OSError as error:
+            raise RegistryIntegrityError(
+                f"registry object {sha[:12]}… is missing ({path})", sha256=sha
+            ) from error
+        if sha256_hex(blob) != sha:
+            raise RegistryIntegrityError(
+                f"registry object {sha[:12]}… failed content verification "
+                "(bytes do not hash to their address — tampered or torn)",
+                sha256=sha,
+            )
+        return blob
+
+    def get(self, sha: str) -> Any:
+        """Unpickle the verified object stored at ``sha``."""
+        return pickle.loads(self.get_bytes(sha))
+
+    def __contains__(self, sha: str) -> bool:
+        return self._path(sha).exists()
+
+    # -- accounting --------------------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        root = self.objects_root
+        if not root.exists():
+            return iter(())
+        return (
+            entry
+            for bucket in sorted(root.iterdir())
+            if bucket.is_dir()
+            for entry in sorted(bucket.iterdir())
+            if entry.is_file() and ".tmp." not in entry.name
+        )
+
+    def census(self) -> Tuple[int, int]:
+        """(object count, total bytes) currently on disk."""
+        count = 0
+        size = 0
+        for entry in self._entries():
+            try:
+                size += entry.stat().st_size
+                count += 1
+            except OSError:
+                continue
+        return count, size

@@ -9,6 +9,8 @@ and always built fresh per test to keep state isolated.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.characterization import (
@@ -18,6 +20,21 @@ from repro.core.characterization import (
 from repro.cpu import COMET_LAKE, KABY_LAKE_R, SKY_LAKE
 from repro.engine import get_session
 from repro.testbench import Machine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_registry(tmp_path_factory) -> None:
+    """Point the run registry at a per-run temp dir for the whole suite.
+
+    Engine sessions record runs automatically; without this the test
+    suite would pollute the developer's ``~/.repro/registry``.  An
+    explicitly exported ``REPRO_REGISTRY(_DIR)`` wins (CI sets one to
+    keep the registry as an artifact).
+    """
+    if "REPRO_REGISTRY" not in os.environ and "REPRO_REGISTRY_DIR" not in os.environ:
+        os.environ["REPRO_REGISTRY_DIR"] = str(
+            tmp_path_factory.mktemp("registry")
+        )
 
 
 @pytest.fixture(scope="session")
