@@ -1,6 +1,6 @@
 # Plug Your Volt reproduction — common tasks.
 
-.PHONY: install test bench campaign chaos fuzz examples artifacts trace-demo profile-demo clean
+.PHONY: install test bench vector-bench campaign chaos fuzz examples artifacts trace-demo profile-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
+
+# Scalar-oracle vs vectorized sweep: byte-identity plus the recorded
+# speedup (gated against benchmarks/trajectories/BENCH_characterization_vector.json
+# in CI via `repro trajectory check`).
+vector-bench:
+	pytest benchmarks/test_bench_characterization_vector.py -q
 
 # The Sec. 4.3 prevention matrix through the campaign engine, sharded
 # across a process pool (EXECUTOR/WORKERS overridable).

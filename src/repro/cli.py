@@ -61,9 +61,13 @@ from repro.cpu.models import PAPER_MODELS, PAPER_MODEL_TUPLE, model_by_codename
 from repro.engine import get_session, seed_stream
 
 
-def _characterize(model, seed: int):
-    """The cached Algo 2 sweep for ``model`` via the engine session."""
-    return get_session().characterize(model, seed=seed)
+def _characterize(model, seed: int, batch=None):
+    """The cached Algo 2 sweep for ``model`` via the engine session.
+
+    ``batch=None`` defers to the environment (``REPRO_BATCH``, default
+    on); the ``--batch/--no-batch`` flags pass an explicit override.
+    """
+    return get_session().characterize(model, seed=seed, batch=batch)
 
 
 def _cli_seed(root: int, command: str, codename: str) -> int:
@@ -97,6 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--map", action="store_true", help="print the ASCII map")
     characterize.add_argument("--json", metavar="PATH", help="export bundle as JSON")
     characterize.add_argument("--csv", metavar="PATH", help="export boundary as CSV")
+    characterize.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="vectorized sweep evaluator (default: on unless REPRO_BATCH=0; "
+        "--no-batch forces the scalar oracle)",
+    )
 
     attack = sub.add_parser("attack", help="mount an attack campaign")
     attack.add_argument("--cpu", default="Comet Lake", help="CPU codename")
@@ -130,6 +141,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--no-aes", action="store_true", help="skip the AES-DFA campaign"
+    )
+    campaign.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="vectorized characterization sweeps for the campaign's "
+        "unsafe-set inputs (default: on unless REPRO_BATCH=0)",
     )
     campaign.add_argument(
         "--json", metavar="PATH", help="write matrix + engine stats as JSON"
@@ -604,7 +622,7 @@ def _cmd_characterize(args) -> int:
         print(f"adaptive characterization: {outcome.probes} probes, "
               f"{outcome.crashes} crashes")
     else:
-        result = _characterize(model, args.seed)
+        result = _characterize(model, args.seed, batch=args.batch)
         print(f"full sweep: {len(result.cells)} cells, {result.crashes} crashes")
     print(render_boundary_series(result))
     summary = summarize(result)
@@ -751,7 +769,7 @@ def _cmd_campaign(args) -> int:
         print(f"serving OpenMetrics at {server.url}", flush=True)
     try:
         jobs = experiments.prevention_jobs(
-            seed=args.seed, include_aes=not args.no_aes
+            seed=args.seed, include_aes=not args.no_aes, batch=args.batch
         )
         if args.cpu:
             codename = model_by_codename(args.cpu).codename

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, MachineCheckError
@@ -46,6 +47,7 @@ from repro.faults.imul import DEFAULT_ITERATIONS, ImulLoop
 from repro.faults.injector import FaultInjector
 from repro.faults.margin import FaultModel
 from repro.testbench import Machine
+from repro.vector.profile import kernel_profiler
 
 logger = logging.getLogger(__name__)
 
@@ -168,6 +170,8 @@ class CharacterizationFramework:
 
     def run_row(self, frequency_ghz: float, *, telemetry=None) -> List[CellResult]:
         """Probe every offset of one frequency row (Algo 2's inner loop)."""
+        profiler = kernel_profiler()
+        started = perf_counter() if profiler is not None else 0.0
         fault_model = FaultModel(self.model)
         injector = FaultInjector(
             fault_model, self.row_stream(frequency_ghz).rng(), telemetry=telemetry
@@ -192,7 +196,31 @@ class CharacterizationFramework:
                     break
                 continue
             cells.append(CellResult(frequency_ghz, offset, fault_count, crashed=False))
+        if profiler is not None:
+            # The scalar oracle shows up as one opaque bucket — there is no
+            # finer-grained attribution to give, which is precisely what the
+            # before/after profile comparison against the batch path's
+            # vector.delay / vector.safety / vector.fault_draw sites shows.
+            profiler.record_site(
+                "core.characterization",
+                "run_row.scalar",
+                events=len(cells),
+                wall_s=perf_counter() - started,
+            )
         return cells
+
+    def run_row_batch(self, frequency_ghz: float, *, telemetry=None) -> List[CellResult]:
+        """Probe one frequency row on the vectorized fast path.
+
+        Byte-identical to :meth:`run_row` — same cells, same telemetry
+        counter totals, same trace events, same random-stream consumption
+        — with the physics evaluated by :mod:`repro.vector` over the whole
+        offset array per call.  The fuzz suite in
+        ``tests/test_vector_identity.py`` holds the two paths in lockstep.
+        """
+        from repro.vector.characterization import run_row_batch
+
+        return run_row_batch(self, frequency_ghz, telemetry=telemetry)
 
     def row_jobs(self, *, as_of_seed: Optional[int] = None) -> List[object]:
         """The sweep expressed as engine row jobs, one per frequency."""
@@ -219,15 +247,19 @@ class CharacterizationFramework:
             elif cell.is_unsafe:
                 result.unsafe_states.add_unsafe(cell.frequency_ghz, cell.offset_mv)
 
-    def run(self) -> CharacterizationResult:
+    def run(self, *, batch: bool = False) -> CharacterizationResult:
         """Sweep the full grid at settled conditions (fast path).
 
         Identical to executing :meth:`row_jobs` through any engine
-        executor and folding the rows in frequency order.
+        executor and folding the rows in frequency order.  With
+        ``batch=True`` each row is evaluated by the vectorized
+        :meth:`run_row_batch` instead of the scalar oracle — the result is
+        byte-identical either way.
         """
+        run_row = self.run_row_batch if batch else self.run_row
         result = self.empty_result()
         for frequency in self.config.frequency_list(self.model):
-            self.fold_row(result, self.run_row(frequency))
+            self.fold_row(result, run_row(frequency))
         return result
 
     # -- event mode --------------------------------------------------------------

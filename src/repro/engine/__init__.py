@@ -44,6 +44,7 @@ from repro.engine.jobs import (
     ATTACK_KINDS,
     RESULT_AFFECTING_ENV,
     AttackCampaignJob,
+    BatchCharacterizationJob,
     CharacterizationJob,
     CharacterizationRowJob,
     FuzzJob,
@@ -57,6 +58,8 @@ from repro.engine.seeds import SeedStream, seed_stream
 from repro.engine.session import (
     DEFAULT_SEED,
     EngineSession,
+    batch_enabled,
+    batch_rows_per_job,
     clear_session_cache,
     get_session,
     reset_session,
@@ -66,6 +69,7 @@ from repro.engine.session import (
 __all__ = [
     "ATTACK_KINDS",
     "AttackCampaignJob",
+    "BatchCharacterizationJob",
     "CacheStats",
     "CampaignCheckpoint",
     "ChaosPolicy",
@@ -89,6 +93,8 @@ __all__ = [
     "SupervisedTask",
     "SupervisionStats",
     "WORKERS_ENV",
+    "batch_enabled",
+    "batch_rows_per_job",
     "clear_session_cache",
     "environment_fingerprint",
     "execute_job",

@@ -44,6 +44,9 @@ JOB_SCHEMA_VERSION = 2
 #: deliberately absent: the engine's parity contract (tested by
 #: ``benchmarks/test_bench_engine_campaign.py``) asserts they cannot
 #: change results, so folding them in would only fragment the cache.
+#: ``REPRO_BATCH`` is absent for the same reason — the vectorized row
+#: evaluator is byte-identical to the scalar oracle (the identity suite
+#: is the proof), so scalar and batch sweeps share cache entries.
 RESULT_AFFECTING_ENV: Tuple[str, ...] = ("REPRO_VERIFY",)
 
 #: Attack kinds :class:`AttackCampaignJob` can mount.
@@ -132,6 +135,47 @@ class CharacterizationRowJob(JobSpec):
 
 
 @dataclass(frozen=True)
+class BatchCharacterizationJob(JobSpec):
+    """A chunk of Algo 2 rows evaluated on the vectorized fast path.
+
+    The batch analogue of :class:`CharacterizationRowJob`: one job covers
+    ``frequencies_ghz`` (a contiguous chunk of the sweep's frequency
+    table) and evaluates each row with
+    :meth:`CharacterizationFramework.run_row_batch`.  Row randomness
+    still comes from the per-row named seed streams — keyed by (seed,
+    system, row frequency) only — so the produced cells are byte-identical
+    to the scalar row jobs' and independent of how rows are chunked into
+    batch jobs.  The *fingerprint* is distinct from the row jobs' (kind
+    and fields differ), which is what the cross-path cache tests pin.
+    """
+
+    kind: ClassVar[str] = "characterization-batch"
+
+    codename: str
+    frequencies_ghz: Tuple[float, ...]
+    config: CharacterizationConfig
+    seed: int
+
+    def seed_path(self) -> Tuple[str, ...]:
+        first = int(round(self.frequencies_ghz[0] * 10)) if self.frequencies_ghz else 0
+        last = int(round(self.frequencies_ghz[-1] * 10)) if self.frequencies_ghz else 0
+        return (
+            "characterization",
+            self.codename,
+            f"batch@{first}-{last}",
+        )
+
+    def run(self, telemetry: Telemetry) -> List[List[CellResult]]:
+        framework = CharacterizationFramework(
+            model_by_codename(self.codename), config=self.config, seed=self.seed
+        )
+        return [
+            framework.run_row_batch(frequency, telemetry=telemetry)
+            for frequency in self.frequencies_ghz
+        ]
+
+
+@dataclass(frozen=True)
 class CharacterizationJob(JobSpec):
     """A full per-model sweep; the unit the result cache stores."""
 
@@ -155,6 +199,28 @@ class CharacterizationJob(JobSpec):
                 seed=self.seed,
             )
             for frequency in self.config.frequency_list(model)
+        ]
+
+    def batch_jobs(self, *, rows_per_job: int = 8) -> List[BatchCharacterizationJob]:
+        """The sweep sharded into vectorized multi-row batch jobs.
+
+        Chunking is a pure scheduling choice: per-row seed streams make
+        the folded result independent of ``rows_per_job`` (and identical
+        to :meth:`row_jobs`), so the knob only trades dispatch overhead
+        against shard-level parallelism.
+        """
+        if rows_per_job <= 0:
+            raise ConfigurationError("rows_per_job must be positive")
+        model = model_by_codename(self.codename)
+        frequencies = self.config.frequency_list(model)
+        return [
+            BatchCharacterizationJob(
+                codename=self.codename,
+                frequencies_ghz=tuple(frequencies[start : start + rows_per_job]),
+                config=self.config,
+                seed=self.seed,
+            )
+            for start in range(0, len(frequencies), rows_per_job)
         ]
 
     def fold(self, rows: List[List[CellResult]]) -> CharacterizationResult:

@@ -122,6 +122,33 @@ class SimProfiler:
         bucket.sim_time_s += advanced_s
         bucket.wall_time_s += wall_s
 
+    def record_site(
+        self,
+        component: str,
+        site: str,
+        *,
+        events: int = 1,
+        sim_time_s: float = 0.0,
+        wall_s: float = 0.0,
+    ) -> None:
+        """Charge out-of-band work to an explicitly named bucket.
+
+        The dispatch-loop hook only sees scheduled simulator events, but
+        the direct-mode characterization sweep (scalar and vectorized)
+        never schedules any — its cost is attributed through this entry
+        point instead, via :func:`repro.vector.profile.record_kernel_site`.
+        Event counts stay deterministic (grid cells / windows evaluated);
+        wall-clock accumulates in the segregated sidecar field exactly as
+        for dispatched events.
+        """
+        key = (component, site)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = ProfileBucket(component, site)
+        bucket.events += events
+        bucket.sim_time_s += sim_time_s
+        bucket.wall_time_s += wall_s
+
     # -- views -------------------------------------------------------------------
 
     def buckets(self) -> List[ProfileBucket]:

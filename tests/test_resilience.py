@@ -421,8 +421,10 @@ class TestSessionSupervision:
         monkeypatch.setattr(
             jobs_module.CharacterizationRowJob, "run", sabotaged
         )
+        # batch=False pins the scalar row-job path this sabotage targets;
+        # the batch-shard analogue lives in tests/test_vector_engine.py.
         with pytest.raises(ReproError, match="quarantine"):
-            session.characterize(PAPER_MODEL_TUPLE[0])
+            session.characterize(PAPER_MODEL_TUPLE[0], batch=False)
 
 
 # ---------------------------------------------------------------------------

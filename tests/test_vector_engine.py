@@ -1,0 +1,230 @@
+"""Engine-layer contract of the vectorized batch sweep path.
+
+``BatchCharacterizationJob`` shards carry distinct fingerprints (their
+own cache identity) but fold to the same ``CharacterizationResult`` as
+the scalar row jobs — and both paths share the *sweep-level* cache slot,
+so a result computed by either serves the other.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.characterization import CharacterizationConfig
+from repro.cpu import COMET_LAKE, KABY_LAKE_R
+from repro.engine import (
+    BatchCharacterizationJob,
+    CharacterizationJob,
+    CharacterizationRowJob,
+    EngineSession,
+    ResultCache,
+    SerialExecutor,
+    batch_enabled,
+    batch_rows_per_job,
+    execute_job,
+)
+from repro.errors import ConfigurationError, ReproError
+
+#: Three-row sweep: enough to chunk, cheap enough for a unit test.
+SMALL = CharacterizationConfig(
+    offset_start_mv=-10,
+    offset_stop_mv=-250,
+    offset_step_mv=10,
+    frequencies_ghz=(0.8, 2.0, 3.4),
+)
+
+
+def _sweep_job(codename=COMET_LAKE.codename, config=SMALL, seed=5):
+    return CharacterizationJob(codename=codename, config=config, seed=seed)
+
+
+class TestFingerprints:
+    def test_batch_job_fingerprint_distinct_from_row_and_sweep(self):
+        sweep = _sweep_job()
+        row = sweep.row_jobs()[0]
+        batch = sweep.batch_jobs()[0]
+        prints = {sweep.fingerprint(), row.fingerprint(), batch.fingerprint()}
+        assert len(prints) == 3
+
+    def test_batch_job_fingerprint_sensitive_to_chunking(self):
+        sweep = _sweep_job()
+        whole = sweep.batch_jobs(rows_per_job=8)
+        split = sweep.batch_jobs(rows_per_job=1)
+        assert whole[0].fingerprint() not in {job.fingerprint() for job in split}
+
+    def test_batch_job_seed_path_names_the_frequency_span(self):
+        job = BatchCharacterizationJob(
+            codename=COMET_LAKE.codename,
+            frequencies_ghz=(0.8, 2.0, 3.4),
+            config=SMALL,
+            seed=5,
+        )
+        assert job.seed_path() == ("characterization", COMET_LAKE.codename, "batch@8-34")
+
+
+class TestChunking:
+    def test_batch_jobs_cover_every_frequency_in_order(self):
+        sweep = _sweep_job(config=CharacterizationConfig())
+        expected = CharacterizationConfig().frequency_list(COMET_LAKE)
+        for rows_per_job in (1, 3, 8, 64):
+            jobs = sweep.batch_jobs(rows_per_job=rows_per_job)
+            covered = [f for job in jobs for f in job.frequencies_ghz]
+            assert covered == expected
+            assert all(
+                len(job.frequencies_ghz) <= rows_per_job for job in jobs
+            )
+
+    def test_batch_jobs_reject_nonpositive_chunk(self):
+        with pytest.raises(ConfigurationError):
+            _sweep_job().batch_jobs(rows_per_job=0)
+
+    def test_fold_is_chunking_invariant_and_matches_rows(self):
+        """Per-row seed streams make the folded sweep independent of how
+        rows are packed into batch jobs — and identical to the scalar
+        row-job fold."""
+        sweep = _sweep_job()
+        scalar = sweep.fold([execute_job(job).payload for job in sweep.row_jobs()])
+        folds = []
+        for rows_per_job in (1, 2, 8):
+            payloads = [
+                execute_job(job).payload
+                for job in sweep.batch_jobs(rows_per_job=rows_per_job)
+            ]
+            rows = [row for payload in payloads for row in payload]
+            folds.append(sweep.fold(rows))
+        for fold in folds:
+            assert fold.cells == scalar.cells
+            assert fold.crashes == scalar.crashes
+            assert fold.unsafe_states.to_dict() == scalar.unsafe_states.to_dict()
+
+    def test_batch_job_counters_match_scalar_row_jobs(self):
+        """execute_job merges worker telemetry either way; the totals a
+        batch shard reports must equal its rows' summed scalar counters."""
+        sweep = _sweep_job(codename=KABY_LAKE_R.codename)
+        scalar_totals: dict = {}
+        for job in sweep.row_jobs():
+            for name, value in execute_job(job).counters.items():
+                scalar_totals[name] = scalar_totals.get(name, 0) + value
+        batch_totals: dict = {}
+        for job in sweep.batch_jobs(rows_per_job=2):
+            for name, value in execute_job(job).counters.items():
+                batch_totals[name] = batch_totals.get(name, 0) + value
+        assert batch_totals == scalar_totals
+
+
+class TestEnvironmentKnobs:
+    def test_batch_enabled_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert batch_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "false", "no", "off", " OFF "])
+    def test_batch_enabled_opt_out_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH", value)
+        assert batch_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", ""])
+    def test_batch_enabled_on_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH", value)
+        assert batch_enabled() is True
+
+    def test_batch_enabled_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        assert batch_enabled(True) is True
+        monkeypatch.delenv("REPRO_BATCH")
+        assert batch_enabled(False) is False
+
+    def test_batch_rows_per_job_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_ROWS", raising=False)
+        assert batch_rows_per_job() == 8
+        monkeypatch.setenv("REPRO_BATCH_ROWS", "3")
+        assert batch_rows_per_job() == 3
+
+    def test_batch_rows_per_job_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_ROWS", "lots")
+        with pytest.raises(ReproError):
+            batch_rows_per_job()
+        monkeypatch.setenv("REPRO_BATCH_ROWS", "0")
+        with pytest.raises(ReproError):
+            batch_rows_per_job()
+
+
+class TestSessionIntegration:
+    def test_characterize_batch_matches_scalar(self):
+        scalar_session = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        batch_session = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        scalar = scalar_session.characterize(COMET_LAKE, config=SMALL, batch=False)
+        batch = batch_session.characterize(COMET_LAKE, config=SMALL, batch=True)
+        assert scalar.cells == batch.cells
+        assert pickle.dumps(scalar.cells) == pickle.dumps(batch.cells)
+        assert scalar.unsafe_states.to_dict() == batch.unsafe_states.to_dict()
+        # The merged fault counters agree too — only the job bookkeeping
+        # (how many shards ran) may differ between the paths.
+        scalar_counters = {
+            k: v for k, v in scalar_session.counters().items() if k.startswith("faults.")
+        }
+        batch_counters = {
+            k: v for k, v in batch_session.counters().items() if k.startswith("faults.")
+        }
+        assert scalar_counters == batch_counters
+
+    def test_batch_runs_fewer_jobs_than_scalar(self):
+        config = CharacterizationConfig(
+            offset_start_mv=-10, offset_stop_mv=-250, offset_step_mv=10
+        )
+        scalar_session = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        batch_session = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        scalar_session.characterize(COMET_LAKE, config=config, batch=False)
+        batch_session.characterize(COMET_LAKE, config=config, batch=True)
+        scalar_jobs = scalar_session.counters()["engine.jobs_executed"]
+        batch_jobs = batch_session.counters()["engine.jobs_executed"]
+        assert batch_jobs < scalar_jobs
+
+    def test_cross_path_cache_identity(self):
+        """Scalar and batch sweeps share one sweep-level cache slot: a
+        result computed by either path serves the other verbatim."""
+        session = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        scalar = session.characterize(COMET_LAKE, config=SMALL, batch=False)
+        served = session.characterize(COMET_LAKE, config=SMALL, batch=True)
+        assert served is scalar
+        assert session.counters()["engine.cache_hits"] == 1
+
+        reverse = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        batch = reverse.characterize(COMET_LAKE, config=SMALL, batch=True)
+        served = reverse.characterize(COMET_LAKE, config=SMALL, batch=False)
+        assert served is batch
+        assert reverse.counters()["engine.cache_hits"] == 1
+
+    def test_characterize_refuses_partial_batch_sweeps(self, monkeypatch):
+        """A quarantined batch shard must fail the sweep loudly — a fold
+        of partial rows would be silently wrong (mirror of the scalar
+        row-job test in tests/test_resilience.py)."""
+        from repro.engine import RetryPolicy
+        from repro.engine import jobs as jobs_module
+
+        session = EngineSession(
+            executor=SerialExecutor(policy=RetryPolicy(max_attempts=1, backoff_s=0.0)),
+            cache=ResultCache(),
+        )
+
+        def sabotaged(self, telemetry):
+            raise RuntimeError("sabotaged batch shard")
+
+        monkeypatch.setattr(jobs_module.BatchCharacterizationJob, "run", sabotaged)
+        with pytest.raises(ReproError, match="quarantine"):
+            session.characterize(COMET_LAKE, config=SMALL, batch=True)
+
+    def test_characterize_honors_repro_batch_env(self, monkeypatch):
+        """batch=None defers to REPRO_BATCH; the observable difference is
+        the shard count (results are identical by construction)."""
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        scalar_session = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        scalar_session.characterize(COMET_LAKE, config=SMALL)
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        batch_session = EngineSession(executor=SerialExecutor(), cache=ResultCache())
+        batch_session.characterize(COMET_LAKE, config=SMALL)
+        assert (
+            batch_session.counters()["engine.jobs_executed"]
+            < scalar_session.counters()["engine.jobs_executed"]
+        )

@@ -1,0 +1,221 @@
+"""Scalar-vs-vector byte-identity: the contract of the batch fast path.
+
+The vectorized sweep evaluator (:mod:`repro.vector`) is only admissible
+because it is *bit-identical* to the scalar oracle — same cells, same
+telemetry counters, same trace events, same random-stream consumption.
+This suite is the executable proof: fuzz-sampled physics comparisons per
+process node, full ``run_row`` vs ``run_row_batch`` sweeps per paper
+model (including ``repetitions > 1``), and a pin on the one numpy
+``Generator`` equivalence the batch draw loop relies on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import CharacterizationConfig, CharacterizationFramework
+from repro.cpu import COMET_LAKE, KABY_LAKE_R, PAPER_MODEL_TUPLE, SKY_LAKE
+from repro.faults.margin import FaultModel
+from repro.telemetry import Telemetry
+from repro.timing.constants import INTEL_10NM, INTEL_14NM, INTEL_14NM_PLUS
+from repro.timing.delay_model import DelayModel
+from repro.vector.kernels import raw_delay_grid, scale_grid
+
+#: Coarse sweep: full physics coverage (safe band, fault band, crash) at
+#: a fraction of the default grid's cells.
+COARSE = CharacterizationConfig(
+    offset_start_mv=-10, offset_stop_mv=-250, offset_step_mv=10
+)
+
+ALL_PROCESSES = (INTEL_14NM, INTEL_14NM_PLUS, INTEL_10NM)
+
+
+def _fuzz_points(process, seed, count=200):
+    """(V, T) samples spanning sub-threshold through nominal supply."""
+    rng = np.random.default_rng(seed)
+    voltages = rng.uniform(0.0, 1.4, size=count)
+    temperatures = rng.uniform(20.0, 100.0, size=count)
+    return voltages, temperatures
+
+
+class TestPhysicsFuzzIdentity:
+    """Kernel outputs == scalar model outputs on fuzz-sampled (V, T)."""
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES)
+    def test_raw_delay_bitwise_identity(self, process):
+        model = DelayModel(process)
+        voltages, temperatures = _fuzz_points(process, seed=23)
+        for temperature in set(np.round(temperatures, 0).tolist()):
+            grid = raw_delay_grid(process, voltages, temperature)
+            for voltage, value, valid in zip(
+                voltages.tolist(), grid.values.tolist(), grid.valid.tolist()
+            ):
+                if valid:
+                    assert value == model.raw_delay(voltage, temperature)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES)
+    def test_scale_bitwise_identity(self, process):
+        model = DelayModel(process)
+        voltages, _ = _fuzz_points(process, seed=29)
+        grid = scale_grid(process, voltages)
+        for voltage, value, valid in zip(
+            voltages.tolist(), grid.values.tolist(), grid.valid.tolist()
+        ):
+            if valid:
+                assert value == model.scale(voltage)
+
+
+def _row_identity(model, config, frequency_ghz):
+    """Assert scalar and batch rows agree cell-for-cell and in telemetry."""
+    scalar_telemetry = Telemetry()
+    batch_telemetry = Telemetry()
+    scalar = CharacterizationFramework(model, config=config, seed=2024).run_row(
+        frequency_ghz, telemetry=scalar_telemetry
+    )
+    batch = CharacterizationFramework(model, config=config, seed=2024).run_row_batch(
+        frequency_ghz, telemetry=batch_telemetry
+    )
+    assert scalar == batch
+    assert pickle.dumps(scalar) == pickle.dumps(batch)
+    scalar_counters = {
+        c.name: int(c.value) for c in scalar_telemetry.registry.counters() if c.value
+    }
+    batch_counters = {
+        c.name: int(c.value) for c in batch_telemetry.registry.counters() if c.value
+    }
+    assert scalar_counters == batch_counters
+
+
+class TestRowIdentity:
+    @pytest.mark.parametrize("model", PAPER_MODEL_TUPLE, ids=lambda m: m.codename)
+    def test_coarse_row_identity_per_model(self, model):
+        base = model.frequency_table.base_ghz
+        _row_identity(model, COARSE, base)
+
+    @pytest.mark.parametrize("model", PAPER_MODEL_TUPLE, ids=lambda m: m.codename)
+    def test_fine_row_identity_at_base_frequency(self, model):
+        _row_identity(model, CharacterizationConfig(), model.frequency_table.base_ghz)
+
+    def test_row_identity_with_repetitions(self):
+        """repetitions > 1 multiplies the per-cell draw sequence; the
+        batch replay must track every window's binomial/choice/integers."""
+        config = CharacterizationConfig(
+            offset_start_mv=-10, offset_stop_mv=-250, offset_step_mv=10, repetitions=3
+        )
+        _row_identity(COMET_LAKE, config, COMET_LAKE.frequency_table.base_ghz)
+
+    def test_row_identity_without_stop_after_crash(self):
+        """stop_after_crash=False probes past the crash wall — the batch
+        loop must keep counting windows without consuming draws there."""
+        config = CharacterizationConfig(
+            offset_start_mv=-10,
+            offset_stop_mv=-250,
+            offset_step_mv=10,
+            stop_after_crash=False,
+        )
+        _row_identity(SKY_LAKE, config, SKY_LAKE.frequency_table.base_ghz)
+
+    def test_trace_events_identical(self):
+        """The batch path emits the same fault.injection / fault.crash
+        instants (same order, same args) as the scalar injector."""
+        base = KABY_LAKE_R.frequency_table.base_ghz
+        scalar_telemetry = Telemetry()
+        batch_telemetry = Telemetry()
+        CharacterizationFramework(KABY_LAKE_R, config=COARSE, seed=2024).run_row(
+            base, telemetry=scalar_telemetry
+        )
+        CharacterizationFramework(KABY_LAKE_R, config=COARSE, seed=2024).run_row_batch(
+            base, telemetry=batch_telemetry
+        )
+        scalar_events = [
+            (e.name, e.category, e.args)
+            for e in scalar_telemetry.tracer.events
+            if e.name.startswith("fault.")
+        ]
+        batch_events = [
+            (e.name, e.category, e.args)
+            for e in batch_telemetry.tracer.events
+            if e.name.startswith("fault.")
+        ]
+        assert scalar_events == batch_events
+        assert scalar_events  # the fault band must actually be exercised
+
+
+class TestSweepIdentity:
+    @pytest.mark.parametrize("model", PAPER_MODEL_TUPLE, ids=lambda m: m.codename)
+    def test_full_coarse_sweep_identity(self, model):
+        scalar = CharacterizationFramework(model, config=COARSE, seed=2024).run(
+            batch=False
+        )
+        batch = CharacterizationFramework(model, config=COARSE, seed=2024).run(
+            batch=True
+        )
+        assert scalar.cells == batch.cells
+        assert scalar.crashes == batch.crashes
+        assert scalar.unsafe_states.to_dict() == batch.unsafe_states.to_dict()
+        assert pickle.dumps(scalar.cells) == pickle.dumps(batch.cells)
+
+    def test_boundary_profile_identity(self):
+        scalar = CharacterizationFramework(COMET_LAKE, config=COARSE, seed=2024).run(
+            batch=False
+        )
+        batch = CharacterizationFramework(COMET_LAKE, config=COARSE, seed=2024).run(
+            batch=True
+        )
+        assert scalar.boundary_profile() == batch.boundary_profile()
+        assert scalar.maximal_safe_offset_mv() == batch.maximal_safe_offset_mv()
+
+
+class TestGeneratorEquivalencePins:
+    """The numpy Generator facts the batch draw loop is built on.
+
+    If a numpy upgrade ever changes these, the identity suite above fails
+    too — these pins exist to point at the *cause* immediately.
+    """
+
+    def test_bounded_integers_array_equals_scalar_sequence(self):
+        """integers(0, 64, size=k) consumes bit-generator state exactly
+        like k scalar integers(0, 64) calls — including the 32-bit
+        half-word carry buffer that odd counts leave behind."""
+        for seed in range(20):
+            for size in (1, 2, 3, 7, 16):
+                a = np.random.default_rng(seed)
+                b = np.random.default_rng(seed)
+                array = a.integers(0, 64, size=size)
+                scalars = [int(b.integers(0, 64)) for _ in range(size)]
+                assert array.tolist() == scalars
+                # Same internal state afterwards: the next draws agree.
+                assert int(a.integers(0, 2**62)) == int(b.integers(0, 2**62))
+
+    def test_choice_consumption_depends_on_carry_buffer(self):
+        """choice(n, size=k, replace=False) consumes the buffered 32-bit
+        half-word when one is pending — so its stream consumption cannot
+        be imitated by raw 64-bit draws.  This is why the batch path
+        replays choice verbatim instead of substituting cheaper draws."""
+        fresh = np.random.default_rng(99)
+        fresh.choice(1_000_000, size=4, replace=False)
+        fresh_state = fresh.bit_generator.state["has_uint32"]
+
+        carrying = np.random.default_rng(99)
+        carrying.integers(0, 64)  # leaves a 32-bit half-word pending
+        carrying.choice(1_000_000, size=4, replace=False)
+        carrying_state = carrying.bit_generator.state["has_uint32"]
+
+        assert fresh_state != carrying_state
+
+    def test_shared_fault_model_does_not_change_rows(self):
+        """run_row_batch caches one FaultModel per framework; the cache is
+        pure, so a fresh framework (cold cache) and a reused one (warm
+        cache) produce identical rows."""
+        framework = CharacterizationFramework(COMET_LAKE, config=COARSE, seed=2024)
+        base = COMET_LAKE.frequency_table.base_ghz
+        warm_first = framework.run_row_batch(base)
+        warm_second = framework.run_row_batch(base)
+        cold = CharacterizationFramework(
+            COMET_LAKE, config=COARSE, seed=2024
+        ).run_row_batch(base)
+        assert warm_first == warm_second == cold
+        assert isinstance(framework._vector_fault_model, FaultModel)
