@@ -1,6 +1,6 @@
 # Plug Your Volt reproduction — common tasks.
 
-.PHONY: install test bench vector-bench campaign chaos fuzz examples artifacts trace-demo profile-demo clean
+.PHONY: install test bench vector-bench campaign explore chaos fuzz examples artifacts trace-demo profile-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -21,6 +21,14 @@ vector-bench:
 # across a process pool (EXECUTOR/WORKERS overridable).
 campaign:
 	python -m repro campaign --executor $${EXECUTOR:-process} --workers $${WORKERS:-4}
+
+# Exhaustive fault-space exploration of the RSA-CRT signer: undefended
+# map, protected map, and the coverage diff.  Exits nonzero unless the
+# countermeasure drives the exploitable set to exactly zero.
+explore:
+	python -m repro explore run --cpu "$${CPU:-Sky Lake}" --json explore-open.json
+	python -m repro explore run --cpu "$${CPU:-Sky Lake}" --protect --json explore-protected.json
+	python -m repro explore report explore-open.json explore-protected.json
 
 # Campaign under seeded chaos (worker kills, injected errors, stalls,
 # torn cache writes) followed by a byte-identity convergence check

@@ -54,6 +54,9 @@ class OffsetSearch:
     core_index: int = 0
     max_crashes: int = 3
     probes: List[SearchPoint] = field(default_factory=list)
+    #: Core frequency observed before the scan pinned its own, so
+    #: :meth:`restore` can put the victim back where it found it.
+    _pre_scan_ghz: Optional[float] = field(default=None, init=False, repr=False)
 
     def find_faulting_offset(self) -> Optional[int]:
         """Return the shallowest offset that produced faults, or None.
@@ -66,6 +69,7 @@ class OffsetSearch:
         """
         settle = self.machine.model.regulator_latency_s * 1.2
         crashes = 0
+        self._pre_scan_ghz = self.machine.conditions(self.core_index).frequency_ghz
         self.machine.cpupower.frequency_set(self.frequency_ghz, core_index=self.core_index)
         for offset in range(self.start_mv, self.stop_mv - 1, -self.step_mv):
             self.machine.write_voltage_offset(offset, self.core_index)
@@ -92,8 +96,16 @@ class OffsetSearch:
         return None
 
     def restore(self) -> None:
-        """Put the core back to a zero offset (cover the tracks)."""
+        """Put the core back to a zero offset and its pre-scan frequency.
+
+        Covering the tracks means undoing *both* pins the search left
+        behind: the voltage offset and the attacker's frequency pin.
+        """
         self.machine.write_voltage_offset(0, self.core_index)
+        if self._pre_scan_ghz is not None:
+            self.machine.cpupower.frequency_set(
+                self._pre_scan_ghz, core_index=self.core_index
+            )
         self.machine.advance(self.machine.model.regulator_latency_s * 1.2)
 
 
@@ -130,6 +142,7 @@ class AttackSurfaceScan:
 
     def run(self) -> "AttackSurfaceScan":
         """Scan the grid; crashes reboot the box and end that frequency."""
+        pre_scan_ghz = self.machine.conditions(self.core_index).frequency_ghz
         table = self.machine.model.frequency_table
         frequencies = (
             self.frequencies_ghz
@@ -163,6 +176,11 @@ class AttackSurfaceScan:
                 )
             self.machine.write_voltage_offset(0, self.core_index)
             self.machine.advance(settle)
+        # A post-scan victim must run at its pre-scan frequency: leaving
+        # the last scanned pin in place is itself an observable DVFS
+        # side effect (and skews any experiment that reuses the machine).
+        self.machine.cpupower.frequency_set(pre_scan_ghz, core_index=self.core_index)
+        self.machine.advance(settle)
         return self
 
     def faulting_points(self) -> List[SearchPoint]:

@@ -180,6 +180,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "(implies --checkpoint DIR)",
     )
 
+    explore = sub.add_parser(
+        "explore",
+        help="exhaustively map the RSA-CRT fault space (ARMORY-style)",
+    )
+    explore_sub = explore.add_subparsers(dest="explore_command", required=True)
+    e_run = explore_sub.add_parser(
+        "run", help="enumerate, prune and simulate one explore plan"
+    )
+    e_run.add_argument("--cpu", default="Sky Lake", help="CPU codename")
+    e_run.add_argument(
+        "--protect",
+        action="store_true",
+        help="characterize first and load the polling countermeasure",
+    )
+    e_run.add_argument(
+        "--key-bits", type=int, default=128, help="RSA key size (default 128)"
+    )
+    e_run.add_argument(
+        "--frequencies",
+        metavar="GHZ[,GHZ...]",
+        default=None,
+        help="comma-separated frequency list (default: every 6th table entry)",
+    )
+    e_run.add_argument(
+        "--offsets",
+        metavar="MV[,MV...]",
+        default=None,
+        help="comma-separated undervolt offsets (default: -40..-280 step 40)",
+    )
+    e_run.add_argument(
+        "--models",
+        metavar="NAME[,NAME...]",
+        default=None,
+        help="fault models (default: flip:0,flip:63,trunc64,zero)",
+    )
+    e_run.add_argument(
+        "--rows-per-job",
+        type=int,
+        default=8,
+        help="fault-space elements per engine job shard (pure scheduling)",
+    )
+    e_run.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default=None,
+        help="engine executor (default: REPRO_EXECUTOR or serial)",
+    )
+    e_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (implies --executor process)",
+    )
+    e_run.add_argument(
+        "--json", metavar="PATH", default=None, help="write the canonical map here"
+    )
+    e_report = explore_sub.add_parser(
+        "report",
+        help="render a coverage report from one or two exploitability maps "
+        "(with two, nonzero exit unless the defended map's exploitable "
+        "set is exactly empty)",
+    )
+    e_report.add_argument("open_map", metavar="OPEN_JSON", help="undefended map")
+    e_report.add_argument(
+        "protected_map",
+        metavar="PROTECTED_JSON",
+        nargs="?",
+        default=None,
+        help="defended map to diff against",
+    )
+
     fuzz = sub.add_parser(
         "fuzz",
         help="fuzz adversarial DVFS schedules under the runtime invariant checker",
@@ -718,6 +789,104 @@ def _cmd_attack(args) -> int:
     for note in outcome.notes:
         print(f"note: {note}")
     return 0 if not outcome.succeeded else 1
+
+
+def _cmd_explore(args) -> int:
+    from repro.explore import (
+        DEFAULT_FAULT_MODELS,
+        ExplorePlan,
+        canonical_json,
+        coverage_holds,
+        load_map,
+        render_report,
+    )
+
+    if args.explore_command == "report":
+        open_map = load_map(args.open_map)
+        protected_map = (
+            load_map(args.protected_map) if args.protected_map else None
+        )
+        print(render_report(open_map, protected_map))
+        if protected_map is None:
+            return 0
+        return 0 if coverage_holds(open_map, protected_map) else 1
+
+    from repro.engine import EngineSession, RetryPolicy, make_executor, set_session
+
+    model = model_by_codename(args.cpu)
+    if args.executor is not None or args.workers is not None:
+        executor = make_executor(
+            args.executor or "process",
+            workers=args.workers,
+            policy=RetryPolicy.from_env(),
+        )
+        session = set_session(EngineSession(executor=executor))
+    else:
+        session = get_session()
+    table = model.frequency_table
+    frequencies = (
+        tuple(float(raw) for raw in args.frequencies.split(","))
+        if args.frequencies
+        else tuple(list(table.frequencies_ghz())[::6])
+    )
+    offsets = (
+        tuple(int(raw) for raw in args.offsets.split(","))
+        if args.offsets
+        else tuple(range(-40, -281, -40))
+    )
+    models = (
+        tuple(args.models.split(",")) if args.models else DEFAULT_FAULT_MODELS
+    )
+    unsafe_json = None
+    if args.protect:
+        result = _characterize(model, args.seed)
+        unsafe_json = _json.dumps(result.unsafe_states.to_dict(), sort_keys=True)
+        print("polling countermeasure deployed per probed machine")
+    plan = ExplorePlan(
+        codename=model.codename,
+        frequencies_ghz=frequencies,
+        offsets_mv=offsets,
+        fault_models=models,
+        key_bits=args.key_bits,
+        protect=args.protect,
+        unsafe_json=unsafe_json,
+        seed=args.seed,
+    )
+    document = session.explore(plan, rows_per_job=args.rows_per_job)
+    stats, summary = document["stats"], document["summary"]
+    print(render_table(
+        ["axis", "enumerated", "pruned", "simulated"],
+        [
+            (
+                "points",
+                stats["points_enumerated"],
+                stats["points_pruned_safe"],
+                stats["points_probed"],
+            ),
+            (
+                "injections",
+                stats["injections_enumerated"],
+                stats["injections_pruned_masked"]
+                + stats["injections_pruned_equivalent"],
+                stats["injections_simulated"],
+            ),
+        ],
+        title=f"Fault-space exploration: {model.codename} "
+        f"({'protected' if args.protect else 'open'})",
+    ))
+    print(
+        f"feasible points: {summary['feasible_points']}  "
+        f"crash points: {summary['crash_points']}  "
+        f"exploitable pairs: {summary['exploitable_pairs']}  "
+        f"exploitable points: {summary['exploitable_points']}"
+    )
+    run_id = session.record_run()
+    if run_id:
+        print(f"recorded as run {run_id[:12]}")
+    if args.json:
+        write_text(Path(args.json), canonical_json(document))
+        print(f"map written to {args.json}")
+    return 0
 
 
 def _cmd_campaign(args) -> int:
@@ -1700,6 +1869,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_attack(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "chaos":

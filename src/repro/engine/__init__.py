@@ -47,6 +47,8 @@ from repro.engine.jobs import (
     BatchCharacterizationJob,
     CharacterizationJob,
     CharacterizationRowJob,
+    ExploreInjectionJob,
+    ExplorePointJob,
     FuzzJob,
     JobResult,
     JobSpec,
@@ -75,6 +77,8 @@ __all__ = [
     "ChaosPolicy",
     "CharacterizationJob",
     "CharacterizationRowJob",
+    "ExploreInjectionJob",
+    "ExplorePointJob",
     "DEFAULT_SEED",
     "EXECUTOR_ENV",
     "EngineSession",

@@ -453,6 +453,175 @@ class FuzzJob(JobSpec):
         return run_schedule(self.schedule(), telemetry=telemetry)
 
 
+@dataclass(frozen=True)
+class ExplorePointJob(JobSpec):
+    """A shard of explore operating points probed on live machines.
+
+    Each point gets a *fresh* machine seeded from its own named stream
+    (keyed by codename, frequency and offset only), so the probed record
+    is independent of how points are chunked into jobs and of which
+    executor runs the shard — the same byte-identity contract the
+    characterization shards honour.  The probe writes the attacker's
+    (frequency, offset) through the public interfaces, waits out the
+    regulator (and, when protected, several countermeasure poll
+    periods), then classifies the *realized* conditions with the scalar
+    fault model — no instruction windows run, so a predicted-crash point
+    cannot take the worker down.
+    """
+
+    kind: ClassVar[str] = "explore-point"
+
+    codename: str
+    points: Tuple[Tuple[float, int], ...]
+    protect: bool
+    seed: int
+    #: ``UnsafeStateSet.to_dict()`` as canonical JSON (required when
+    #: ``protect`` — the deployed defense's whole configuration).
+    unsafe_json: Optional[str] = None
+    instructions: Tuple[str, ...] = ("imul",)
+
+    def __post_init__(self) -> None:
+        if self.protect and self.unsafe_json is None:
+            raise ConfigurationError(
+                "protected explore-point jobs must carry the characterized "
+                "unsafe-state set (unsafe_json)"
+            )
+
+    def seed_path(self) -> Tuple[str, ...]:
+        first = self.points[0] if self.points else (0.0, 0)
+        return (
+            "explore",
+            self.codename,
+            "protected" if self.protect else "open",
+            f"points@{first[0]:.6f}/{first[1]}",
+        )
+
+    def _point_seed(self, frequency_ghz: float, offset_mv: int) -> int:
+        """Per-point machine seed, independent of the job's chunking."""
+        return (
+            seed_stream(
+                self.seed,
+                "explore",
+                self.codename,
+                f"point@{frequency_ghz:.6f}/{offset_mv}",
+            )
+            .child("machine")
+            .integer()
+        )
+
+    def probe_point(
+        self, frequency_ghz: float, offset_mv: int, telemetry: Telemetry
+    ) -> Dict[str, Any]:
+        """Probe one operating point on a fresh (optionally defended) machine."""
+        from repro.core.polling_module import PollingCountermeasure
+        from repro.faults.margin import FaultModel
+        from repro.testbench import Machine
+
+        model = model_by_codename(self.codename)
+        machine = Machine.build(
+            model, seed=self._point_seed(frequency_ghz, offset_mv), telemetry=telemetry
+        )
+        settle = model.regulator_latency_s * 1.2
+        if self.protect:
+            unsafe = UnsafeStateSet.from_dict(json.loads(self.unsafe_json))
+            module = PollingCountermeasure(machine, unsafe)
+            machine.modules.insmod(module)
+            settle += 4.0 * module.period_s
+        machine.cpupower.frequency_set(frequency_ghz, core_index=0)
+        machine.write_voltage_offset(offset_mv, 0)
+        machine.advance(settle)
+        realized = machine.conditions(0)
+        fault_model = FaultModel(model)
+        probabilities = {
+            instruction: fault_model.fault_probability(
+                realized.frequency_ghz,
+                realized.voltage_volts,
+                instruction=instruction,
+            )
+            for instruction in self.instructions
+        }
+        crash = fault_model.is_crash(
+            realized.frequency_ghz, realized.voltage_volts
+        )
+        if crash:
+            status = "crash"
+        elif any(probability > 0.0 for probability in probabilities.values()):
+            status = "feasible"
+        else:
+            status = "safe"
+        return {
+            "frequency_ghz": frequency_ghz,
+            "offset_mv": offset_mv,
+            "status": status,
+            "realized_frequency_ghz": realized.frequency_ghz,
+            "realized_offset_mv": realized.offset_mv,
+            "realized_voltage_volts": realized.voltage_volts,
+            "fault_probability": {
+                name: probabilities[name] for name in sorted(probabilities)
+            },
+        }
+
+    def run(self, telemetry: Telemetry) -> List[Dict[str, Any]]:
+        return [
+            self.probe_point(frequency, offset, telemetry)
+            for frequency, offset in self.points
+        ]
+
+
+@dataclass(frozen=True)
+class ExploreInjectionJob(JobSpec):
+    """A shard of single-fault replays of the RSA-CRT victim.
+
+    Pure arithmetic: the key and golden signature regenerate
+    deterministically from the spec (the FuzzJob pattern — the spec
+    stays tiny, the fingerprint still covers the whole replay), each
+    (op_index, model) representative replays the signature with exactly
+    that operation corrupted, and the verdict is one of ``masked`` (the
+    signature survived), ``exploitable`` (Bellcore factoring recovered
+    the key's primes) or ``corrupted`` (wrong but unexploitable).
+    """
+
+    kind: ClassVar[str] = "explore-injection"
+
+    key_bits: int
+    key_seed: int
+    message: int
+    #: (op_index, fault_model) representatives to replay.
+    reps: Tuple[Tuple[int, str], ...]
+    seed: int = 0
+
+    def seed_path(self) -> Tuple[str, ...]:
+        first = self.reps[0] if self.reps else (0, "-")
+        return ("explore", "inject", f"reps@{first[0]}/{first[1]}")
+
+    def run(self, telemetry: Telemetry) -> List[Dict[str, Any]]:
+        from repro.attacks.rsa_crt import RSAKey, bellcore_extract
+        from repro.explore.faultspace import corruptor
+        from repro.explore.victim import replay_with_fault, trace_victim
+
+        key = RSAKey.generate(self.key_bits, seed=self.key_seed)
+        trace = trace_victim(key, self.message)
+        verdicts: List[Dict[str, Any]] = []
+        for op_index, model in self.reps:
+            signature = replay_with_fault(
+                key, self.message, op_index, corruptor(model)
+            )
+            if signature == trace.golden_signature:
+                verdict = "masked"
+            else:
+                result = bellcore_extract(key.n, key.e, self.message, signature)
+                if result is not None and result.factors() == tuple(
+                    sorted((key.p, key.q))
+                ):
+                    verdict = "exploitable"
+                else:
+                    verdict = "corrupted"
+            verdicts.append(
+                {"op_index": op_index, "model": model, "verdict": verdict}
+            )
+        return verdicts
+
+
 @dataclass
 class JobResult:
     """What one executed job hands back to the session."""

@@ -463,6 +463,22 @@ class EngineSession:
         self.cache.put(fingerprint, result)
         return result
 
+    # -- fault-space exploration -------------------------------------------------
+
+    def explore(self, plan, *, rows_per_job: int = 8) -> dict:
+        """Run an :class:`repro.explore.ExplorePlan` through this session.
+
+        Thin delegate to :func:`repro.explore.runner.run_explore`: the
+        plan is pruned, the surviving fault-space shards run as
+        cache-aware, checkpointable, registry-recorded jobs like any
+        other campaign, and the canonical exploitability map comes back.
+        ``rows_per_job`` is pure scheduling — the map is byte-identical
+        whatever the chunking or executor.
+        """
+        from repro.explore.runner import run_explore
+
+        return run_explore(plan, session=self, rows_per_job=rows_per_job)
+
     # -- lifecycle ---------------------------------------------------------------
 
     def clear_cache(self) -> None:

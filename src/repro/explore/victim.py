@@ -1,0 +1,192 @@
+"""Tracing and replaying the RSA-CRT victim's multiplication sequence.
+
+The explorer needs to address every multiplication the victim issues —
+"operation 173 of the signature" — and to re-run the signature with
+exactly one of those operations corrupted.  Both needs are met by ALUs
+that share :class:`~repro.faults.alu.BigIntALU`'s ``modmul``/``modexp``
+with the attack-path :class:`~repro.faults.alu.FaultableALU`, so the
+traced operation indices address the fault-injecting ALU's
+multiplications one for one:
+
+* :class:`TracingALU` executes the signature exactly and records every
+  ``bigmul`` — operands, exact product, and the modulus the product is
+  reduced by immediately afterwards (``None`` for the final Garner
+  recombination multiply, which is consumed mod ``n``).
+* :class:`ReplayALU` re-executes the signature with real arithmetic but
+  returns a corrupted product at exactly one operation index — the
+  deterministic single-fault adversary of the ARMORY model.
+
+Region labels are assigned post hoc from the exponent structure:
+square-and-multiply over ``e`` issues ``popcount(e) + bit_length(e) - 1``
+modular multiplications, so the trace splits exactly into the ``sp`` and
+``sq`` exponentiations followed by the two Garner recombination ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.attacks.rsa_crt import RSACRTSigner, RSAKey
+from repro.errors import ConfigurationError
+from repro.faults.alu import BigIntALU
+
+#: Region labels in trace order.
+REGION_SP = "sp"
+REGION_SQ = "sq"
+REGION_RECOMBINE_H = "recombine-h"
+REGION_RECOMBINE_MUL = "recombine-mul"
+
+#: Instruction class every big-integer limb multiply decomposes into.
+VICTIM_INSTRUCTION = "imul"
+
+
+def modexp_op_count(exponent: int) -> int:
+    """Number of ``modmul`` calls ``BigIntALU.modexp`` issues for ``exponent``.
+
+    One multiply per set bit plus one squaring per doubling step:
+    ``popcount(e) + bit_length(e) - 1`` (zero for ``e == 0``).
+    """
+    if exponent < 0:
+        raise ConfigurationError("exponent must be non-negative")
+    if exponent == 0:
+        return 0
+    return bin(exponent).count("1") + exponent.bit_length() - 1
+
+
+@dataclass
+class TracedOp:
+    """One recorded ``bigmul`` of the victim signature.
+
+    ``reduce_mod`` is the modulus applied to the product immediately
+    after (by ``modmul``); ``None`` marks the final recombination
+    multiply, whose product is consumed mod ``n`` by the signer itself.
+    ``region`` is assigned post hoc by :func:`trace_victim`.
+    """
+
+    index: int
+    lhs: int
+    rhs: int
+    product: int
+    reduce_mod: Optional[int] = None
+    region: str = ""
+    instruction: str = VICTIM_INSTRUCTION
+
+
+class TracingALU(BigIntALU):
+    """Executes arithmetic exactly while recording every ``bigmul``."""
+
+    def __init__(self) -> None:
+        self.ops: List[TracedOp] = []
+
+    def bigmul(self, lhs: int, rhs: int) -> int:
+        if lhs < 0 or rhs < 0:
+            raise ConfigurationError("bigmul operates on non-negative integers")
+        product = lhs * rhs
+        self.ops.append(
+            TracedOp(index=len(self.ops), lhs=lhs, rhs=rhs, product=product)
+        )
+        return product
+
+    def modmul(self, lhs: int, rhs: int, modulus: int) -> int:
+        result = super().modmul(lhs, rhs, modulus)
+        # The op just recorded by bigmul is the one this reduction consumes.
+        self.ops[-1].reduce_mod = modulus
+        return result
+
+
+class ReplayALU(BigIntALU):
+    """Executes arithmetic exactly except at one corrupted operation.
+
+    ``corruptor`` maps the exact product of operation ``target_index`` to
+    the value the faulted multiplier would have produced; every other
+    operation is computed correctly.  This is the deterministic
+    single-fault adversary: one transient fault per signature.
+    """
+
+    def __init__(self, target_index: int, corruptor: Callable[[int], int]) -> None:
+        self.target_index = target_index
+        self.corruptor = corruptor
+        self.op_count = 0
+
+    def bigmul(self, lhs: int, rhs: int) -> int:
+        if lhs < 0 or rhs < 0:
+            raise ConfigurationError("bigmul operates on non-negative integers")
+        product = lhs * rhs
+        if self.op_count == self.target_index:
+            product = self.corruptor(product)
+        self.op_count += 1
+        return product
+
+
+@dataclass(frozen=True)
+class VictimTrace:
+    """The victim signature's full, regioned multiplication trace."""
+
+    key: RSAKey
+    message: int
+    golden_signature: int
+    ops: Tuple[TracedOp, ...]
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops)
+
+    def region_sizes(self) -> dict:
+        """Op counts per region, in trace order."""
+        sizes: dict = {}
+        for op in self.ops:
+            sizes[op.region] = sizes.get(op.region, 0) + 1
+        return sizes
+
+    def consumed_modulus(self, op: TracedOp) -> int:
+        """The modulus the op's product is effectively consumed under.
+
+        ``modmul`` ops are reduced by their recorded modulus; the final
+        recombination product enters ``(s_q + q*h) % n``, so only its
+        residue mod ``n`` can reach the signature.
+        """
+        return op.reduce_mod if op.reduce_mod is not None else self.key.n
+
+
+def trace_victim(key: RSAKey, message: int) -> VictimTrace:
+    """Trace one RSA-CRT signature and label every op with its region.
+
+    The region boundaries are derived from the exponent structure and
+    asserted against the recorded trace, so a drift between the signer's
+    op sequence and the explorer's addressing is a hard error, never a
+    silently misattributed fault.
+    """
+    alu = TracingALU()
+    golden = RSACRTSigner(key).sign(alu, message)
+    n_sp = modexp_op_count(key.dp)
+    n_sq = modexp_op_count(key.dq)
+    expected = n_sp + n_sq + 2  # + Garner h-multiply + final recombination
+    if len(alu.ops) != expected:
+        raise ConfigurationError(
+            f"victim trace recorded {len(alu.ops)} ops, expected {expected} "
+            f"(sp={n_sp}, sq={n_sq}, recombine=2)"
+        )
+    for op in alu.ops:
+        if op.index < n_sp:
+            op.region = REGION_SP
+        elif op.index < n_sp + n_sq:
+            op.region = REGION_SQ
+        elif op.index == n_sp + n_sq:
+            op.region = REGION_RECOMBINE_H
+        else:
+            op.region = REGION_RECOMBINE_MUL
+    if alu.ops[-1].reduce_mod is not None:
+        raise ConfigurationError(
+            "final recombination op unexpectedly carries a reduce modulus"
+        )
+    return VictimTrace(
+        key=key, message=message, golden_signature=golden, ops=tuple(alu.ops)
+    )
+
+
+def replay_with_fault(
+    key: RSAKey, message: int, op_index: int, corruptor: Callable[[int], int]
+) -> int:
+    """The signature produced with operation ``op_index`` corrupted."""
+    return RSACRTSigner(key).sign(ReplayALU(op_index, corruptor), message)

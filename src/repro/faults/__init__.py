@@ -7,6 +7,7 @@ the victim payloads (the ``imul`` loop of Algo 2's EXECUTE thread, the
 RSA-CRT signer used to weaponise faults, and friends).
 """
 
+from repro.faults.alu import ALUStats, BigIntALU, FaultableALU
 from repro.faults.injector import FaultEvent, FaultInjector, WindowOutcome
 from repro.faults.margin import (
     BASE_FAULT_RATE_PER_OP,
@@ -16,6 +17,9 @@ from repro.faults.margin import (
 )
 
 __all__ = [
+    "ALUStats",
+    "BigIntALU",
+    "FaultableALU",
     "FaultEvent",
     "FaultInjector",
     "WindowOutcome",

@@ -33,8 +33,53 @@ class ALUStats:
     fault_count: int = 0
 
 
+class BigIntALU:
+    """Big-integer arithmetic expressed over an abstract ``bigmul``.
+
+    ``modmul`` and ``modexp`` are defined once, here, purely in terms of
+    :meth:`bigmul` — so every subclass (the fault-injecting
+    :class:`FaultableALU`, the tracing/replaying ALUs of
+    :mod:`repro.explore`) issues *exactly* the same multiplication
+    sequence for the same inputs.  That shared op sequence is what lets
+    the explorer's traced operation indices address the attack ALU's
+    multiplications one for one.
+    """
+
+    def bigmul(self, lhs: int, rhs: int) -> int:
+        """Arbitrary-precision multiply (subclasses implement)."""
+        raise NotImplementedError
+
+    def modmul(self, lhs: int, rhs: int, modulus: int) -> int:
+        """Modular multiplication through :meth:`bigmul`."""
+        if modulus <= 0:
+            raise ConfigurationError("modulus must be positive")
+        return self.bigmul(lhs, rhs) % modulus
+
+    def modexp(self, base: int, exponent: int, modulus: int) -> int:
+        """Square-and-multiply modular exponentiation.
+
+        The workhorse of the RSA-CRT victim: hundreds of modular
+        multiplications per exponentiation, every one through
+        :meth:`bigmul`.
+        """
+        if modulus <= 0:
+            raise ConfigurationError("modulus must be positive")
+        if exponent < 0:
+            raise ConfigurationError("exponent must be non-negative")
+        result = 1 % modulus
+        acc = base % modulus
+        e = exponent
+        while e:
+            if e & 1:
+                result = self.modmul(result, acc, modulus)
+            e >>= 1
+            if e:
+                acc = self.modmul(acc, acc, modulus)
+        return result
+
+
 @dataclass
-class FaultableALU:
+class FaultableALU(BigIntALU):
     """Executes arithmetic under live (frequency, voltage) conditions.
 
     Parameters
@@ -101,30 +146,3 @@ class FaultableALU:
         fault_bit = (row + col) * 64 + event.flipped_bit
         self.stats.fault_count += 1
         return product ^ (1 << fault_bit)
-
-    def modmul(self, lhs: int, rhs: int, modulus: int) -> int:
-        """Faultable modular multiplication."""
-        if modulus <= 0:
-            raise ConfigurationError("modulus must be positive")
-        return self.bigmul(lhs, rhs) % modulus
-
-    def modexp(self, base: int, exponent: int, modulus: int) -> int:
-        """Square-and-multiply modular exponentiation on the faultable ALU.
-
-        The workhorse of the RSA-CRT victim: hundreds of faultable modular
-        multiplications per exponentiation.
-        """
-        if modulus <= 0:
-            raise ConfigurationError("modulus must be positive")
-        if exponent < 0:
-            raise ConfigurationError("exponent must be non-negative")
-        result = 1 % modulus
-        acc = base % modulus
-        e = exponent
-        while e:
-            if e & 1:
-                result = self.modmul(result, acc, modulus)
-            e >>= 1
-            if e:
-                acc = self.modmul(acc, acc, modulus)
-        return result

@@ -105,6 +105,22 @@ class FaultInjector:
         """The scenario-owned random generator all sampling flows through."""
         return self._rng
 
+    def _record_crash(self, conditions: OperatingConditions) -> None:
+        """Count a crash and emit its ``fault.crash`` trace instant.
+
+        The single crash-recording path for both window and
+        single-instruction execution, so crashes on the RSA-CRT /
+        explorer path show up in traces and flight-recorder dumps
+        exactly like characterization-window crashes do.
+        """
+        self._crashes_counter.inc()
+        if self._trace_on:
+            self._tracer.instant(
+                "fault.crash", "fault", self._clock(), track="faults",
+                frequency_ghz=conditions.frequency_ghz,
+                offset_mv=conditions.offset_mv,
+            )
+
     def flip_random_bit(self, value: int) -> FaultEvent:
         """Corrupt a 64-bit value by flipping one random bit."""
         bit = int(self._rng.integers(0, 64))
@@ -140,13 +156,7 @@ class FaultInjector:
             conditions.frequency_ghz, conditions.voltage_volts
         )
         if crashed:
-            self._crashes_counter.inc()
-            if self._trace_on:
-                self._tracer.instant(
-                    "fault.crash", "fault", self._clock(), track="faults",
-                    frequency_ghz=conditions.frequency_ghz,
-                    offset_mv=conditions.offset_mv,
-                )
+            self._record_crash(conditions)
         if crashed and raise_on_crash:
             if self.observer is not None:
                 self.observer(conditions, 0, True, instruction)
@@ -208,10 +218,14 @@ class FaultInjector:
         """Single-instruction variant: returns a fault event or ``None``.
 
         Used by the RSA-CRT and single-stepping attack paths, where each
-        individual arithmetic operation matters.
+        individual arithmetic operation matters.  A probe counts as a
+        one-instruction window, and a crash goes through the same
+        recording path as :meth:`run_window` — so single-instruction
+        crashes are visible in traces and counters too.
         """
+        self._windows_counter.inc()
         if self._fault_model.is_crash(conditions.frequency_ghz, conditions.voltage_volts):
-            self._crashes_counter.inc()
+            self._record_crash(conditions)
             if self.observer is not None:
                 self.observer(conditions, 0, True, instruction)
             raise MachineCheckError(

@@ -97,7 +97,11 @@ class FaultModel:
         temp_key = (
             None if self.temperature_c is None else round(self.temperature_c, 1)
         )
-        key = (round(frequency_ghz * 10), temp_key)
+        # Key on micro-hertz precision, not the 0.1 GHz characterization
+        # grid: a coarse `round(f * 10)` bucket silently served one cached
+        # critical voltage for *every* frequency within the same 0.1 GHz
+        # (e.g. a fine explorer sweep probing 3.61 and 3.64 GHz).
+        key = (round(frequency_ghz * 1e6), temp_key)
         cached = self._vcrit_cache.get(key)
         if cached is None:
             cached = self.analyzer.critical_voltage(

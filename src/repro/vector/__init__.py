@@ -27,11 +27,13 @@ from repro.vector.characterization import MAX_RECORDED_EVENTS, run_row_batch
 from repro.vector.kernels import (
     BudgetGrid,
     FaultGrid,
+    FeasibilityGrid,
     MaskedGrid,
     SafetyGrid,
     crash_voltage_grid,
     critical_voltage_grid,
     effective_voltage_grid,
+    explore_feasibility_grid,
     fault_grid,
     path_delay_grid,
     phi_grid,
@@ -55,6 +57,7 @@ from repro.vector.profile import (
 __all__ = [
     "BudgetGrid",
     "FaultGrid",
+    "FeasibilityGrid",
     "MAX_RECORDED_EVENTS",
     "MaskedGrid",
     "SafetyGrid",
@@ -63,6 +66,7 @@ __all__ = [
     "critical_voltage_grid",
     "detach_kernel_profiler",
     "effective_voltage_grid",
+    "explore_feasibility_grid",
     "fault_grid",
     "kernel_profiler",
     "path_delay_grid",

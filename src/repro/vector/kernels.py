@@ -141,6 +141,22 @@ class FaultGrid:
     crash: np.ndarray
 
 
+@dataclass(frozen=True)
+class FeasibilityGrid:
+    """Explorer verdicts for one frequency over an offset array.
+
+    ``safe`` means *provably* fault-free for every listed instruction
+    class and not past the crash boundary — the tier-1 prune of
+    :mod:`repro.explore`.  ``fault_probability`` is the maximum over the
+    instruction classes (the most sensitive one dominates feasibility).
+    """
+
+    voltage_volts: np.ndarray
+    fault_probability: np.ndarray
+    crash: np.ndarray
+    safe: np.ndarray
+
+
 # -- timing kernels (delay model / critical path) --------------------------------
 
 
@@ -488,4 +504,44 @@ def fault_grid(
     )
     return FaultGrid(
         violated_fraction=fraction, fault_probability=probability, crash=crash
+    )
+
+
+def explore_feasibility_grid(
+    fault_model: FaultModel,
+    frequency_ghz: float,
+    offsets_mv: ArrayLike,
+    *,
+    instructions: tuple = ("imul",),
+) -> FeasibilityGrid:
+    """Safe/feasible/crash verdicts for one frequency over an offset array.
+
+    Composes :func:`effective_voltage_grid` with one :func:`fault_grid`
+    per instruction class — pointwise identical to asking the scalar
+    ``FaultModel`` about each (frequency, offset, instruction) in turn.
+    The ``safe`` mask is the explorer's tier-1 prune: it demands zero
+    fault probability for *every* instruction class plus no crash, and
+    because ``violated_fraction`` is monotone decreasing in voltage the
+    verdict survives any remediation that raises the effective voltage
+    (the polling countermeasure's only intervention).
+    """
+    if not instructions:
+        raise ConfigurationError("instructions must name at least one class")
+    voltages = effective_voltage_grid(
+        fault_model.vf_curve, frequency_ghz, offsets_mv
+    )
+    probability = np.zeros(voltages.shape)
+    crash = np.zeros(voltages.shape, dtype=bool)
+    for instruction in instructions:
+        grid = fault_grid(
+            fault_model, frequency_ghz, voltages, instruction=instruction
+        )
+        probability = np.maximum(probability, grid.fault_probability)
+        crash |= grid.crash
+    safe = (probability == 0.0) & ~crash
+    return FeasibilityGrid(
+        voltage_volts=voltages,
+        fault_probability=probability,
+        crash=crash,
+        safe=safe,
     )

@@ -60,6 +60,17 @@ class TestOffsetSearch:
             0.0, abs=1.0
         )
 
+    def test_restore_returns_pre_scan_frequency(self, machine):
+        # Regression: restore() used to zero only the voltage offset,
+        # leaving the attacker's frequency pin behind.
+        before = machine.conditions(0).frequency_ghz
+        search = OffsetSearch(machine, frequency_ghz=2.0)
+        assert before != 2.0
+        search.find_faulting_offset()
+        assert machine.conditions(0).frequency_ghz == pytest.approx(2.0)
+        search.restore()
+        assert machine.conditions(0).frequency_ghz == pytest.approx(before)
+
     def test_gives_up_after_crashes(self, machine):
         # Start the search beyond the crash boundary.
         search = OffsetSearch(
@@ -219,3 +230,14 @@ class TestAttackSurfaceScan:
         assert [p.offset_mv for p in scan.points] == [-120]
         assert scan.points[0].crashed
         assert machine.crash_count == 1
+
+    def test_scan_restores_pre_scan_frequency(self, machine):
+        from repro.attacks.search import AttackSurfaceScan
+
+        # Regression: the scan used to leave its last frequency pin in
+        # place, so a post-scan victim ran at the attacker's frequency.
+        before = machine.conditions(0).frequency_ghz
+        AttackSurfaceScan(
+            machine, frequencies_ghz=[1.8, 3.4], offsets_mv=[-60, -90]
+        ).run()
+        assert machine.conditions(0).frequency_ghz == pytest.approx(before)

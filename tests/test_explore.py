@@ -1,0 +1,290 @@
+"""The fault-space explorer: trace fidelity, pruning soundness, identity.
+
+Three contracts matter here:
+
+* the traced victim addresses the attack ALU's multiplication sequence
+  one for one (region boundaries derived from the exponent structure);
+* every pruned fault-space element is *provably* uninteresting — the
+  brute-force tests below re-simulate pruned elements and demand the
+  pruned verdict;
+* the exploitability map is byte-identical across shardings and
+  executors, reports a non-empty exploitable set on the undefended
+  Sky Lake machine, and an exactly empty one with the polling
+  countermeasure loaded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks.rsa_crt import RSAKey, bellcore_extract
+from repro.engine import (
+    EngineSession,
+    ExploreInjectionJob,
+    ExplorePointJob,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.engine.cache import ResultCache
+from repro.errors import ConfigurationError
+from repro.explore import (
+    DEFAULT_FAULT_MODELS,
+    ExplorePlan,
+    ReplayALU,
+    TracedOp,
+    VictimTrace,
+    canonical_json,
+    corrupt,
+    corruptor,
+    coverage_holds,
+    enumerate_injections,
+    modexp_op_count,
+    prune_points,
+    replay_with_fault,
+    run_explore,
+    trace_victim,
+)
+from repro.telemetry import NULL_TELEMETRY
+
+KEY = RSAKey.generate(128, seed=42)
+MESSAGE = 0xDEADBEEF
+
+#: A small but non-trivial plan: spans safe, feasible and crash offsets.
+PLAN = ExplorePlan(
+    codename="Sky Lake",
+    frequencies_ghz=(2.0, 3.2),
+    offsets_mv=(-40, -120, -200, -280),
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return trace_victim(KEY, MESSAGE)
+
+
+@pytest.fixture(scope="module")
+def open_map():
+    session = EngineSession(executor=SerialExecutor(), cache=ResultCache(), registry=None)
+    return run_explore(PLAN, session=session, rows_per_job=8)
+
+
+class TestVictimTrace:
+    def test_op_count_matches_exponent_structure(self, trace):
+        expected = modexp_op_count(KEY.dp) + modexp_op_count(KEY.dq) + 2
+        assert trace.op_count == expected
+
+    def test_regions_partition_the_trace(self, trace):
+        sizes = trace.region_sizes()
+        assert sizes["sp"] == modexp_op_count(KEY.dp)
+        assert sizes["sq"] == modexp_op_count(KEY.dq)
+        assert sizes["recombine-h"] == 1
+        assert sizes["recombine-mul"] == 1
+        regions = [op.region for op in trace.ops]
+        # Regions appear in order, contiguously.
+        assert regions == sorted(regions, key=("sp", "sq", "recombine-h", "recombine-mul").index)
+
+    def test_golden_signature_is_correct(self, trace):
+        assert trace.golden_signature == pow(MESSAGE % KEY.n, KEY.d, KEY.n)
+
+    def test_identity_replay_reproduces_golden(self, trace):
+        signature = replay_with_fault(KEY, MESSAGE, 0, lambda value: value)
+        assert signature == trace.golden_signature
+
+    def test_replay_ops_match_traced_ops(self, trace):
+        from repro.attacks.rsa_crt import RSACRTSigner
+
+        alu = ReplayALU(target_index=-1, corruptor=lambda value: value)
+        RSACRTSigner(KEY).sign(alu, MESSAGE)
+        assert alu.op_count == trace.op_count
+
+    def test_sp_fault_is_bellcore_exploitable(self, trace):
+        faulty = replay_with_fault(KEY, MESSAGE, 0, corruptor("flip:0"))
+        result = bellcore_extract(KEY.n, KEY.e, MESSAGE, faulty)
+        assert result is not None
+        assert result.factors() == tuple(sorted((KEY.p, KEY.q)))
+
+
+class TestFaultModels:
+    def test_catalog(self):
+        assert corrupt("flip:3", 0b1) == 0b1001
+        assert corrupt("zero", 12345) == 0
+        assert corrupt("trunc64", (1 << 100) | 7) == 7
+
+    def test_malformed_models_rejected(self):
+        for name in ("flip:x", "flip:-1", "mystery"):
+            with pytest.raises(ConfigurationError):
+                corruptor(name)
+
+    def test_plan_rejects_duplicates_and_empty(self):
+        with pytest.raises(ConfigurationError):
+            ExplorePlan("Sky Lake", (2.0,), (-100,), fault_models=("zero", "zero"))
+        with pytest.raises(ConfigurationError):
+            ExplorePlan("Sky Lake", (2.0,), (-100,), fault_models=())
+
+    def test_protected_plan_requires_unsafe_json(self):
+        with pytest.raises(ConfigurationError):
+            ExplorePlan("Sky Lake", (2.0,), (-100,), protect=True)
+
+
+class TestPruningSoundness:
+    """Brute-force the small plan unpruned: every prune must be provable."""
+
+    def test_masked_pairs_cannot_reach_the_signature(self, trace):
+        plan = enumerate_injections(trace, DEFAULT_FAULT_MODELS)
+        assert plan.enumerated == trace.op_count * len(DEFAULT_FAULT_MODELS)
+        golden = trace.golden_signature
+        for op_index, model in plan.masked:
+            assert replay_with_fault(KEY, MESSAGE, op_index, corruptor(model)) == golden
+
+    def test_equivalence_members_share_the_representative_verdict(self, trace):
+        plan = enumerate_injections(trace, DEFAULT_FAULT_MODELS)
+
+        def verdict(op_index, model):
+            signature = replay_with_fault(KEY, MESSAGE, op_index, corruptor(model))
+            if signature == trace.golden_signature:
+                return "masked"
+            result = bellcore_extract(KEY.n, KEY.e, MESSAGE, signature)
+            if result is not None and result.factors() == tuple(sorted((KEY.p, KEY.q))):
+                return "exploitable"
+            return "corrupted"
+
+        for cls in plan.classes:
+            verdicts = {verdict(cls.op_index, model) for model in cls.members}
+            assert len(verdicts) == 1
+
+    def test_equivalence_collapses_identical_corruptions(self):
+        # A product of exactly 2^64: trunc64 and zero both corrupt it to
+        # 0, so they must land in one class with a single representative.
+        op = TracedOp(index=0, lhs=1 << 32, rhs=1 << 32, product=1 << 64,
+                      reduce_mod=KEY.p, region="sp")
+        trace = VictimTrace(key=KEY, message=MESSAGE, golden_signature=0, ops=(op,))
+        plan = enumerate_injections(trace, ("trunc64", "zero"))
+        assert plan.simulated == 1
+        assert plan.pruned_equivalent == 1
+        assert plan.classes[0].members == ("trunc64", "zero")
+
+    def test_grid_safe_points_probe_safe_on_a_live_machine(self):
+        point_plan = prune_points(PLAN, ("imul",))
+        pruned = [
+            point
+            for point, status in zip(point_plan.points, point_plan.predicted)
+            if status == "safe"
+        ]
+        assert pruned  # the plan's -40 mV column is inside the safe region
+        job = ExplorePointJob(
+            codename=PLAN.codename,
+            points=tuple(pruned),
+            protect=False,
+            seed=PLAN.seed,
+        )
+        for record in job.run(NULL_TELEMETRY):
+            assert record["status"] == "safe"
+
+    def test_pruning_stats_account_for_everything(self, open_map):
+        stats = open_map["stats"]
+        assert stats["points_enumerated"] == (
+            stats["points_pruned_safe"] + stats["points_probed"]
+        )
+        assert stats["injections_enumerated"] == (
+            stats["injections_pruned_masked"]
+            + stats["injections_pruned_equivalent"]
+            + stats["injections_simulated"]
+        )
+
+
+class TestMapIdentity:
+    def test_byte_identical_across_shardings(self, open_map):
+        reference = canonical_json(open_map)
+        for rows_per_job in (1, 3, 1000):
+            session = EngineSession(
+                executor=SerialExecutor(), cache=ResultCache(), registry=None
+            )
+            document = run_explore(PLAN, session=session, rows_per_job=rows_per_job)
+            assert canonical_json(document) == reference
+
+    def test_byte_identical_serial_vs_parallel(self, open_map):
+        session = EngineSession(
+            executor=ParallelExecutor(2), cache=ResultCache(), registry=None
+        )
+        try:
+            document = session.explore(PLAN, rows_per_job=3)
+        finally:
+            session.close()
+        assert canonical_json(document) == canonical_json(open_map)
+
+    def test_map_round_trips_through_json(self, open_map):
+        assert json.loads(canonical_json(open_map)) == open_map
+
+
+class TestCoverage:
+    def test_undefended_sky_lake_has_exploitable_points(self, open_map):
+        assert open_map["summary"]["feasible_points"] > 0
+        assert open_map["summary"]["exploitable_pairs"] > 0
+        assert open_map["summary"]["exploitable_points"] > 0
+
+    def test_countermeasure_drives_exploitable_set_to_zero(
+        self, open_map, skylake_characterization
+    ):
+        unsafe_json = json.dumps(
+            skylake_characterization.unsafe_states.to_dict(), sort_keys=True
+        )
+        protected_plan = ExplorePlan(
+            codename=PLAN.codename,
+            frequencies_ghz=PLAN.frequencies_ghz,
+            offsets_mv=PLAN.offsets_mv,
+            protect=True,
+            unsafe_json=unsafe_json,
+        )
+        session = EngineSession(
+            executor=SerialExecutor(), cache=ResultCache(), registry=None
+        )
+        protected_map = run_explore(protected_plan, session=session)
+        assert protected_map["summary"]["feasible_points"] == 0
+        assert protected_map["summary"]["exploitable_points"] == 0
+        assert coverage_holds(open_map, protected_map)
+
+    def test_injection_verdicts_by_region(self, open_map):
+        # Faults in either exponentiation *and* in the recombination
+        # leave one CRT residue intact, so Bellcore factoring works;
+        # only masked corruptions escape.
+        by_verdict = {}
+        for entry in open_map["injections"]:
+            by_verdict.setdefault(entry["verdict"], 0)
+            by_verdict[entry["verdict"]] += 1
+        assert by_verdict.get("exploitable", 0) > 0
+        assert (
+            sum(by_verdict.values())
+            == open_map["stats"]["injections_enumerated"]
+        )
+
+
+class TestJobSpecs:
+    def test_point_job_fingerprint_is_stable(self):
+        job = ExplorePointJob(
+            codename="Sky Lake", points=((2.0, -120),), protect=False, seed=5
+        )
+        clone = ExplorePointJob(
+            codename="Sky Lake", points=((2.0, -120),), protect=False, seed=5
+        )
+        assert job.fingerprint() == clone.fingerprint()
+        other = ExplorePointJob(
+            codename="Sky Lake", points=((2.0, -121),), protect=False, seed=5
+        )
+        assert job.fingerprint() != other.fingerprint()
+
+    def test_protected_point_job_requires_unsafe_json(self):
+        with pytest.raises(ConfigurationError):
+            ExplorePointJob(
+                codename="Sky Lake", points=((2.0, -120),), protect=True, seed=5
+            )
+
+    def test_injection_job_regenerates_identical_verdicts(self):
+        job = ExploreInjectionJob(
+            key_bits=128, key_seed=42, message=MESSAGE, reps=((0, "flip:0"),)
+        )
+        first = job.run(NULL_TELEMETRY)
+        second = job.run(NULL_TELEMETRY)
+        assert first == second
+        assert first[0]["verdict"] == "exploitable"

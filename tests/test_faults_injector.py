@@ -128,3 +128,42 @@ class TestSingleOp:
     def test_single_op_crash_raises(self, injector, fault_model):
         with pytest.raises(MachineCheckError):
             injector.maybe_fault_value(crashing_conditions(fault_model), 7)
+
+    def test_single_op_crash_traced_and_counted(self, fault_model):
+        # Regression: the single-instruction crash path used to raise
+        # without emitting fault.crash or bumping the windows counter, so
+        # RSA-CRT / explorer crashes were invisible in JSONL traces.
+        from repro.telemetry import Telemetry, events_from_jsonl, to_jsonl
+
+        telemetry = Telemetry()
+        injector = FaultInjector(
+            fault_model, np.random.default_rng(3), telemetry=telemetry
+        )
+        conditions = crashing_conditions(fault_model)
+        with pytest.raises(MachineCheckError):
+            injector.maybe_fault_value(conditions, 7)
+        assert telemetry.registry.counter("faults.windows").value == 1
+        assert telemetry.registry.counter("faults.crashes").value == 1
+        crashes = telemetry.tracer.events_by_name("fault.crash")
+        assert len(crashes) == 1
+        assert crashes[0].args_dict["frequency_ghz"] == conditions.frequency_ghz
+        # And it survives the JSONL round trip the flight recorder uses.
+        parsed = events_from_jsonl(to_jsonl(telemetry.tracer.events))
+        assert any(e.name == "fault.crash" for e in parsed)
+
+    def test_single_op_and_window_crash_paths_match(self, fault_model):
+        from repro.telemetry import Telemetry
+
+        single = Telemetry()
+        window = Telemetry()
+        conditions = crashing_conditions(fault_model)
+        with pytest.raises(MachineCheckError):
+            FaultInjector(
+                fault_model, np.random.default_rng(5), telemetry=single
+            ).maybe_fault_value(conditions, 7)
+        with pytest.raises(MachineCheckError):
+            FaultInjector(
+                fault_model, np.random.default_rng(5), telemetry=window
+            ).run_window(conditions, 1)
+        names = lambda t: [e.name for e in t.tracer.events]  # noqa: E731
+        assert names(single) == names(window) == ["fault.crash"]

@@ -45,6 +45,20 @@ class TestViolatedFraction:
         assert fault_model.critical_voltage(3.0) == pytest.approx(direct)
         assert fault_model.critical_voltage(3.0) == pytest.approx(direct)
 
+    def test_vcrit_cache_distinguishes_sub_tenth_ghz(self):
+        # Regression: the cache used to key on round(f * 10), so any two
+        # frequencies inside the same 0.1 GHz bucket (a fine explorer
+        # sweep at 3.61 vs 3.64 GHz) shared one cached critical voltage.
+        model = FaultModel(COMET_LAKE)
+        low = model.critical_voltage(3.61)
+        high = model.critical_voltage(3.64)
+        assert low != high
+        assert low == model.analyzer.critical_voltage(3.61)
+        assert high == model.analyzer.critical_voltage(3.64)
+        # Repeat queries still hit the cache and stay exact.
+        assert model.critical_voltage(3.61) == low
+        assert model.critical_voltage(3.64) == high
+
 
 class TestFaultProbability:
     def test_zero_at_nominal(self, fault_model):
