@@ -1,0 +1,100 @@
+"""Disabled-path cost of span recording in the job execution pipeline.
+
+Span tracing follows the telemetry layer's rule: observability must not
+tax the experiment.  With ``REPRO_SPANS=0`` every recorder is the shared
+``NULL_SPANS`` singleton and each phase costs one no-op context manager;
+with spans on, the per-phase cost is a couple of dict writes.  This
+benchmark races the same serial job batch with spans disabled against
+itself (the spread is the machine's noise floor right now) and against
+the spans-enabled path, and pins the relative overhead to the same
+sub-percent regime as the telemetry-hook budget
+(``REPRO_OVERHEAD_BUDGET``, default 1%).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from repro.core.characterization import CharacterizationConfig
+from repro.engine.jobs import CharacterizationRowJob, execute_job
+from repro.observe.spans import SPANS_ENV
+
+from conftest import record_trajectory, write_artifact
+
+BUDGET_ENV = "REPRO_OVERHEAD_BUDGET"
+DEFAULT_BUDGET = 0.01
+
+REPEATS = 25
+
+#: A small serial batch: three paper-resolution sweep rows, each ~10ms
+#: of real work, so the ratio reflects spans against realistic jobs.
+JOBS = tuple(
+    CharacterizationRowJob(
+        codename="Comet Lake",
+        frequency_ghz=frequency,
+        config=CharacterizationConfig(),
+        seed=5,
+    )
+    for frequency in (1.2, 2.4, 3.6)
+)
+
+
+def _drain(enabled: bool) -> float:
+    os.environ[SPANS_ENV] = "1" if enabled else "0"
+    start = perf_counter()
+    for job in JOBS:
+        result = execute_job(job)
+        assert bool(result.spans) is enabled
+    return perf_counter() - start
+
+
+def _min_interleaved(settings) -> list:
+    best = [float("inf")] * len(settings)
+    for _ in range(REPEATS):
+        for index, enabled in enumerate(settings):
+            best[index] = min(best[index], _drain(enabled))
+    return best
+
+
+def test_span_recording_cost_within_budget():
+    budget = float(os.environ.get(BUDGET_ENV, DEFAULT_BUDGET))
+    prior = os.environ.get(SPANS_ENV)
+    try:
+        off_a, off_b, on = _min_interleaved([False, False, True])
+    finally:
+        if prior is None:
+            os.environ.pop(SPANS_ENV, None)
+        else:
+            os.environ[SPANS_ENV] = prior
+    off = min(off_a, off_b)
+    noise = abs(off_a - off_b) / off
+    overhead = (on - off) / off
+    allowance = budget + 2.0 * noise
+    artifact = {
+        "jobs_per_run": len(JOBS),
+        "repeats": REPEATS,
+        "disabled_s": off,
+        "enabled_s": on,
+        "noise_floor": noise,
+        "relative_overhead": overhead,
+        "budget": budget,
+        "allowance": allowance,
+        "within_budget": overhead <= allowance,
+    }
+    write_artifact(
+        "span_overhead.json",
+        json.dumps(artifact, sort_keys=True, indent=2),
+    )
+    record_trajectory(
+        "span_overhead",
+        "relative_overhead",
+        overhead,
+        unit="ratio",
+        context={"jobs_per_run": len(JOBS), "repeats": REPEATS},
+    )
+    assert overhead <= allowance, (
+        f"span recording overhead {overhead * 100:.2f}% exceeds budget "
+        f"{budget * 100:.2f}% + noise floor {noise * 100:.2f}%"
+    )

@@ -24,6 +24,9 @@ Exposes the reproduction's main flows without writing Python::
         --metric serial_seconds --file benchmarks/trajectories/BENCH_engine_campaign.json
     python -m repro trajectory check engine_campaign --value 1.9
     python -m repro status --registry
+    python -m repro campaign --workers 2 --spans trace.json
+    python -m repro spans <run-id> --export trace.json
+    python -m repro top --url http://127.0.0.1:8787/metrics --once
 
 Every heavy flow goes through the campaign engine (:mod:`repro.engine`):
 characterization sweeps are cached per content hash, and ``repro
@@ -162,7 +165,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--serve-port",
         type=int,
         default=None,
-        help="serve live OpenMetrics on this port while the campaign runs",
+        help="serve live OpenMetrics on this port while the campaign runs "
+        "(watch it with: repro top --port PORT)",
+    )
+    campaign.add_argument(
+        "--spans",
+        metavar="PATH",
+        default=None,
+        help="export the merged fleet span timeline as a Chrome trace "
+        "(sim-time fields; byte-identical across executors)",
+    )
+    campaign.add_argument(
+        "--spans-wall",
+        metavar="PATH",
+        default=None,
+        help="also export the wall-clock span sidecar (non-deterministic)",
     )
     campaign.add_argument(
         "--checkpoint",
@@ -496,6 +513,69 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--registry", metavar="DIR", default=None)
     diff.add_argument(
         "--json", action="store_true", help="emit the structured diff as JSON"
+    )
+
+    spans = sub.add_parser(
+        "spans",
+        help="inspect or export the span timeline recorded with a run",
+    )
+    spans.add_argument("run_id", metavar="RUN_ID", help="run id or unique prefix")
+    spans.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="write the sim-time timeline as a trace file instead of "
+        "printing the digest",
+    )
+    spans.add_argument(
+        "--fmt",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="trace format for --export (chrome opens in ui.perfetto.dev)",
+    )
+    spans.add_argument(
+        "--wall",
+        metavar="PATH",
+        default=None,
+        help="also write the wall-clock sidecar trace (non-deterministic)",
+    )
+    spans.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the stored timeline document as JSON",
+    )
+    spans.add_argument("--registry", metavar="DIR", default=None)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a campaign's OpenMetrics endpoint "
+        "(progress, worker occupancy, queue/exec latency)",
+    )
+    top.add_argument(
+        "--url",
+        default=None,
+        help="metrics URL (default: http://127.0.0.1:PORT/metrics)",
+    )
+    top.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="port for the default URL (matches campaign --serve-port)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="refresh interval in seconds (default: 2)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until interrupted)",
     )
 
     trajectory = sub.add_parser(
@@ -932,10 +1012,13 @@ def _cmd_campaign(args) -> int:
         # even before the first worker batch merges its increments.
         session.telemetry.registry.counter("countermeasure.polls")
         session.telemetry.registry.counter("countermeasure.detections")
+        # Serve the composite view: deterministic telemetry plus the
+        # wall-clock occupancy/latency instruments `repro top` charts.
         server = MetricsServer(
-            provider=lambda: session.telemetry.registry, port=args.serve_port
+            provider=lambda: session.metrics_view(), port=args.serve_port
         ).start()
-        print(f"serving OpenMetrics at {server.url}", flush=True)
+        print(f"serving OpenMetrics at {server.url} "
+              f"(watch with: repro top --port {args.serve_port})", flush=True)
     try:
         jobs = experiments.prevention_jobs(
             seed=args.seed, include_aes=not args.no_aes, batch=args.batch
@@ -1010,6 +1093,21 @@ def _cmd_campaign(args) -> int:
     if args.report:
         path = session.write_run_report(args.report)
         print(f"run manifest written to {path} (render with: repro report {path})")
+    if args.spans_wall and not args.spans:
+        print("--spans-wall needs --spans PATH for the main timeline",
+              file=sys.stderr)
+    elif args.spans:
+        from repro.errors import ReproError
+
+        try:
+            path = session.export_spans(args.spans, wall_path=args.spans_wall)
+            print(f"span timeline written to {path} "
+                  "(open in https://ui.perfetto.dev)")
+            if args.spans_wall:
+                print(f"wall-clock span sidecar (non-deterministic) written "
+                      f"to {args.spans_wall}")
+        except ReproError as exc:
+            print(f"spans not exported: {exc}", file=sys.stderr)
     run_id = session.record_run()
     if run_id:
         print(f"recorded as run {run_id[:12]} "
@@ -1461,6 +1559,55 @@ def _cmd_diff(args) -> int:
     return 0 if diff.identical else 1
 
 
+def _cmd_spans(args) -> int:
+    from repro.observe import FleetTimeline
+
+    registry = _open_registry(args.registry)
+    if registry is None:
+        return 2
+    run_id = registry.resolve(args.run_id)
+    document = registry.spans_for(run_id)
+    if document is None:
+        print(f"run {run_id[:12]} has no recorded span timeline "
+              "(recorded before spans existed, or with REPRO_SPANS=0)",
+              file=sys.stderr)
+        return 2
+    timeline = FleetTimeline.from_dict(document)
+    if args.json:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    if args.export:
+        from repro.telemetry.export import write_trace
+
+        path = write_trace(args.export, timeline.to_events(), fmt=args.fmt)
+        print(f"span timeline for run {run_id[:12]} written to {path}"
+              + (" (open in https://ui.perfetto.dev)"
+                 if args.fmt == "chrome" else ""))
+        if args.wall:
+            write_trace(args.wall, timeline.wall_events(), fmt=args.fmt)
+            print(f"wall-clock sidecar (non-deterministic) written to "
+                  f"{args.wall}")
+        return 0
+    print(f"run {run_id[:12]}")
+    print(timeline.render())
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.observe import run_top
+    from repro.observe.top import DEFAULT_INTERVAL_S
+
+    url = args.url or f"http://127.0.0.1:{args.port}/metrics"
+    return run_top(
+        url,
+        once=args.once,
+        interval_s=(
+            args.interval if args.interval is not None else DEFAULT_INTERVAL_S
+        ),
+        frames=args.frames,
+    )
+
+
 def _trajectory_value(args) -> float:
     from repro.registry import extract_metric
 
@@ -1676,6 +1823,51 @@ def _cmd_status(args) -> int:
         print(render_table(
             ["registry", "value"], rows, title="Run registry status"
         ))
+        # Supervision latency from the latest run's recorded span
+        # timeline: queue-wait and execute-time percentiles per job kind
+        # (wall clock, so populated for process runs; serial runs show
+        # execute time with ~zero queue wait), plus the failed-attempt
+        # and abandonment counts the spans carry.
+        latest = registry.runs(limit=1)
+        if latest:
+            from repro.observe import FleetTimeline
+
+            run = latest[0]
+            document = registry.spans_for(run["run_id"])
+            if document is not None:
+                timeline = FleetTimeline.from_dict(document)
+                latency = timeline.latency()
+                attempts = timeline.attempts_by_kind()
+                kinds = sorted(set(latency) | set(attempts))
+                table = []
+                for kind in kinds:
+                    stats = latency.get(kind, {})
+                    queue = stats.get("queue_wait_s", {})
+                    execute = stats.get("exec_s", {})
+                    counts = attempts.get(kind, {})
+                    table.append(
+                        (
+                            kind,
+                            stats.get("jobs", 0),
+                            f"{queue.get('p50', 0.0):.3f}",
+                            f"{queue.get('p95', 0.0):.3f}",
+                            f"{execute.get('p50', 0.0):.3f}",
+                            f"{execute.get('p95', 0.0):.3f}",
+                            counts.get("retried", 0),
+                            counts.get("abandoned", 0),
+                        )
+                    )
+                if table:
+                    print()
+                    print(render_table(
+                        ["job kind", "jobs", "queue p50 s", "queue p95 s",
+                         "exec p50 s", "exec p95 s", "retried", "abandoned"],
+                        table,
+                        title=f"Supervision latency — run "
+                        f"{run['run_id'][:12]} (wall clock, "
+                        f"non-deterministic; "
+                        f"{run['jobs_quarantined']} quarantined)",
+                    ))
         return 0
 
     from repro.kernel import render_system_status
@@ -1885,7 +2077,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_energy(args)
     if args.command == "verify":
         return _cmd_verify(args)
-    if args.command in ("reproduce", "runs", "diff", "trajectory"):
+    if args.command in ("reproduce", "runs", "diff", "trajectory", "spans"):
         # Registry verbs fail with a one-line message, not a traceback:
         # a missing run id or empty baseline is a usage error, not a bug.
         from repro.errors import RegistryError
@@ -1895,6 +2087,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "runs": _cmd_runs,
             "diff": _cmd_diff,
             "trajectory": _cmd_trajectory,
+            "spans": _cmd_spans,
         }[args.command]
         try:
             return handler(args)
@@ -1903,6 +2096,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "report":

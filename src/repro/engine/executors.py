@@ -68,6 +68,31 @@ class Executor(ABC):
         #: deltas into ``engine.retries`` / ``engine.requeues`` /
         #: ``engine.quarantined`` counters after every batch.
         self.stats = SupervisionStats()
+        #: Failed-attempt records (fingerprint, kind, attempt,
+        #: error_type) accumulated until the session drains them into the
+        #: fleet timeline as ``attempt`` spans.
+        self.failed_attempts: List[Dict[str, str]] = []
+        #: Optional occupancy hook: called with the current in-flight
+        #: attempt count as it changes (the ``repro top`` worker
+        #: occupancy gauge rides on this).
+        self.on_inflight: Optional[Callable[[int], None]] = None
+
+    def _record_failed_attempt(
+        self, job: JobSpec, attempt: int, error: BaseException
+    ) -> None:
+        self.failed_attempts.append(
+            {
+                "fingerprint": job.fingerprint(),
+                "kind": job.kind,
+                "attempt": int(attempt),
+                "error_type": type(error).__name__,
+            }
+        )
+
+    def drain_failed_attempts(self) -> List[Dict[str, str]]:
+        """Return and clear the accumulated failed-attempt records."""
+        drained, self.failed_attempts = self.failed_attempts, []
+        return drained
 
     @abstractmethod
     def run_jobs(
@@ -75,12 +100,16 @@ class Executor(ABC):
         jobs: Sequence[JobSpec],
         *,
         progress: Optional[ProgressCallback] = None,
+        span_context=None,
     ) -> List[JobResult]:
         """Execute every job and return results in input order.
 
         ``progress`` (when given) is invoked in the calling process as
         each result lands, with the running completed count and the
         result — results still return in input order either way.
+        ``span_context`` (a :class:`repro.observe.spans.SpanContext`) is
+        propagated to every attempt so worker-recorded spans join the
+        session's trace.
         """
 
     def close(self) -> None:
@@ -131,17 +160,27 @@ class SerialExecutor(Executor):
         self.policy = policy or RetryPolicy()
 
     def _run_one(
-        self, job: JobSpec, completed: Sequence[JobResult]
+        self,
+        job: JobSpec,
+        completed: Sequence[JobResult],
+        span_context=None,
     ) -> JobResult:
+        from repro.observe.spans import note_queue_wait
+
         policy = self.policy
         attempt = 0
         while True:
             attempt += 1
+            submitted = time.monotonic()
             try:
-                result = execute_job(job)
+                result = execute_job(
+                    job, span_context=span_context, attempt=attempt
+                )
                 result.attempts = attempt
+                note_queue_wait(result.spans, result.span_wall, submitted)
                 return result
             except Exception as error:
+                self._record_failed_attempt(job, attempt, error)
                 if attempt < policy.max_attempts:
                     self.stats.retries += 1
                     time.sleep(policy.backoff_for(attempt))
@@ -156,10 +195,11 @@ class SerialExecutor(Executor):
         jobs: Sequence[JobSpec],
         *,
         progress: Optional[ProgressCallback] = None,
+        span_context=None,
     ) -> List[JobResult]:
         results: List[JobResult] = []
         for job in jobs:
-            result = self._run_one(job, results)
+            result = self._run_one(job, results, span_context)
             results.append(result)
             if progress is not None:
                 progress(len(results), result)
@@ -234,9 +274,12 @@ class ParallelExecutor(Executor):
         jobs: Sequence[JobSpec],
         *,
         progress: Optional[ProgressCallback] = None,
+        span_context=None,
     ) -> List[JobResult]:
         from concurrent.futures import FIRST_COMPLETED, Future, wait
         from concurrent.futures.process import BrokenProcessPool
+
+        from repro.observe.spans import note_queue_wait
 
         jobs = list(jobs)
         if not jobs:
@@ -248,8 +291,8 @@ class ParallelExecutor(Executor):
         completed = 0
         attempts = [0] * len(jobs)
         queue = deque(range(len(jobs)))
-        #: future -> (job index, wall-clock deadline or None)
-        in_flight: Dict[Future, Tuple[int, Optional[float]]] = {}
+        #: future -> (job index, wall-clock deadline or None, submit time)
+        in_flight: Dict[Future, Tuple[int, Optional[float], float]] = {}
         #: timed-out futures whose (stale) results must be discarded.
         abandoned: Set[Future] = set()
         respawns_this_batch = 0
@@ -268,6 +311,7 @@ class ParallelExecutor(Executor):
 
         def fail_attempt(index: int, error: BaseException) -> None:
             """One attempt failed: back off and requeue, or give up."""
+            self._record_failed_attempt(jobs[index], attempts[index], error)
             if attempts[index] < policy.max_attempts:
                 self.stats.retries += 1
                 time.sleep(policy.backoff_for(attempts[index]))
@@ -285,7 +329,10 @@ class ParallelExecutor(Executor):
             nonlocal pool
             attempts[index] += 1
             task = SupervisedTask(
-                job=jobs[index], attempt=attempts[index], chaos=self.chaos
+                job=jobs[index],
+                attempt=attempts[index],
+                chaos=self.chaos,
+                span_context=span_context,
             )
             try:
                 future = pool.submit(execute_supervised, task)
@@ -294,17 +341,18 @@ class ParallelExecutor(Executor):
                 # (no in-flight work to lose yet).
                 pool = self._respawn_pool()
                 future = pool.submit(execute_supervised, task)
+            submitted = time.monotonic()
             deadline = (
-                time.monotonic() + policy.timeout_s
+                submitted + policy.timeout_s
                 if policy.timeout_s is not None
                 else None
             )
-            in_flight[future] = (index, deadline)
+            in_flight[future] = (index, deadline, submitted)
 
         def recover_broken_pool(error: BaseException) -> None:
             """Respawn (or degrade) and requeue every in-flight job."""
             nonlocal pool, respawns_this_batch, degraded
-            casualties = sorted(index for index, _ in in_flight.values())
+            casualties = sorted(index for index, _, _ in in_flight.values())
             in_flight.clear()
             abandoned.clear()
             # A requeue keeps the attempt it consumed: the job that
@@ -355,10 +403,12 @@ class ParallelExecutor(Executor):
                 recover_broken_pool(error)
                 continue
 
+            if self.on_inflight is not None:
+                self.on_inflight(len(in_flight))
             if not in_flight:
                 break
             now = time.monotonic()
-            deadlines = [d for _, d in in_flight.values() if d is not None]
+            deadlines = [d for _, d, _ in in_flight.values() if d is not None]
             wait_s = (
                 max(0.0, min(deadlines) - now) + 1e-3 if deadlines else None
             )
@@ -377,22 +427,24 @@ class ParallelExecutor(Executor):
                     continue
                 if future not in in_flight:
                     continue
-                index, _deadline = in_flight.pop(future)
+                index, _deadline, submitted = in_flight.pop(future)
                 try:
                     result = future.result()
                 except BrokenProcessPool as error:
-                    in_flight[future] = (index, _deadline)  # counted as casualty
+                    # counted as casualty
+                    in_flight[future] = (index, _deadline, submitted)
                     recover_broken_pool(error)
                     break
                 except Exception as error:
                     fail_attempt(index, error)
                 else:
+                    note_queue_wait(result.spans, result.span_wall, submitted)
                     land(index, result)
 
             # Expire attempts past their deadline (they cannot be
             # preempted: the future is abandoned, the job retried).
             now = time.monotonic()
-            for future, (index, deadline) in list(in_flight.items()):
+            for future, (index, deadline, _submitted) in list(in_flight.items()):
                 if deadline is None or now < deadline or future.done():
                     continue
                 del in_flight[future]
@@ -413,16 +465,22 @@ class ParallelExecutor(Executor):
             # mode (an inline kill would take the session down), which
             # cannot change payloads — only chaos bookkeeping.
             inline = SerialExecutor(policy=policy)
-            pending = sorted(set(queue) | {i for i, _ in in_flight.values()})
+            pending = sorted(set(queue) | {i for i, _, _ in in_flight.values()})
             queue.clear()
             in_flight.clear()
             for index in pending:
                 self.stats.degraded += 1
-                result = inline._run_one(jobs[index], completed_results())
+                result = inline._run_one(
+                    jobs[index], completed_results(), span_context
+                )
                 attempts[index] += result.attempts
                 land(index, result)
             self.stats.retries += inline.stats.retries
             self.stats.quarantined += inline.stats.quarantined
+            self.failed_attempts.extend(inline.drain_failed_attempts())
+
+        if self.on_inflight is not None:
+            self.on_inflight(0)
 
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]

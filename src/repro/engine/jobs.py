@@ -92,9 +92,21 @@ class JobSpec:
         return payload
 
     def fingerprint(self) -> str:
-        """Content hash of the job identity — the cache key."""
+        """Content hash of the job identity — the cache key.
+
+        Memoized per instance, keyed by the resolved result-affecting
+        environment so an env change between calls still re-hashes.  The
+        memo lives outside the dataclass fields (``object.__setattr__``
+        on the frozen instance), so it never enters :meth:`identity`.
+        """
+        env = environment_fingerprint()
+        memo = self.__dict__.get("_fingerprint_memo")
+        if memo is not None and memo[0] == env:
+            return memo[1]
         blob = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_fingerprint_memo", (env, digest))
+        return digest
 
     def seed_path(self) -> Tuple[str, ...]:
         """The named seed-stream path this job's randomness hangs off."""
@@ -131,7 +143,8 @@ class CharacterizationRowJob(JobSpec):
         framework = CharacterizationFramework(
             model_by_codename(self.codename), config=self.config, seed=self.seed
         )
-        return framework.run_row(self.frequency_ghz, telemetry=telemetry)
+        with telemetry.spans.phase(f"row@{self.frequency_ghz:g}GHz"):
+            return framework.run_row(self.frequency_ghz, telemetry=telemetry)
 
 
 @dataclass(frozen=True)
@@ -169,10 +182,11 @@ class BatchCharacterizationJob(JobSpec):
         framework = CharacterizationFramework(
             model_by_codename(self.codename), config=self.config, seed=self.seed
         )
-        return [
-            framework.run_row_batch(frequency, telemetry=telemetry)
-            for frequency in self.frequencies_ghz
-        ]
+        rows: List[List[CellResult]] = []
+        for frequency in self.frequencies_ghz:
+            with telemetry.spans.phase(f"row@{frequency:g}GHz"):
+                rows.append(framework.run_row_batch(frequency, telemetry=telemetry))
+        return rows
 
 
 @dataclass(frozen=True)
@@ -323,7 +337,9 @@ class AttackCampaignJob(JobSpec):
         )
         from repro.sgx import EnclaveHost
 
-        machine, _module = self.build_machine(telemetry)
+        with telemetry.spans.phase("build-machine") as build_phase:
+            machine, _module = self.build_machine(telemetry)
+            build_phase.end_sim = machine.now
         model = machine.model
         base = (
             self.frequency_ghz
@@ -378,7 +394,10 @@ class AttackCampaignJob(JobSpec):
                     repetitions=self.voltjockey_repetitions,
                 ),
             )
-        return attack.mount()
+        with telemetry.spans.phase("mount", sim_start_s=machine.now) as mount_phase:
+            outcome = attack.mount()
+            mount_phase.end_sim = machine.now
+        return outcome
 
 
 @dataclass(frozen=True)
@@ -402,19 +421,24 @@ class OverheadJob(JobSpec):
 
         model = model_by_codename(self.codename)
         stream = self.stream()
-        machine = Machine.build(
-            model, seed=stream.child("machine").integer(), telemetry=telemetry
-        )
-        unsafe = UnsafeStateSet.from_dict(json.loads(self.unsafe_json))
-        module = PollingCountermeasure(machine, unsafe)
-        machine.modules.insmod(module)
+        with telemetry.spans.phase("build-machine") as build_phase:
+            machine = Machine.build(
+                model, seed=stream.child("machine").integer(), telemetry=telemetry
+            )
+            unsafe = UnsafeStateSet.from_dict(json.loads(self.unsafe_json))
+            module = PollingCountermeasure(machine, unsafe)
+            machine.modules.insmod(module)
+            build_phase.end_sim = machine.now
         runner = SpecOverheadRunner(
             machine,
             module,
             interval_s=self.interval_s,
             seed=stream.child("noise").integer(),
         )
-        return runner.run()
+        with telemetry.spans.phase("measure", sim_start_s=machine.now) as measure_phase:
+            report = runner.run()
+            measure_phase.end_sim = machine.now
+        return report
 
 
 @dataclass(frozen=True)
@@ -518,18 +542,24 @@ class ExplorePointJob(JobSpec):
         from repro.testbench import Machine
 
         model = model_by_codename(self.codename)
-        machine = Machine.build(
-            model, seed=self._point_seed(frequency_ghz, offset_mv), telemetry=telemetry
-        )
-        settle = model.regulator_latency_s * 1.2
-        if self.protect:
-            unsafe = UnsafeStateSet.from_dict(json.loads(self.unsafe_json))
-            module = PollingCountermeasure(machine, unsafe)
-            machine.modules.insmod(module)
-            settle += 4.0 * module.period_s
-        machine.cpupower.frequency_set(frequency_ghz, core_index=0)
-        machine.write_voltage_offset(offset_mv, 0)
-        machine.advance(settle)
+        with telemetry.spans.phase(
+            f"point@{frequency_ghz:.6f}/{offset_mv}"
+        ) as point_phase:
+            machine = Machine.build(
+                model,
+                seed=self._point_seed(frequency_ghz, offset_mv),
+                telemetry=telemetry,
+            )
+            settle = model.regulator_latency_s * 1.2
+            if self.protect:
+                unsafe = UnsafeStateSet.from_dict(json.loads(self.unsafe_json))
+                module = PollingCountermeasure(machine, unsafe)
+                machine.modules.insmod(module)
+                settle += 4.0 * module.period_s
+            machine.cpupower.frequency_set(frequency_ghz, core_index=0)
+            machine.write_voltage_offset(offset_mv, 0)
+            machine.advance(settle)
+            point_phase.end_sim = machine.now
         realized = machine.conditions(0)
         fault_model = FaultModel(model)
         probabilities = {
@@ -638,13 +668,29 @@ class JobResult:
     #: bookkeeping and run reports only, and is therefore deliberately
     #: *not* part of any fingerprint.
     attempts: int = 1
+    #: Histogram snapshots (:meth:`repro.telemetry.registry.Histogram.marshal`)
+    #: and gauge values observed while the job ran — the rest of the
+    #: worker telemetry, marshalled home alongside the counters so
+    #: percentile columns survive the process boundary.
+    histograms: Dict[str, Dict[str, Any]] = dataclasses.field(default_factory=dict)
+    gauges: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Deterministic span records for this attempt (job span + phases;
+    #: see :mod:`repro.observe.spans`) and their wall-clock sidecar,
+    #: kept strictly apart so the session's merged timeline stays
+    #: byte-identical across executors.
+    spans: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    span_wall: Dict[str, Dict[str, Any]] = dataclasses.field(default_factory=dict)
 
 
-def execute_job(job: JobSpec) -> JobResult:
+def execute_job(job: JobSpec, *, span_context=None, attempt: int = 1) -> JobResult:
     """Worker entry point: run one job under fresh telemetry.
 
     Top-level by design so :class:`concurrent.futures.ProcessPoolExecutor`
     can pickle it by reference; the job spec itself travels by value.
+    ``span_context`` is the session's propagated trace position
+    (:class:`repro.observe.spans.SpanContext`); with spans enabled the
+    attempt runs under a fresh :class:`~repro.observe.spans.SpanRecorder`
+    whose buffers ride home in the result.
 
     An exception escaping the job (including an invariant violation) is
     re-raised unchanged, but first the job's trace tail is frozen into a
@@ -652,7 +698,21 @@ def execute_job(job: JobSpec) -> JobResult:
     in a process-pool worker the traceback alone crosses the boundary,
     the dump preserves the scene.
     """
+    from repro.observe.spans import NULL_SPANS, SpanRecorder, spans_enabled
+
     telemetry = Telemetry()
+    recorder = None
+    if spans_enabled():
+        recorder = SpanRecorder()
+        recorder.begin_job(
+            fingerprint=job.fingerprint(),
+            kind=job.kind,
+            attempt=attempt,
+            context=span_context,
+        )
+        telemetry._spans = recorder
+    else:
+        telemetry._spans = NULL_SPANS
     try:
         payload = job.run(telemetry)
     except Exception as error:
@@ -665,4 +725,23 @@ def execute_job(job: JobSpec) -> JobResult:
         for counter in telemetry.registry.counters()
         if counter.value
     }
-    return JobResult(fingerprint=job.fingerprint(), payload=payload, counters=counters)
+    histograms = {
+        histogram.name: histogram.marshal()
+        for histogram in telemetry.registry.histograms()
+        if histogram.count
+    }
+    gauges = {gauge.name: gauge.value for gauge in telemetry.registry.gauges()}
+    spans: List[Dict[str, Any]] = []
+    span_wall: Dict[str, Dict[str, Any]] = {}
+    if recorder is not None:
+        recorder.finish_job()
+        spans, span_wall = recorder.export()
+    return JobResult(
+        fingerprint=job.fingerprint(),
+        payload=payload,
+        counters=counters,
+        histograms=histograms,
+        gauges=gauges,
+        spans=spans,
+        span_wall=span_wall,
+    )

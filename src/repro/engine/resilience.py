@@ -296,11 +296,18 @@ class Quarantined:
 
 @dataclass(frozen=True)
 class SupervisedTask:
-    """One attempt shipped to a worker: the job, which try, what chaos."""
+    """One attempt shipped to a worker: the job, which try, what chaos.
+
+    ``span_context`` is the session's propagated trace position
+    (:class:`repro.observe.spans.SpanContext`); it rides on the task —
+    *not* on the :class:`JobSpec` — because trace position is scheduling
+    metadata that must never enter a job's fingerprint.
+    """
 
     job: JobSpec
     attempt: int = 1
     chaos: Optional[ChaosPolicy] = None
+    span_context: Optional[Any] = None
 
 
 def execute_supervised(task: SupervisedTask) -> JobResult:
@@ -314,6 +321,8 @@ def execute_supervised(task: SupervisedTask) -> JobResult:
     """
     if task.chaos is not None:
         task.chaos.apply(task.job.fingerprint(), task.attempt)
-    result = execute_job(task.job)
+    result = execute_job(
+        task.job, span_context=task.span_context, attempt=task.attempt
+    )
     result.attempts = task.attempt
     return result

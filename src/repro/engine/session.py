@@ -46,9 +46,11 @@ from repro.engine.jobs import (
 from repro.engine.resilience import ChaosPolicy, Quarantined, SupervisionStats
 from repro.engine.seeds import SeedStream, seed_stream
 from repro.errors import ReproError
+from repro.observe.spans import FleetTimeline, spans_enabled
 from repro.registry.registry import RunRegistry, code_fingerprint, compute_run_id
 from repro.registry.store import encode_object
 from repro.telemetry import Telemetry
+from repro.telemetry.registry import CompositeRegistry, Registry
 
 #: Root seed of the canonical paper reproduction (matches the benchmarks
 #: and the historical ``experiments.CANONICAL_SEED``).
@@ -172,6 +174,22 @@ class EngineSession:
         self._progress_done_gauge = self.telemetry.registry.gauge(
             "engine.progress.completed"
         )
+        #: The fleet-wide span timeline (``None`` when ``REPRO_SPANS=0``):
+        #: every executed batch opens a batch span whose context is
+        #: propagated to workers, and their buffers merge back here.
+        self.timeline: Optional[FleetTimeline] = (
+            FleetTimeline() if spans_enabled() else None
+        )
+        #: Wall-clock latency instruments (queue wait / execute time per
+        #: job kind, worker occupancy).  Deliberately a *separate*
+        #: registry: ``self.telemetry`` stays fully deterministic, and
+        #: :meth:`metrics_view` serves both together for scrapes.
+        self.wall_registry = Registry()
+        self.wall_registry.gauge("engine.wall.workers").set(
+            getattr(self.executor, "workers", 1)
+        )
+        self._inflight_gauge = self.wall_registry.gauge("engine.wall.in_flight")
+        self.executor.on_inflight = self._inflight_gauge.set
         #: Per-batch provenance records feeding :meth:`run_manifest` —
         #: which jobs ran, which came from cache, and each batch's wall
         #: time (the manifest's only non-deterministic field).
@@ -206,11 +224,22 @@ class EngineSession:
 
     # -- generic submission ------------------------------------------------------
 
-    def _merge_counters(self, results: Iterable[JobResult]) -> None:
+    def _merge_telemetry(self, results: Iterable[JobResult]) -> None:
+        """Fold worker-marshalled telemetry into the session registry.
+
+        Counters add, histogram snapshots merge exactly (aggregates are
+        commutative, the raw-sample window extends in input order) and
+        gauges take the last written value — all in input order, so the
+        merged state is byte-identical whichever executor ran the batch.
+        """
         registry = self.telemetry.registry
         for result in results:
             for name, value in result.counters.items():
                 registry.counter(name).inc(value)
+            for name, snapshot in getattr(result, "histograms", {}).items():
+                registry.histogram(name).merge(snapshot)
+            for name, value in getattr(result, "gauges", {}).items():
+                registry.gauge(name).set(value)
 
     def _announce_jobs(self, submitted: int, finished: int) -> None:
         """Advance the progress gauges by whole-job counts."""
@@ -246,17 +275,57 @@ class EngineSession:
         """Run one batch through the executor with full bookkeeping."""
         before = self.counters() if self.verifier is not None else None
         supervision_before = self.executor.stats.copy()
+        context = (
+            self.timeline.begin_batch([job.fingerprint() for job in jobs])
+            if self.timeline is not None
+            else None
+        )
+        started = perf_counter()
         try:
-            results = self.executor.run_jobs(jobs, progress=self._note_progress)
+            results = self.executor.run_jobs(
+                jobs, progress=self._note_progress, span_context=context
+            )
         finally:
             self._sync_supervision(supervision_before)
-        self._merge_counters(results)
+        self._merge_telemetry(results)
+        failures = self.executor.drain_failed_attempts()
+        if self.timeline is not None and context is not None:
+            self.timeline.end_batch(
+                context,
+                results,
+                failures=failures,
+                wall_s=perf_counter() - started,
+            )
+            self._observe_wall_latency(results)
         if self.verifier is not None:
             self.verifier.check_counter_conservation(
                 before, self.counters(), results
             )
         self._jobs_counter.inc(len(results))
         return results
+
+    def _observe_wall_latency(self, results: Iterable[JobResult]) -> None:
+        """Feed per-kind queue-wait/exec histograms from landed spans.
+
+        Wall-clock only, into :attr:`wall_registry` — never the
+        deterministic session telemetry.
+        """
+        for result in results:
+            for record in getattr(result, "spans", ()):
+                if record.get("kind") != "job":
+                    continue
+                entry = result.span_wall.get(record["span_id"])
+                if entry:
+                    kind = record["name"]
+                    if "duration_s" in entry:
+                        self.wall_registry.histogram(
+                            f"engine.wall.exec.{kind}"
+                        ).observe(entry["duration_s"])
+                    if "queue_wait_s" in entry:
+                        self.wall_registry.histogram(
+                            f"engine.wall.queue_wait.{kind}"
+                        ).observe(entry["queue_wait_s"])
+                break
 
     def _record_batch(
         self, jobs: Sequence[JobSpec], sources: Sequence[str], wall_s: float
@@ -489,6 +558,34 @@ class EngineSession:
         """Name → value snapshot of the merged session counters."""
         return {c.name: c.value for c in self.telemetry.registry.counters()}
 
+    def metrics_view(self) -> CompositeRegistry:
+        """One scrape surface: deterministic telemetry + wall latency.
+
+        What ``repro campaign --serve-port`` exposes and ``repro top``
+        renders — the session registry's counters/gauges/histograms
+        plus the wall-clock queue-wait/exec/occupancy instruments.
+        """
+        return CompositeRegistry(self.telemetry.registry, self.wall_registry)
+
+    def export_spans(self, path, *, fmt: str = "chrome", wall_path=None) -> Path:
+        """Write the merged span timeline as a trace file; returns it.
+
+        The main export contains only sim-time/identity fields, so it is
+        byte-identical across executors for the same campaign.
+        ``wall_path`` (optional) additionally writes the labelled
+        non-deterministic wall-clock lane layout.
+        """
+        if self.timeline is None:
+            raise ReproError(
+                "span recording is disabled (REPRO_SPANS=0); nothing to export"
+            )
+        from repro.telemetry.export import write_trace
+
+        target = write_trace(path, self.timeline.to_events(), fmt=fmt)
+        if wall_path is not None:
+            write_trace(wall_path, self.timeline.wall_events(), fmt=fmt)
+        return target
+
     def describe(self) -> dict:
         """JSON-safe session summary for CLI output and bench artifacts."""
         workers = getattr(self.executor, "workers", 1)
@@ -554,6 +651,10 @@ class EngineSession:
             "batches": self.history,
             "metrics": self.telemetry.registry.snapshot(),
         }
+        if self.timeline is not None and len(self.timeline):
+            # Everything in the summary except its "wall" key is
+            # deterministic; compute_run_id folds neither in.
+            manifest["spans"] = self.timeline.summary()
         manifest["run_id"] = compute_run_id(manifest)
         return manifest
 
@@ -630,6 +731,15 @@ class EngineSession:
                 exc_info=True,
             )
             return None
+        if self.timeline is not None and len(self.timeline):
+            try:
+                self.registry.record_spans(run_id, self.timeline.to_dict())
+            except Exception:
+                logger.warning(
+                    "failed to record span timeline for run %s",
+                    run_id,
+                    exc_info=True,
+                )
         self._recorded = (progress, run_id)
         return run_id
 

@@ -12,7 +12,12 @@ perturbing the simulation:
 * :func:`render_openmetrics` / :class:`MetricsServer` — OpenMetrics text
   exposition of a live registry over stdlib HTTP;
 * :func:`render_markdown` — the ``repro report`` view of an engine run
-  manifest.
+  manifest;
+* :mod:`repro.observe.spans` — the fleet-wide span model: deterministic
+  sim-time spans propagated through worker processes and merged into a
+  :class:`FleetTimeline`, with wall clocks segregated to a sidecar;
+* :func:`run_top` — the ``repro top`` live dashboard over a scraped
+  OpenMetrics endpoint.
 """
 
 from repro.observe.flight import (
@@ -44,27 +49,59 @@ from repro.observe.report import (
     write_markdown,
 )
 from repro.observe.serve import MetricsServer
+from repro.observe.spans import (
+    NULL_SPANS,
+    SPAN_SCHEMA_VERSION,
+    SPANS_ENV,
+    FleetTimeline,
+    SpanContext,
+    SpanRecorder,
+    derive_trace_id,
+    job_span_id,
+    note_queue_wait,
+    spans_enabled,
+)
+from repro.observe.top import (
+    fetch_metrics,
+    parse_openmetrics,
+    render_top,
+    run_top,
+)
 
 __all__ = [
     "FLIGHT_DIR_ENV",
     "FLIGHT_SCHEMA_VERSION",
+    "FleetTimeline",
     "FlightDump",
     "FlightRecorder",
     "MetricsServer",
+    "NULL_SPANS",
     "OPENMETRICS_CONTENT_TYPE",
     "PROFILE_SCHEMA_VERSION",
     "ProfileBucket",
     "REPORT_SCHEMA_VERSION",
+    "SPANS_ENV",
+    "SPAN_SCHEMA_VERSION",
     "SimProfiler",
+    "SpanContext",
+    "SpanRecorder",
+    "derive_trace_id",
     "dump_job_failure",
     "dump_quarantine",
+    "fetch_metrics",
     "flight_dir_from_env",
     "is_flight_dump",
+    "job_span_id",
     "load_flight_dump",
     "load_manifest",
     "metric_name",
+    "note_queue_wait",
+    "parse_openmetrics",
     "render_markdown",
     "render_openmetrics",
+    "render_top",
     "resolve_site",
+    "run_top",
+    "spans_enabled",
     "write_markdown",
 ]

@@ -201,6 +201,63 @@ def render_markdown(manifest: Dict[str, Any]) -> str:
                 )
         lines.append("")
 
+    spans = manifest.get("spans") or {}
+    if spans:
+        lines += [
+            "## Latency attribution (spans)",
+            "",
+            f"- trace id: `{spans.get('trace_id', '?')}` "
+            f"({spans.get('spans', 0)} spans across "
+            f"{spans.get('batches', 0)} batch(es))",
+            "",
+        ]
+        by_kind = spans.get("by_kind") or {}
+        if by_kind:
+            lines += [
+                "| span kind | spans | sim time s (deterministic) |",
+                "|-----------|-------|----------------------------|",
+            ]
+            for kind, stats in sorted(by_kind.items()):
+                lines.append(
+                    f"| {kind} | {stats.get('spans', 0)} | "
+                    f"{_fmt(stats.get('sim_s', 0.0))} |"
+                )
+            lines.append("")
+        wall = spans.get("wall") or {}
+        if wall:
+            lines += [
+                "| job kind | jobs | queue p50 | queue p95 | exec p50 | "
+                "exec p95 (wall s, non-deterministic) |",
+                "|----------|------|-----------|-----------|----------|"
+                "-------------------------------------|",
+            ]
+            for kind, stats in sorted(wall.items()):
+                queue = stats.get("queue_wait_s", {})
+                execute = stats.get("exec_s", {})
+                lines.append(
+                    f"| {kind} | {stats.get('jobs', 0)} | "
+                    f"{_fmt(queue.get('p50', 0.0))} | "
+                    f"{_fmt(queue.get('p95', 0.0))} | "
+                    f"{_fmt(execute.get('p50', 0.0))} | "
+                    f"{_fmt(execute.get('p95', 0.0))} |"
+                )
+            lines.append("")
+        attempts = spans.get("attempts") or {}
+        if any(
+            counts.get("retried") or counts.get("abandoned")
+            for counts in attempts.values()
+        ):
+            lines += [
+                "| job kind | failed attempts | abandoned (timeout) |",
+                "|----------|-----------------|---------------------|",
+            ]
+            for kind, counts in sorted(attempts.items()):
+                lines.append(
+                    f"| {kind} | {counts.get('retried', 0)} | "
+                    f"{counts.get('abandoned', 0)} |"
+                )
+            lines.append("")
+
     metrics = manifest.get("metrics", {})
     counters = metrics.get("counters", {})
     if counters:

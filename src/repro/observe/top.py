@@ -1,0 +1,216 @@
+"""``repro top`` — a live terminal dashboard over the metrics endpoint.
+
+Scrapes the OpenMetrics exposition a campaign serves (``repro campaign
+--serve-port`` / :class:`~repro.observe.serve.MetricsServer`), parses it
+back into counter/gauge/summary families, and renders one compact frame:
+campaign progress, per-worker occupancy, queue-wait and execute-time
+p50/p95 per job kind, and the retry/timeout/quarantine counts.  Pure
+stdlib (urllib + ANSI), read-only, and safe to point at any endpoint —
+families that are absent simply don't render, so ``repro top --once``
+also works against a bare machine registry.
+
+The latency families come from the session's *wall* registry (see
+:meth:`repro.engine.session.EngineSession.metrics_view`); everything
+this dashboard shows under "latency" is wall-clock and therefore
+non-deterministic by design.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+#: Default refresh interval for the live loop.
+DEFAULT_INTERVAL_S = 2.0
+
+#: Prefixes of the wall-latency summary families ``repro top`` charts.
+QUEUE_WAIT_PREFIX = "repro_engine_wall_queue_wait_"
+EXEC_PREFIX = "repro_engine_wall_exec_"
+
+_QUANTILE = re.compile(r'quantile="([^"]+)"')
+
+#: ANSI: clear screen + home (the live-loop frame reset).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_metrics(url: str, *, timeout_s: float = 5.0) -> str:
+    """GET one exposition snapshot from ``url`` (raises ``OSError``)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            return response.read().decode("utf-8", "replace")
+    except urllib.error.URLError as error:
+        raise OSError(f"cannot scrape {url}: {error.reason}") from error
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse an exposition back into counter/gauge/summary families.
+
+    Returns ``{"counters": {name: value}, "gauges": {name: value},
+    "summaries": {name: {"quantiles": {q: value}, "sum": s, "count": n}}}``
+    with the ``repro_``-prefixed sanitized names as keys.  Understands
+    exactly the subset :func:`repro.observe.render_openmetrics` emits.
+    """
+    types: Dict[str, str] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        if not line.strip():
+            continue
+        metric, _, raw = line.rpartition(" ")
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        quantile: Optional[str] = None
+        if "{" in metric:
+            metric, _, labels = metric.partition("{")
+            match = _QUANTILE.search(labels)
+            quantile = match.group(1) if match else None
+        if metric.endswith("_total") and types.get(metric[:-6]) == "counter":
+            counters[metric[:-6]] = value
+        elif metric.endswith("_sum") and types.get(metric[:-4]) == "summary":
+            summaries.setdefault(metric[:-4], {"quantiles": {}})["sum"] = value
+        elif metric.endswith("_count") and types.get(metric[:-6]) == "summary":
+            summaries.setdefault(metric[:-6], {"quantiles": {}})["count"] = value
+        elif types.get(metric) == "summary" and quantile is not None:
+            summaries.setdefault(metric, {"quantiles": {}})["quantiles"][
+                quantile
+            ] = value
+        elif types.get(metric) == "gauge":
+            gauges[metric] = value
+    return {"counters": counters, "gauges": gauges, "summaries": summaries}
+
+
+def _progress_bar(done: float, total: float, width: int = 32) -> str:
+    if total <= 0:
+        return "-" * width
+    fraction = max(0.0, min(1.0, done / total))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _latency_rows(
+    summaries: Dict[str, Dict[str, Any]]
+) -> Dict[str, Dict[str, Tuple[float, float, float]]]:
+    """kind → {"queue"/"exec": (p50, p95, count)} from the wall families."""
+    rows: Dict[str, Dict[str, Tuple[float, float, float]]] = {}
+    for name, summary in summaries.items():
+        if name.startswith(QUEUE_WAIT_PREFIX):
+            kind, column = name[len(QUEUE_WAIT_PREFIX):], "queue"
+        elif name.startswith(EXEC_PREFIX):
+            kind, column = name[len(EXEC_PREFIX):], "exec"
+        else:
+            continue
+        quantiles = summary.get("quantiles", {})
+        rows.setdefault(kind, {})[column] = (
+            quantiles.get("0.5", 0.0),
+            quantiles.get("0.95", 0.0),
+            summary.get("count", 0.0),
+        )
+    return rows
+
+
+def render_top(metrics: Dict[str, Dict[str, Any]], *, source: str = "") -> str:
+    """One dashboard frame from parsed metrics (no trailing newline)."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    summaries = metrics.get("summaries", {})
+    lines = [f"repro top — {source or 'metrics'}"]
+
+    total = gauges.get("repro_engine_progress_total")
+    done = gauges.get("repro_engine_progress_completed")
+    if total is not None or done is not None:
+        total, done = total or 0.0, done or 0.0
+        lines.append(
+            f"  progress  [{_progress_bar(done, total)}] "
+            f"{int(done)}/{int(total)} jobs"
+        )
+    workers = gauges.get("repro_engine_wall_workers")
+    in_flight = gauges.get("repro_engine_wall_in_flight")
+    if workers is not None:
+        busy = int(in_flight or 0)
+        capacity = max(1, int(workers))
+        lines.append(
+            f"  workers   [{_progress_bar(busy, capacity, 16)}] "
+            f"{busy}/{capacity} in flight"
+        )
+    rows = _latency_rows(summaries)
+    if rows:
+        lines.append(
+            "  latency (wall-clock, non-deterministic)"
+        )
+        lines.append(
+            f"    {'job kind':22s} {'jobs':>5s} {'queue p50':>10s} "
+            f"{'queue p95':>10s} {'exec p50':>10s} {'exec p95':>10s}"
+        )
+        for kind in sorted(rows):
+            queue = rows[kind].get("queue", (0.0, 0.0, 0.0))
+            execute = rows[kind].get("exec", (0.0, 0.0, 0.0))
+            jobs = int(execute[2] or queue[2])
+            lines.append(
+                f"    {kind:22s} {jobs:5d} {queue[0]:9.3f}s {queue[1]:9.3f}s "
+                f"{execute[0]:9.3f}s {execute[1]:9.3f}s"
+            )
+    supervision = {
+        "retried": counters.get("repro_engine_retries"),
+        "timeouts": counters.get("repro_engine_timeouts"),
+        "requeued": counters.get("repro_engine_requeues"),
+        "quarantined": counters.get("repro_engine_quarantined"),
+        "cache hits": counters.get("repro_engine_cache_hits"),
+    }
+    shown = {k: int(v) for k, v in supervision.items() if v is not None}
+    if shown:
+        lines.append(
+            "  supervision  "
+            + "  ".join(f"{k}={v}" for k, v in shown.items())
+        )
+    if len(lines) == 1:
+        count = len(counters) + len(gauges) + len(summaries)
+        lines.append(f"  (no engine families; {count} other series scraped)")
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    once: bool = False,
+    interval_s: float = DEFAULT_INTERVAL_S,
+    frames: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Drive the dashboard; returns a process exit code.
+
+    ``once`` renders a single frame (CI snapshots); otherwise the loop
+    refreshes every ``interval_s`` until interrupted (or ``frames``
+    frames, mainly for tests).
+    """
+    out = stream if stream is not None else sys.stdout
+    rendered = 0
+    try:
+        while True:
+            try:
+                metrics = parse_openmetrics(fetch_metrics(url))
+            except OSError as error:
+                print(f"repro top: {error}", file=out)
+                return 1
+            frame = render_top(metrics, source=url)
+            if not once and out.isatty():
+                out.write(_CLEAR)
+            print(frame, file=out)
+            out.flush()
+            rendered += 1
+            if once or (frames is not None and rendered >= frames):
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0

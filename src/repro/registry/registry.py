@@ -107,6 +107,13 @@ CREATE TABLE IF NOT EXISTS trajectories (
     point_json TEXT NOT NULL,
     PRIMARY KEY (bench, seq)
 );
+CREATE TABLE IF NOT EXISTS spans (
+    run_id TEXT PRIMARY KEY,
+    recorded_at TEXT NOT NULL,
+    trace_id TEXT,
+    span_count INTEGER NOT NULL,
+    timeline_sha TEXT NOT NULL
+);
 """
 
 
@@ -479,6 +486,48 @@ class RunRegistry:
                 "SELECT * FROM flights WHERE run_id = ? ORDER BY path", (run_id,)
             ).fetchall()
         return [dict(row) for row in rows]
+
+    # -- span timelines ----------------------------------------------------------
+
+    def record_spans(
+        self, run_id: str, timeline: Dict[str, Any]
+    ) -> str:
+        """Store a run's merged span timeline; returns its blob sha.
+
+        The timeline is a :meth:`repro.observe.spans.FleetTimeline.to_dict`
+        payload: deterministic span records plus the labelled wall-clock
+        sidecar.  One timeline per run id (re-recording replaces it —
+        same idempotence as :meth:`record_run`).
+        """
+        timeline_sha = self.store.put_bytes(
+            json.dumps(timeline, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
+        )
+        with self._connect() as db:
+            db.execute(
+                "INSERT OR REPLACE INTO spans (run_id, recorded_at, trace_id, "
+                "span_count, timeline_sha) VALUES (?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    _utc_now(),
+                    timeline.get("trace_id"),
+                    len(timeline.get("spans", [])),
+                    timeline_sha,
+                ),
+            )
+        return timeline_sha
+
+    def spans_for(self, run_id_or_prefix: str) -> Optional[Dict[str, Any]]:
+        """The stored span timeline for a run, or ``None`` if unrecorded."""
+        run_id = self.resolve(run_id_or_prefix)
+        with self._connect() as db:
+            row = db.execute(
+                "SELECT timeline_sha FROM spans WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return json.loads(self.store.get_bytes(row["timeline_sha"]))
 
     # -- trajectories ------------------------------------------------------------
 

@@ -33,6 +33,26 @@ class Telemetry:
         self.tracer: Tracer = (
             Tracer(max_events=max_events) if enabled else NULL_TRACER
         )
+        # Span recorder, bound lazily: repro.observe imports this module,
+        # so the recorder class cannot be imported at module level.
+        # ``execute_job`` installs the per-attempt recorder directly; an
+        # ad-hoc handle gets one (or the shared null) on first access.
+        self._spans = None
+
+    @property
+    def spans(self):
+        """The span recorder job code marks phases on (never ``None``).
+
+        Disabled telemetry — or ``REPRO_SPANS=0`` — hands out the shared
+        no-op recorder, keeping the hot path branch-free.
+        """
+        if self._spans is None:
+            from repro.observe.spans import NULL_SPANS, SpanRecorder, spans_enabled
+
+            self._spans = (
+                SpanRecorder() if (self.enabled and spans_enabled()) else NULL_SPANS
+            )
+        return self._spans
 
     @classmethod
     def disabled(cls) -> "Telemetry":

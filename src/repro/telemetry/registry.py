@@ -163,6 +163,48 @@ class Histogram:
             value = max(self.min, min(self.max, value))
         return value
 
+    def marshal(self) -> Dict[str, object]:
+        """A JSON/pickle-safe snapshot that :meth:`merge` can absorb.
+
+        Carries the exact aggregates plus the retained raw-sample window
+        — this is how worker-process histogram observations cross the
+        pool boundary inside a :class:`~repro.engine.jobs.JobResult`.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sum_sq": self.sum_sq,
+            "min": self.min,
+            "max": self.max,
+            "values": list(self._values),
+        }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold a :meth:`marshal` snapshot into this histogram.
+
+        Aggregates add exactly (count/total/sum_sq are commutative,
+        min/max are joins); the raw-sample window extends until this
+        histogram's own ``max_samples`` cap.  Merging results in input
+        order therefore produces identical state whichever executor
+        collected the snapshots.
+        """
+        count = int(snapshot.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(snapshot.get("total", 0.0))
+        self.sum_sq += float(snapshot.get("sum_sq", 0.0))
+        other_min = snapshot.get("min")
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = float(other_min)
+        other_max = snapshot.get("max")
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = float(other_max)
+        for value in snapshot.get("values", []):
+            if len(self._values) >= self._max_samples:
+                break
+            self._values.append(float(value))
+
     def reset(self) -> None:
         """Drop all observations."""
         self.count = 0
@@ -195,6 +237,9 @@ class _NullHistogram(Histogram):
 
     def observe(self, value: float) -> None:  # noqa: D102 - inherited contract
         """Discard the observation."""
+
+    def merge(self, snapshot: Dict[str, object]) -> None:  # noqa: D102
+        """Discard the snapshot."""
 
 
 #: Shared no-op instruments handed out by disabled registries.  They are
@@ -328,3 +373,59 @@ class _NullRegistry(Registry):
 
 #: Shared disabled registry (stateless, safe to share across machines).
 NULL_REGISTRY = _NullRegistry()
+
+
+class CompositeRegistry(Registry):
+    """A read-only union view over several registries.
+
+    Serves the iteration/snapshot side of the :class:`Registry` API
+    across member registries (first member wins on name collisions, name
+    order within each iterator is preserved by a merged sort).  This is
+    what lets the metrics endpoint expose the session's deterministic
+    telemetry *and* its wall-clock latency registry as one scrape
+    without ever mixing their instruments.  Instrument creation is
+    rejected — create on a member instead.
+    """
+
+    def __init__(self, *members: Registry) -> None:
+        super().__init__()
+        self.members: Tuple[Registry, ...] = tuple(members)
+
+    def _union(self, iterators) -> Iterator:
+        seen: Dict[str, object] = {}
+        for iterator in iterators:
+            for instrument in iterator:
+                seen.setdefault(instrument.name, instrument)
+        for name in sorted(seen):
+            yield seen[name]
+
+    def counters(self) -> Iterator[Counter]:
+        """Iterate counters across all members, sorted, first member wins."""
+        return self._union(member.counters() for member in self.members)
+
+    def gauges(self) -> Iterator[Gauge]:
+        """Iterate gauges across all members, sorted, first member wins."""
+        return self._union(member.gauges() for member in self.members)
+
+    def histograms(self) -> Iterator[Histogram]:
+        """Iterate histograms across all members, sorted, first member wins."""
+        return self._union(member.histograms() for member in self.members)
+
+    def counter(self, name: str) -> Counter:
+        """Reject creation — the composite view is read-only."""
+        raise ConfigurationError(
+            "CompositeRegistry is read-only; create instruments on a member"
+        )
+
+    gauge = counter  # type: ignore[assignment]
+
+    def histogram(self, name: str, *, max_samples: int = 100_000) -> Histogram:
+        """Reject creation — the composite view is read-only."""
+        raise ConfigurationError(
+            "CompositeRegistry is read-only; create instruments on a member"
+        )
+
+    def reset(self) -> None:
+        """Reset every member registry."""
+        for member in self.members:
+            member.reset()

@@ -1,0 +1,434 @@
+"""Distributed span tracing: determinism, propagation, merge, surfaces.
+
+The span model's contract mirrors the profiler's (PR 4): everything in a
+span *record* is derived from sim time and job identity, so the merged
+fleet timeline — and its Chrome-trace export — must be byte-identical
+between ``SerialExecutor`` and ``ParallelExecutor`` for the same
+campaign.  Wall-clock observations (queue wait, execute time, pids) ride
+in a labelled sidecar and never touch the records.  These tests pin that
+split, the trace-context envelope (the future HTTP wire format), the
+attempt spans retries leave behind, the cross-process telemetry
+marshalling that rides in the same ``JobResult``, and the CLI/registry
+surfaces built on top.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar, Dict, Tuple
+
+import pytest
+
+from repro.cpu import PAPER_MODEL_TUPLE
+from repro.engine import (
+    ChaosPolicy,
+    EngineSession,
+    FuzzJob,
+    JobSpec,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+)
+from repro.engine.jobs import CharacterizationRowJob, execute_job
+from repro.errors import ConfigurationError, ReproError
+from repro.observe import FleetTimeline, parse_openmetrics, render_top
+from repro.observe.spans import (
+    CAMPAIGN_SPAN_ID,
+    SPAN_SCHEMA_VERSION,
+    SpanContext,
+    SpanRecorder,
+    derive_trace_id,
+    job_span_id,
+    spans_enabled,
+)
+from repro.telemetry.registry import CompositeRegistry, Registry
+
+#: Keys a deterministic span record may carry — and nothing else.
+RECORD_KEYS = {
+    "span_id",
+    "parent_id",
+    "trace_id",
+    "name",
+    "kind",
+    "sim_start_s",
+    "sim_end_s",
+    "status",
+    "attrs",
+}
+
+
+def _row_jobs(model, config, frequencies=2):
+    table = model.frequency_table
+    picks = list(table.frequencies_ghz())[:: max(1, len(list(table.frequencies_ghz())) // frequencies)][:frequencies]
+    return [
+        CharacterizationRowJob(
+            codename=model.codename,
+            frequency_ghz=frequency,
+            config=config,
+            seed=5,
+        )
+        for frequency in picks
+    ]
+
+
+def _run(executor, jobs, tmp_path, tag):
+    with EngineSession(executor=executor) as session:
+        session.run_jobs(jobs, cache=False)
+        trace = tmp_path / f"{tag}.trace.json"
+        session.export_spans(trace)
+        return (
+            session.timeline.deterministic_dict(),
+            trace.read_bytes(),
+            {
+                h.name: h.marshal()
+                for h in session.telemetry.registry.histograms()
+            },
+            session.timeline,
+        )
+
+
+@pytest.mark.parametrize(
+    "model", PAPER_MODEL_TUPLE, ids=lambda m: m.codename
+)
+def test_serial_vs_process_span_byte_identity(model, coarse_config, tmp_path):
+    """Sim-time span fields are byte-identical across executors."""
+    jobs = _row_jobs(model, coarse_config)
+    serial_dict, serial_bytes, serial_hists, _ = _run(
+        SerialExecutor(), jobs, tmp_path, "serial"
+    )
+    process_dict, process_bytes, process_hists, timeline = _run(
+        ParallelExecutor(2), jobs, tmp_path, "process"
+    )
+    assert serial_dict == process_dict
+    assert serial_bytes == process_bytes
+    assert len(timeline) > 0
+    assert serial_hists == process_hists
+
+
+def test_wall_clock_segregated_to_sidecar(coarse_config, tmp_path):
+    """Records carry only sim/identity fields; wall data sits apart."""
+    jobs = _row_jobs(PAPER_MODEL_TUPLE[0], coarse_config)
+    with EngineSession(executor=ParallelExecutor(2)) as session:
+        session.run_jobs(jobs, cache=False)
+        timeline = session.timeline
+    for record in timeline.spans:
+        assert set(record) == RECORD_KEYS
+        assert record["trace_id"] == timeline.trace_id
+    # The sidecar is keyed by span id and is where the wall clocks live:
+    # worker pids, start stamps, durations, queue waits.
+    job_ids = [r["span_id"] for r in timeline.spans if r["kind"] == "job"]
+    assert job_ids
+    for span_id in job_ids:
+        wall = timeline.wall[span_id]
+        assert wall["pid"] > 0
+        assert wall["duration_s"] >= 0.0
+        assert wall["queue_wait_s"] >= 0.0
+    # Both export surfaces stay split the same way.
+    document = timeline.to_dict()
+    assert set(document["spans"][0]) == RECORD_KEYS
+    assert document["wall"]
+
+
+@dataclass(frozen=True)
+class FlakyJob(JobSpec):
+    """Fails its first ``fail_times`` executions, then succeeds.
+
+    Counts executions with marker files under ``scratch`` so the script
+    survives the process boundary, like the resilience suite's jobs.
+    """
+
+    kind: ClassVar[str] = "flaky-span"
+
+    name: str
+    scratch: str
+    seed: int = 0
+    fail_times: int = 0
+
+    def seed_path(self) -> Tuple[str, ...]:
+        return ("flaky-span", self.name)
+
+    def run(self, telemetry) -> Dict[str, Any]:
+        root = Path(self.scratch)
+        root.mkdir(parents=True, exist_ok=True)
+        count = len(list(root.glob(f"{self.name}.run.*"))) + 1
+        (root / f"{self.name}.run.{count}").touch()
+        if count <= self.fail_times:
+            raise RuntimeError(f"scripted failure {count}")
+        with telemetry.spans.phase("work"):
+            pass
+        return {"name": self.name, "value": 7}
+
+
+def test_retry_leaves_attempt_span_with_same_fingerprint(tmp_path):
+    """A retried job yields an error attempt span plus the real job span."""
+    job = FlakyJob(name="once", scratch=str(tmp_path / "scratch"), fail_times=1)
+    policy = RetryPolicy(max_attempts=3, backoff_s=0.01)
+    with EngineSession(executor=ParallelExecutor(2, policy=policy)) as session:
+        (payload,) = session.run_jobs([job], cache=False)
+        timeline = session.timeline
+    fingerprint = job.fingerprint()
+    attempts = [r for r in timeline.spans if r["kind"] == "attempt"]
+    assert len(attempts) == 1
+    assert attempts[0]["span_id"] == job_span_id(fingerprint, 1)
+    assert attempts[0]["status"] == "error"
+    assert attempts[0]["attrs"]["error_type"] == "RuntimeError"
+    assert attempts[0]["attrs"]["fingerprint"] == fingerprint
+    (job_span,) = [r for r in timeline.spans if r["kind"] == "job"]
+    assert job_span["span_id"] == job_span_id(fingerprint, 2)
+    assert job_span["attrs"]["fingerprint"] == fingerprint
+    assert job_span["status"] == "ok"
+    # The payload is the scripted success — retries change supervision
+    # history, never results.
+    assert payload == {"name": "once", "value": 7}
+    # The attempt shows up in the summary the report renders.
+    assert timeline.attempts_by_kind()["flaky-span"]["retried"] == 1
+
+
+def test_chaos_run_leaves_consistent_span_tree(tmp_path):
+    """Under chaos every span still hangs off one campaign root."""
+    jobs = [
+        FuzzJob(codename=model.codename, seed=5, case_index=case, num_actions=4)
+        for model in PAPER_MODEL_TUPLE
+        for case in range(2)
+    ]
+    chaos = ChaosPolicy(seed=11, error_rate=0.3)
+    policy = RetryPolicy(max_attempts=4, backoff_s=0.01)
+    executor = ParallelExecutor(2, policy=policy, chaos=chaos)
+    with EngineSession(executor=executor, chaos=chaos) as session:
+        session.run_jobs(jobs, cache=False)
+        timeline = session.timeline
+    ids = {record["span_id"] for record in timeline.spans}
+    roots = [r for r in timeline.spans if r["kind"] == "campaign"]
+    assert [r["span_id"] for r in roots] == [CAMPAIGN_SPAN_ID]
+    for record in timeline.spans:
+        if record["kind"] == "campaign":
+            assert record["parent_id"] == ""
+        else:
+            assert record["parent_id"] in ids
+        assert record["sim_end_s"] >= record["sim_start_s"]
+    # One job span per job regardless of how many attempts chaos burned.
+    job_spans = [r for r in timeline.spans if r["kind"] == "job"]
+    assert len(job_spans) == len(jobs)
+    # The round-trip through the storable document is lossless.
+    replayed = FleetTimeline.from_dict(
+        json.loads(json.dumps(timeline.to_dict()))
+    )
+    assert replayed.deterministic_dict() == timeline.deterministic_dict()
+
+
+def test_span_context_envelope_round_trip():
+    trace_id = derive_trace_id("abc", "def")
+    context = SpanContext(trace_id=trace_id, parent_id="batch-0")
+    envelope = context.to_envelope()
+    # Envelope values are strings: the envelope is the HTTP header wire
+    # format ROADMAP item 3 will reuse verbatim.
+    assert envelope["repro-span-schema"] == str(SPAN_SCHEMA_VERSION)
+    assert SpanContext.from_envelope(envelope) == context
+    # Header keys are case-insensitive, as on the wire.
+    upper = {key.upper(): value for key, value in envelope.items()}
+    assert SpanContext.from_envelope(upper) == context
+    with pytest.raises(ConfigurationError):
+        SpanContext.from_envelope({"repro-trace-id": trace_id})
+    newer = dict(envelope, **{"repro-span-schema": SPAN_SCHEMA_VERSION + 1})
+    with pytest.raises(ConfigurationError):
+        SpanContext.from_envelope(newer)
+
+
+def test_recorder_export_is_deterministic():
+    """Two recorders fed the same sim activity export identical records."""
+
+    def record():
+        recorder = SpanRecorder()
+        recorder.begin_job(
+            fingerprint="f" * 40,
+            kind="demo",
+            attempt=1,
+            context=SpanContext(trace_id="t" * 16, parent_id="batch-0"),
+        )
+        with recorder.phase("alpha", sim_start_s=0.0) as phase:
+            phase.end_sim = 1.5
+        with recorder.phase("beta", sim_start_s=1.5) as phase:
+            phase.end_sim = 2.0
+        recorder.finish_job()
+        return recorder.export()
+
+    spans_a, wall_a = record()
+    spans_b, wall_b = record()
+    assert spans_a == spans_b
+    assert spans_a[0]["span_id"] == job_span_id("f" * 40, 1)
+    assert spans_a[0]["sim_end_s"] == 2.0  # sum of phase durations
+    assert [r["name"] for r in spans_a[1:]] == ["alpha", "beta"]
+    # Wall sidecars exist for the same span ids but are not compared:
+    # they are the non-deterministic half by construction.
+    assert set(wall_a) == set(wall_b) == {r["span_id"] for r in spans_a}
+
+
+def test_spans_disabled_via_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SPANS", "0")
+    assert not spans_enabled()
+    job = FuzzJob(codename="Comet Lake", seed=5, case_index=0, num_actions=3)
+    result = execute_job(job)
+    assert result.spans == []
+    assert result.span_wall == {}
+    with EngineSession(executor=SerialExecutor()) as session:
+        session.run_jobs([job], cache=False)
+        assert session.timeline is None
+        assert "spans" not in session.run_manifest()
+        with pytest.raises(ReproError):
+            session.export_spans(tmp_path / "never.json")
+
+
+@dataclass(frozen=True)
+class InstrumentedJob(JobSpec):
+    """Observes worker-side histograms/gauges with deterministic values."""
+
+    kind: ClassVar[str] = "instrumented-span"
+
+    name: str
+    seed: int = 0
+
+    def seed_path(self) -> Tuple[str, ...]:
+        return ("instrumented-span", self.name)
+
+    def run(self, telemetry) -> Dict[str, Any]:
+        histogram = telemetry.registry.histogram("test.latency")
+        stream = self.stream().child("values")
+        for _ in range(5):
+            histogram.observe(stream.rng().random())
+        telemetry.registry.gauge("test.depth").set(float(len(self.name)))
+        return {"name": self.name}
+
+
+def test_worker_histograms_and_gauges_survive_the_process_boundary():
+    """Percentile columns are no longer serial-only (satellite fix)."""
+    jobs = [InstrumentedJob(name=name) for name in ("a", "bb", "ccc")]
+
+    def aggregates(executor):
+        with EngineSession(executor=executor) as session:
+            session.run_jobs(jobs, cache=False)
+            registry = session.telemetry.registry
+            return (
+                {h.name: h.marshal() for h in registry.histograms()},
+                {g.name: g.value for g in registry.gauges() if g.value},
+            )
+
+    serial_hists, serial_gauges = aggregates(SerialExecutor())
+    process_hists, process_gauges = aggregates(ParallelExecutor(2))
+    assert serial_hists["test.latency"]["count"] == 15
+    assert serial_hists == process_hists
+    assert serial_gauges["test.depth"] == process_gauges["test.depth"]
+
+
+def test_histogram_marshal_merge_matches_direct_observation():
+    direct = Registry().histogram("h")
+    left = Registry().histogram("h")
+    right = Registry().histogram("h")
+    for value in (1.0, 5.0, 2.5):
+        direct.observe(value)
+        left.observe(value)
+    for value in (9.0, 0.5):
+        direct.observe(value)
+        right.observe(value)
+    merged = Registry().histogram("h")
+    merged.merge(left.marshal())
+    merged.merge(right.marshal())
+    assert merged.count == direct.count
+    assert merged.mean == direct.mean
+    assert merged.stddev() == direct.stddev()
+    assert (merged.min, merged.max) == (direct.min, direct.max)
+    for q in (50.0, 95.0):
+        assert merged.percentile(q) == direct.percentile(q)
+    # Merging an empty snapshot is a no-op.
+    merged.merge(Registry().histogram("h").marshal())
+    assert merged.count == direct.count
+
+
+def test_composite_registry_is_a_read_only_union():
+    sim, wall = Registry(), Registry()
+    sim.counter("shared").inc(1)
+    sim.gauge("sim.g").set(2.0)
+    wall.counter("shared").inc(99)  # first member wins
+    wall.gauge("wall.g").set(3.0)
+    wall.histogram("wall.h").observe(1.0)
+    view = CompositeRegistry(sim, wall)
+    assert [c.name for c in view.counters()] == ["shared"]
+    assert [c.value for c in view.counters()] == [1]
+    assert [g.name for g in view.gauges()] == ["sim.g", "wall.g"]
+    assert [h.name for h in view.histograms()] == ["wall.h"]
+    with pytest.raises(ConfigurationError):
+        view.counter("new")
+    with pytest.raises(ConfigurationError):
+        view.histogram("new")
+
+
+def test_top_parses_and_renders_engine_families():
+    """The dashboard understands exactly what render_openmetrics emits."""
+    from repro.observe import render_openmetrics
+
+    registry = Registry()
+    registry.gauge("engine.progress.total").set(10)
+    registry.gauge("engine.progress.completed").set(4)
+    registry.gauge("engine.wall.workers").set(2)
+    registry.gauge("engine.wall.in_flight").set(1)
+    registry.counter("engine.retries").inc(3)
+    for value in (0.1, 0.2, 0.4):
+        registry.histogram("engine.wall.exec.fuzz").observe(value)
+        registry.histogram("engine.wall.queue_wait.fuzz").observe(value / 10)
+    metrics = parse_openmetrics(render_openmetrics(registry))
+    assert metrics["gauges"]["repro_engine_progress_total"] == 10.0
+    assert metrics["counters"]["repro_engine_retries"] == 3.0
+    exec_summary = metrics["summaries"]["repro_engine_wall_exec_fuzz"]
+    assert exec_summary["count"] == 3.0
+    assert "0.5" in exec_summary["quantiles"]
+    frame = render_top(metrics, source="test")
+    assert "4/10 jobs" in frame
+    assert "1/2 in flight" in frame
+    assert "fuzz" in frame and "non-deterministic" in frame
+    assert "retried=3" in frame
+    # Graceful degradation: a registry with no engine families renders a
+    # frame instead of crashing.
+    assert "no engine families" in render_top(
+        parse_openmetrics(render_openmetrics(Registry()))
+    )
+
+
+def test_registry_records_and_serves_span_timelines(tmp_path):
+    jobs = [FuzzJob(codename="Sky Lake", seed=5, case_index=0, num_actions=3)]
+    with EngineSession(executor=SerialExecutor()) as session:
+        session.run_jobs(jobs, cache=False)
+        run_id = session.record_run()
+        timeline = session.timeline
+    assert run_id is not None
+    from repro.registry import RunRegistry
+
+    registry = RunRegistry.from_env()
+    document = registry.spans_for(run_id)
+    assert document is not None
+    stored = FleetTimeline.from_dict(document)
+    assert stored.deterministic_dict() == timeline.deterministic_dict()
+    # Runs recorded without spans simply have none.
+    assert registry.spans_for(run_id) != {}
+
+    from repro.cli import main
+
+    assert main(["spans", run_id[:12]]) == 0
+    export = tmp_path / "stored.trace.json"
+    assert main(["spans", run_id[:12], "--export", str(export)]) == 0
+    events = json.loads(export.read_text())
+    assert events["traceEvents"]
+    # The manifest feeds the report's latency-attribution section.
+    from repro.observe import render_markdown
+
+    with EngineSession(executor=SerialExecutor()) as session:
+        session.run_jobs(jobs, cache=False)
+        report = render_markdown(session.run_manifest())
+    assert "Latency attribution (spans)" in report
+    assert timeline.trace_id in report
+
+
+def test_top_cli_reports_unreachable_endpoint():
+    from repro.cli import main
+
+    assert main(["top", "--once", "--url", "http://127.0.0.1:9/metrics"]) == 1
