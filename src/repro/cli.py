@@ -42,6 +42,7 @@ from __future__ import annotations
 import argparse
 import json as _json
 import logging
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -132,7 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--executor",
-        choices=("serial", "process"),
+        choices=("serial", "process", "remote"),
         default=None,
         help="engine executor (default: REPRO_EXECUTOR or serial)",
     )
@@ -141,6 +142,22 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool size (implies --executor process)",
+    )
+    campaign.add_argument(
+        "--remote",
+        metavar="URL",
+        default=None,
+        help="shard the campaign through a coordinator (repro serve) at "
+        "this URL (implies --executor remote); degrades to local "
+        "execution if it stays unreachable",
+    )
+    campaign.add_argument(
+        "--remote-wait",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="give up on remote results after this long without "
+        "completion and finish the batch locally (default: wait)",
     )
     campaign.add_argument(
         "--no-aes", action="store_true", help="skip the AES-DFA campaign"
@@ -578,6 +595,71 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stop after N frames (default: run until interrupted)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a campaign coordinator: lease jobs to repro work agents, "
+        "dedup results fleet-wide, serve /metrics",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: pick a free ephemeral port and "
+        "print it)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory (default: a fresh temp directory)",
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat deadline after which a worker's lease expires and "
+        "its jobs are re-leased (default: 15)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long then exit (default: until interrupted)",
+    )
+
+    work = sub.add_parser(
+        "work",
+        help="run a worker agent: lease jobs from a coordinator, execute, "
+        "publish results",
+    )
+    work.add_argument(
+        "--coordinator",
+        metavar="URL",
+        required=True,
+        help="coordinator base URL (printed by repro serve)",
+    )
+    work.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="jobs to lease per batch (default: 2)",
+    )
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker name for leases and spans (default: host-pid)",
+    )
+    work.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long with no work (default: poll forever)",
+    )
+
     trajectory = sub.add_parser(
         "trajectory",
         help="append and gate perf-trajectory points (BENCH_<name>.json)",
@@ -988,7 +1070,21 @@ def _cmd_campaign(args) -> int:
     if args.resume and checkpoint is not None:
         print(f"resuming from checkpoint {checkpoint_dir} "
               f"({checkpoint.completed_count()} job(s) already completed)")
-    if args.executor is not None or args.workers is not None:
+    if args.remote is not None or args.executor == "remote":
+        from repro.serve import RemoteExecutor
+
+        url = args.remote or os.environ.get("REPRO_COORDINATOR")
+        if not url:
+            print("campaign: --executor remote needs --remote URL "
+                  "(or REPRO_COORDINATOR)", file=sys.stderr)
+            return 2
+        executor = RemoteExecutor(
+            url, policy=RetryPolicy.from_env(), max_wait_s=args.remote_wait
+        )
+        session = set_session(
+            EngineSession(executor=executor, checkpoint=checkpoint)
+        )
+    elif args.executor is not None or args.workers is not None:
         executor = make_executor(
             args.executor or "process",
             workers=args.workers,
@@ -1014,11 +1110,19 @@ def _cmd_campaign(args) -> int:
         session.telemetry.registry.counter("countermeasure.detections")
         # Serve the composite view: deterministic telemetry plus the
         # wall-clock occupancy/latency instruments `repro top` charts.
-        server = MetricsServer(
-            provider=lambda: session.metrics_view(), port=args.serve_port
-        ).start()
+        from repro.errors import ObserveError
+
+        try:
+            server = MetricsServer(
+                provider=lambda: session.metrics_view(), port=args.serve_port
+            ).start()
+        except ObserveError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        # server.port, not args.serve_port: --serve-port 0 binds an
+        # ephemeral port and the printed line is how callers learn it.
         print(f"serving OpenMetrics at {server.url} "
-              f"(watch with: repro top --port {args.serve_port})", flush=True)
+              f"(watch with: repro top --port {server.port})", flush=True)
     try:
         jobs = experiments.prevention_jobs(
             seed=args.seed, include_aes=not args.no_aes, batch=args.batch
@@ -1598,6 +1702,10 @@ def _cmd_top(args) -> int:
     from repro.observe.top import DEFAULT_INTERVAL_S
 
     url = args.url or f"http://127.0.0.1:{args.port}/metrics"
+    # A bare coordinator URL (repro serve prints one) works too: the
+    # dashboard scrapes its /metrics exposition.
+    if "://" in url and not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
     return run_top(
         url,
         once=args.once,
@@ -1810,6 +1918,9 @@ def _cmd_status(args) -> int:
                      f"{jobs['cached']} cached, {jobs['resumed']} resumed, "
                      f"{jobs['quarantined']} quarantined)"),
             ("dedup hit-rate", f"{info['dedup_hit_rate']:.0%}"),
+            ("dedup by origin",
+             f"{info['dedup_hits']['local']} local / "
+             f"{info['dedup_hits']['remote']} remote"),
             ("objects", info["objects"]),
             ("store size", f"{info['store_bytes'] / 1024:.1f} KiB"),
             ("flight dumps", info["flights"]),
@@ -1965,7 +2076,16 @@ def _cmd_metrics_serve(args) -> int:
         telemetry=telemetry,
     )
     machine.modules.insmod(PollingCountermeasure(machine, unsafe))
-    with MetricsServer(telemetry.registry, host=args.host, port=args.port) as server:
+    from repro.errors import ObserveError
+
+    try:
+        server = MetricsServer(
+            telemetry.registry, host=args.host, port=args.port
+        ).start()
+    except ObserveError as exc:
+        print(f"metrics serve: {exc}", file=sys.stderr)
+        return 2
+    try:
         print(f"serving OpenMetrics at {server.url} "
               f"(liveness at /healthz) for {args.duration:g}s", flush=True)
         deadline = time.monotonic() + args.duration
@@ -1977,7 +2097,77 @@ def _cmd_metrics_serve(args) -> int:
                 time.sleep(0.05)
         except KeyboardInterrupt:
             pass
+    finally:
+        server.stop()
     print("metrics server stopped")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import tempfile
+    import time
+
+    from repro.errors import ObserveError, ServeError
+    from repro.serve import Coordinator
+    from repro.serve.coordinator import DEFAULT_LEASE_TIMEOUT_S
+
+    store = args.store or tempfile.mkdtemp(prefix="repro-serve-")
+    coordinator = Coordinator(
+        store,
+        host=args.host,
+        port=args.port,
+        lease_timeout_s=(
+            args.lease_timeout
+            if args.lease_timeout is not None
+            else DEFAULT_LEASE_TIMEOUT_S
+        ),
+    )
+    try:
+        coordinator.start()
+    except (ObserveError, ServeError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    # coordinator.port, not args.port: --port 0 binds an ephemeral port
+    # and this line is how workers and clients learn the address.
+    print(f"coordinator serving at {coordinator.url} "
+          f"(store: {store}; metrics at {coordinator.url}/metrics)",
+          flush=True)
+    print(f"attach workers with: repro work --coordinator {coordinator.url}",
+          flush=True)
+    deadline = (
+        time.monotonic() + args.duration if args.duration is not None else None
+    )
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+    print("coordinator stopped")
+    return 0
+
+
+def _cmd_work(args) -> int:
+    from repro.errors import CoordinatorUnreachableError, ServeError
+    from repro.serve import WorkerAgent
+    from repro.serve.worker import DEFAULT_CAPACITY
+
+    agent = WorkerAgent(
+        args.coordinator,
+        worker_id=args.worker_id,
+        capacity=args.capacity if args.capacity is not None else DEFAULT_CAPACITY,
+        max_idle_s=args.max_idle,
+    )
+    print(f"worker {agent.worker_id} polling {args.coordinator}", flush=True)
+    try:
+        executed = agent.run()
+    except KeyboardInterrupt:
+        executed = agent.executed
+    except (CoordinatorUnreachableError, ServeError) as exc:
+        print(f"work: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker {agent.worker_id} done ({executed} job(s) executed)")
     return 0
 
 
@@ -2098,6 +2288,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_status(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "work":
+        return _cmd_work(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "report":

@@ -24,7 +24,9 @@ experiment API, the CLI and both conftests share one default session via
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.checkpoint import CampaignCheckpoint
 from repro.engine.executors import (
+    COORDINATOR_ENV,
     EXECUTOR_ENV,
+    EXECUTOR_KINDS,
     WORKERS_ENV,
     Executor,
     ParallelExecutor,
@@ -80,7 +82,9 @@ __all__ = [
     "ExploreInjectionJob",
     "ExplorePointJob",
     "DEFAULT_SEED",
+    "COORDINATOR_ENV",
     "EXECUTOR_ENV",
+    "EXECUTOR_KINDS",
     "EngineSession",
     "Executor",
     "FuzzJob",

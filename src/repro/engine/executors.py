@@ -47,7 +47,10 @@ EXECUTOR_ENV = "REPRO_EXECUTOR"
 WORKERS_ENV = "REPRO_WORKERS"
 
 #: Recognised executor kinds.
-EXECUTOR_KINDS = ("serial", "process")
+EXECUTOR_KINDS = ("serial", "process", "remote")
+
+#: Coordinator URL consulted when ``REPRO_EXECUTOR=remote``.
+COORDINATOR_ENV = "REPRO_COORDINATOR"
 
 
 #: Per-job completion callback: ``progress(done_count, result)``.  Used
@@ -497,13 +500,24 @@ def make_executor(
     workers: Optional[int] = None,
     policy: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosPolicy] = None,
+    url: Optional[str] = None,
 ) -> Executor:
-    """Build an executor by kind name (``serial`` or ``process``)."""
+    """Build an executor by kind name (``serial``/``process``/``remote``)."""
     kind = (kind or "serial").lower()
     if kind == "serial":
         return SerialExecutor(policy=policy)
     if kind == "process":
         return ParallelExecutor(workers, policy=policy, chaos=chaos)
+    if kind == "remote":
+        if not url:
+            raise ConfigurationError(
+                "the remote executor needs a coordinator URL "
+                f"(--remote / {COORDINATOR_ENV})"
+            )
+        # Imported here: repro.serve depends on this module.
+        from repro.serve.client import RemoteExecutor
+
+        return RemoteExecutor(url, policy=policy, chaos=chaos)
     raise ConfigurationError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
     )
@@ -522,4 +536,9 @@ def executor_from_env(*, workers: Optional[int] = None) -> Executor:
                 raise ConfigurationError(
                     f"{WORKERS_ENV} must be an integer, got {raw!r}"
                 ) from error
-    return make_executor(kind, workers=workers, policy=RetryPolicy.from_env())
+    return make_executor(
+        kind,
+        workers=workers,
+        policy=RetryPolicy.from_env(),
+        url=os.environ.get(COORDINATOR_ENV),
+    )

@@ -49,6 +49,10 @@ RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 #: Chaos actions a policy can schedule for one (fingerprint, attempt).
 CHAOS_ACTIONS = ("kill", "error", "stall")
 
+#: Network chaos actions a policy can schedule for one request attempt
+#: (see :meth:`ChaosPolicy.network_action_for`).
+NETWORK_CHAOS_ACTIONS = ("drop", "tear", "stall", "duplicate")
+
 #: Separator keeping ("a","bc") and ("ab","c") on distinct draws.
 _DRAW_SEPARATOR = "\x1f"
 
@@ -137,10 +141,24 @@ class ChaosPolicy:
     the retry budget exceeds the faulted-attempt budget.
 
     ``kill_rate`` maps to ``os._exit(1)`` in the worker (breaks the
-    whole pool), ``error_rate`` to a :class:`~repro.errors.ChaosError`,
-    ``stall_rate`` to a ``stall_s`` sleep (trips per-job timeouts), and
-    ``torn_write_rate`` to a corrupted on-disk cache entry injected by
-    the engine session right after a ``put``.
+    whole pool — or, for a remote worker agent, dies mid-lease so the
+    coordinator re-leases the batch), ``error_rate`` to a
+    :class:`~repro.errors.ChaosError`, ``stall_rate`` to a ``stall_s``
+    sleep (trips per-job timeouts), and ``torn_write_rate`` to a
+    corrupted on-disk cache entry injected by the engine session right
+    after a ``put``.
+
+    The ``drop_rate`` / ``torn_body_rate`` / ``net_stall_rate`` /
+    ``duplicate_rate`` quartet schedules *network* faults for the
+    multi-host campaign service (:mod:`repro.serve`): a dropped
+    response (the request was processed, the reply never arrived), a
+    torn/truncated body, a stalled socket, and a duplicated delivery
+    of the same request.  They are addressed per (request name,
+    transport attempt) via :meth:`network_action_for` and obey the same
+    ``max_faulted_attempts`` convergence rule as the worker faults:
+    retried deliveries always run clean, and because every service
+    request is idempotent, a chaos-ridden remote campaign converges to
+    the undisturbed result byte for byte.
     """
 
     seed: int = 0
@@ -150,10 +168,17 @@ class ChaosPolicy:
     torn_write_rate: float = 0.0
     stall_s: float = 0.5
     max_faulted_attempts: int = 1
+    drop_rate: float = 0.0
+    torn_body_rate: float = 0.0
+    net_stall_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    net_stall_s: float = 0.2
 
     def __post_init__(self) -> None:
         rates = (
-            self.kill_rate, self.error_rate, self.stall_rate, self.torn_write_rate
+            self.kill_rate, self.error_rate, self.stall_rate, self.torn_write_rate,
+            self.drop_rate, self.torn_body_rate, self.net_stall_rate,
+            self.duplicate_rate,
         )
         if any(rate < 0.0 or rate > 1.0 for rate in rates):
             raise ConfigurationError("chaos rates must lie in [0, 1]")
@@ -161,7 +186,15 @@ class ChaosPolicy:
             raise ConfigurationError(
                 "kill_rate + error_rate + stall_rate must not exceed 1"
             )
-        if self.stall_s < 0:
+        if (
+            self.drop_rate + self.torn_body_rate + self.net_stall_rate
+            + self.duplicate_rate
+        ) > 1.0:
+            raise ConfigurationError(
+                "drop_rate + torn_body_rate + net_stall_rate + "
+                "duplicate_rate must not exceed 1"
+            )
+        if self.stall_s < 0 or self.net_stall_s < 0:
             raise ConfigurationError("stall_s must be >= 0")
         if self.max_faulted_attempts < 0:
             raise ConfigurationError("max_faulted_attempts must be >= 0")
@@ -190,6 +223,33 @@ class ChaosPolicy:
     def should_tear_cache(self, fingerprint: str) -> bool:
         """Whether the disk cache entry for this result gets torn."""
         return self._draw(fingerprint, "tear") < self.torn_write_rate
+
+    def network_action_for(self, name: str, attempt: int) -> Optional[str]:
+        """The network fault scheduled for one request delivery.
+
+        ``name`` addresses the request (method, path and the batch or
+        result fingerprint it carries); ``attempt`` is the transport
+        attempt number.  Like :meth:`action_for`, faults are only
+        scheduled for attempts ``<= max_faulted_attempts``, so a
+        retried delivery always runs clean and the retry budget bounds
+        convergence.  Returns one of :data:`NETWORK_CHAOS_ACTIONS` or
+        ``None`` (deliver clean).
+        """
+        if attempt > self.max_faulted_attempts:
+            return None
+        draw = self._draw("net", name, str(attempt), "action")
+        if draw < self.drop_rate:
+            return "drop"
+        if draw < self.drop_rate + self.torn_body_rate:
+            return "tear"
+        if draw < self.drop_rate + self.torn_body_rate + self.net_stall_rate:
+            return "stall"
+        if draw < (
+            self.drop_rate + self.torn_body_rate + self.net_stall_rate
+            + self.duplicate_rate
+        ):
+            return "duplicate"
+        return None
 
     # -- worker-side application -------------------------------------------------
 

@@ -443,6 +443,15 @@ class EngineSession:
                     sources[index] = "quarantined"
                     self._quarantine_payload(result.payload)
                     continue
+                # A remote executor tags where each payload actually
+                # came from ("remote" = executed by the fleet,
+                # "remote-cache" = served from the coordinator's dedup
+                # store).  Origins never enter run ids — compute_run_id
+                # folds only job identities — so provenance cannot
+                # perturb byte-identity.
+                origin = getattr(result, "origin", None)
+                if origin is not None:
+                    sources[index] = origin
                 if cache:
                     self.cache.put(result.fingerprint, result.payload)
                     if self.chaos is not None and self.chaos.should_tear_cache(
@@ -622,7 +631,14 @@ class EngineSession:
             source: sum(
                 1 for job in all_jobs if job.get("source", "executed") == source
             )
-            for source in ("cache", "resumed", "executed", "quarantined")
+            for source in (
+                "cache",
+                "resumed",
+                "executed",
+                "quarantined",
+                "remote",
+                "remote-cache",
+            )
         }
         env = {
             name: value
@@ -646,6 +662,8 @@ class EngineSession:
                 "resumed": by_source["resumed"],
                 "executed": by_source["executed"],
                 "quarantined": by_source["quarantined"],
+                "remote": by_source["remote"],
+                "remote_cached": by_source["remote-cache"],
             },
             "quarantined": list(self.quarantined),
             "batches": self.history,

@@ -174,6 +174,46 @@ class RegistryIntegrityError(RegistryError):
         self.sha256 = sha256
 
 
+class ServeError(ReproError):
+    """A campaign-service operation failed (:mod:`repro.serve`).
+
+    Raised for coordinator lifecycle misuse (double start, bind
+    failures surfaced by the CLI) and malformed service state — never
+    for ordinary network trouble, which the client retries and
+    eventually reports as :class:`CoordinatorUnreachableError`.
+    """
+
+
+class ServeProtocolError(ServeError):
+    """A message on the campaign-service wire was malformed.
+
+    Covers unparseable JSON bodies (including chaos-torn ones), missing
+    required fields, unsupported protocol or span-envelope schema
+    versions, and non-JSON error replies.  The client treats these as
+    retryable: a torn body is indistinguishable from a lost response,
+    and every request is idempotent by design.
+    """
+
+
+class CoordinatorUnreachableError(ServeError):
+    """The coordinator stayed unreachable beyond the retry budget.
+
+    Raised by the client transport after its deterministic capped
+    exponential backoff schedule is exhausted.  The remote executor
+    catches it and degrades gracefully to local execution — the
+    campaign completes either way, with identical bytes.
+    """
+
+    def __init__(self, url: str, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"coordinator {url} unreachable after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.url = url
+        self.attempts = attempts
+        self.cause = cause
+
+
 class EnclaveError(ReproError):
     """An SGX enclave operation failed."""
 

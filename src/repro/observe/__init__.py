@@ -64,6 +64,7 @@ from repro.observe.spans import (
 from repro.observe.top import (
     fetch_metrics,
     parse_openmetrics,
+    render_banner,
     render_top,
     run_top,
 )
@@ -99,6 +100,7 @@ __all__ = [
     "parse_openmetrics",
     "render_markdown",
     "render_openmetrics",
+    "render_banner",
     "render_top",
     "resolve_site",
     "run_top",

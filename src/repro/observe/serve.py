@@ -91,10 +91,22 @@ class MetricsServer:
         return f"http://{self._host}:{self.port}/metrics"
 
     def start(self) -> "MetricsServer":
-        """Bind and begin serving in a daemon thread."""
+        """Bind and begin serving in a daemon thread.
+
+        A requested port that is already in use (or otherwise unbindable)
+        raises :class:`~repro.errors.ObserveError` naming the address and
+        the fix, instead of leaking the raw ``OSError`` traceback.
+        """
         if self._server is not None:
             raise ObserveError("metrics server already started")
-        server = _Server((self._host, self._requested_port), _MetricsHandler)
+        try:
+            server = _Server((self._host, self._requested_port), _MetricsHandler)
+        except OSError as error:
+            raise ObserveError(
+                f"cannot bind metrics server to "
+                f"{self._host}:{self._requested_port} ({error}); pass "
+                "--serve-port 0 (or port=0) to pick a free ephemeral port"
+            ) from error
         server.registry_provider = self._provider
         self._server = server
         self._thread = threading.Thread(

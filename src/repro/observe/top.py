@@ -180,6 +180,18 @@ def render_top(metrics: Dict[str, Dict[str, Any]], *, source: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_banner(url: str, error: BaseException) -> str:
+    """The connection-lost frame shown while the endpoint is away."""
+    return "\n".join(
+        [
+            f"repro top — {url}",
+            "  ── connection lost ──",
+            f"  {error}",
+            "  retrying on the next refresh (ctrl-c to quit)",
+        ]
+    )
+
+
 def run_top(
     url: str,
     *,
@@ -190,27 +202,36 @@ def run_top(
 ) -> int:
     """Drive the dashboard; returns a process exit code.
 
-    ``once`` renders a single frame (CI snapshots); otherwise the loop
-    refreshes every ``interval_s`` until interrupted (or ``frames``
-    frames, mainly for tests).
+    ``once`` renders a single frame (CI snapshots) and exits 1 when the
+    endpoint is unreachable.  The live loop instead shows a
+    connection-lost banner and keeps retrying — a coordinator restart or
+    a network blip must not kill the dashboard watching it — refreshing
+    every ``interval_s`` until interrupted (or ``frames`` frames, mainly
+    for tests); its exit code reports whether the endpoint was ever
+    scraped successfully.
     """
     out = stream if stream is not None else sys.stdout
     rendered = 0
+    connected = False
     try:
         while True:
             try:
                 metrics = parse_openmetrics(fetch_metrics(url))
             except OSError as error:
-                print(f"repro top: {error}", file=out)
-                return 1
-            frame = render_top(metrics, source=url)
+                if once:
+                    print(f"repro top: {error}", file=out)
+                    return 1
+                frame = render_banner(url, error)
+            else:
+                connected = True
+                frame = render_top(metrics, source=url)
             if not once and out.isatty():
                 out.write(_CLEAR)
             print(frame, file=out)
             out.flush()
             rendered += 1
             if once or (frames is not None and rendered >= frames):
-                return 0
+                return 0 if connected else 1
             time.sleep(interval_s)
     except KeyboardInterrupt:
         return 0

@@ -325,8 +325,13 @@ class RunRegistry:
                     _canonical_json(env.get("result_affecting", {})),
                     _canonical_json(_codenames_of(rows)),
                     len(rows),
-                    by_source.get("executed", 0),
-                    by_source.get("cache", 0),
+                    # Remote execution is still execution, and a fleet
+                    # dedup hit is still a cache hit — the fixed runs
+                    # columns keep their conservation law while the
+                    # results table retains the raw per-job source for
+                    # the by-origin breakdown in describe().
+                    by_source.get("executed", 0) + by_source.get("remote", 0),
+                    by_source.get("cache", 0) + by_source.get("remote-cache", 0),
                     by_source.get("resumed", 0),
                     by_source.get("quarantined", 0),
                 ),
@@ -581,9 +586,15 @@ class RunRegistry:
                 "FROM runs"
             ).fetchone()
             flights = db.execute("SELECT COUNT(*) AS n FROM flights").fetchone()
+            origin_rows = db.execute(
+                "SELECT source, COUNT(*) AS n FROM results GROUP BY source"
+            ).fetchall()
         objects, size = self.store.census()
         jobs = int(runs["jobs"] or 0)
         reused = int(runs["cached"] or 0) + int(runs["resumed"] or 0)
+        by_origin = {row["source"]: int(row["n"]) for row in origin_rows}
+        local_hits = by_origin.get("cache", 0) + by_origin.get("resumed", 0)
+        remote_hits = by_origin.get("remote-cache", 0)
         latest: Dict[str, Any] = {}
         for bench in self.trajectory_benches():
             points = self.trajectory(bench)
@@ -599,6 +610,11 @@ class RunRegistry:
                 "quarantined": int(runs["quarantined"] or 0),
             },
             "dedup_hit_rate": (reused / jobs) if jobs else 0.0,
+            # Raw per-job sources ("executed", "cache", "remote",
+            # "remote-cache", ...) and the local/remote split of dedup
+            # hits, so fleet-wide cache effectiveness is measurable.
+            "by_origin": by_origin,
+            "dedup_hits": {"local": local_hits, "remote": remote_hits},
             "objects": objects,
             "store_bytes": size,
             "flights": int(flights["n"] or 0),

@@ -1,0 +1,207 @@
+"""Worker agent (``repro work --coordinator URL``).
+
+A worker is a deliberately dumb loop: lease a batch, heartbeat it,
+execute each job with the exact machinery a local process-pool worker
+uses (:func:`repro.engine.resilience.execute_supervised`), publish each
+result with an idempotent PUT, repeat.  All policy lives on the
+coordinator — attempt budgets, requeue-vs-quarantine decisions, dedup —
+so a worker can be SIGKILLed at any instant without losing anything but
+the lease deadline.
+
+Two details carry the robustness story:
+
+* the **heartbeat thread** renews the lease at a third of its timeout;
+  if the coordinator answers ``ok: false`` the lease has already been
+  reaped (this worker was presumed dead — a partition, a long GC, a
+  stall) and the worker *abandons the rest of the batch*: its jobs are
+  someone else's now, and publishing late results is harmless anyway
+  because result PUTs are first-wins;
+* the **chaos policy travels with the lease**, so an injected ``kill``
+  takes the whole agent down mid-lease with ``os._exit`` — precisely
+  the failure the lease deadline exists to absorb.  The respawned (or
+  surviving) worker re-leases the job on the next attempt number and
+  replays the same named seed stream, byte for byte.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.engine.resilience import ChaosPolicy, SupervisedTask, execute_supervised
+from repro.errors import CoordinatorUnreachableError, ServeProtocolError
+from repro.registry.store import encode_object
+from repro.serve import protocol
+from repro.serve.client import Transport
+
+#: How often an idle worker re-polls for work.
+DEFAULT_POLL_INTERVAL_S = 0.2
+
+#: Lease batch size a worker asks for by default.
+DEFAULT_CAPACITY = 2
+
+
+def default_worker_id() -> str:
+    """hostname-pid, unique enough for a fleet and readable in spans."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class WorkerAgent:
+    """One lease-execute-publish loop against one coordinator."""
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        worker_id: Optional[str] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+        max_idle_s: Optional[float] = None,
+        transport: Optional[Transport] = None,
+    ) -> None:
+        self.worker_id = worker_id or default_worker_id()
+        self.capacity = max(1, int(capacity))
+        self.poll_interval_s = float(poll_interval_s)
+        self.max_idle_s = max_idle_s
+        # The worker's control plane runs without chaos: network faults
+        # are a client-transport concern, worker faults arrive via the
+        # leased ChaosPolicy below.
+        self.transport = transport or Transport(url)
+        self.executed = 0
+
+    # -- one lease ---------------------------------------------------------------
+
+    def _publish(self, fingerprint: str, message: Dict[str, Any]) -> None:
+        self.transport.request(
+            "PUT", f"/v1/result/{fingerprint}", message
+        )
+
+    def serve_lease(self, reply: Dict[str, Any], headers: Dict[str, str]) -> int:
+        """Execute one granted lease; returns how many results landed."""
+        jobs = reply.get("jobs", [])
+        if not jobs:
+            return 0
+        lease_id = str(reply["lease_id"])
+        lease_timeout_s = float(
+            reply.get("lease_timeout_s", 15.0)
+        )
+        chaos_dict = reply.get("chaos")
+        chaos = ChaosPolicy(**chaos_dict) if chaos_dict else None
+        span_context = protocol.context_from_headers(headers)
+
+        abandoned = threading.Event()
+        stop = threading.Event()
+
+        def heartbeat() -> None:
+            interval = max(0.05, lease_timeout_s / 3.0)
+            while not stop.wait(interval):
+                try:
+                    pulse, _ = self.transport.request(
+                        "POST", "/v1/heartbeat", {"lease_id": lease_id}
+                    )
+                except (CoordinatorUnreachableError, ServeProtocolError):
+                    abandoned.set()
+                    return
+                if not pulse.get("ok", False):
+                    # Reaped: the jobs have been re-queued for another
+                    # worker — stop touching this batch.
+                    abandoned.set()
+                    return
+
+        pulse_thread = threading.Thread(
+            target=heartbeat, name="repro-work-heartbeat", daemon=True
+        )
+        pulse_thread.start()
+        landed = 0
+        try:
+            for entry in jobs:
+                if abandoned.is_set():
+                    break
+                fingerprint = str(entry["fingerprint"])
+                attempt = int(entry.get("attempt", 1))
+                try:
+                    job = pickle.loads(
+                        protocol.decode_payload(str(entry["spec"]))
+                    )
+                    # Same entry point as a process-pool worker: chaos
+                    # (possibly os._exit mid-lease), then the job on its
+                    # named seed stream.
+                    result = execute_supervised(
+                        SupervisedTask(
+                            job=job,
+                            attempt=attempt,
+                            chaos=chaos,
+                            span_context=span_context,
+                        )
+                    )
+                except Exception as error:  # noqa: BLE001 - reported upstream
+                    self._publish(
+                        fingerprint,
+                        {
+                            "lease_id": lease_id,
+                            "attempt": attempt,
+                            "status": "error",
+                            "error_type": type(error).__name__,
+                            "error_message": str(error),
+                        },
+                    )
+                else:
+                    self._publish(
+                        fingerprint,
+                        {
+                            "lease_id": lease_id,
+                            "attempt": attempt,
+                            "status": "ok",
+                            "payload": protocol.encode_payload(
+                                encode_object(result)
+                            ),
+                        },
+                    )
+                    landed += 1
+        finally:
+            stop.set()
+            pulse_thread.join(timeout=5.0)
+        self.executed += landed
+        return landed
+
+    # -- the loop ----------------------------------------------------------------
+
+    def run(self, *, max_leases: Optional[int] = None) -> int:
+        """Lease and execute until idle past ``max_idle_s`` (or forever).
+
+        Returns the number of results this agent landed.  ``max_leases``
+        bounds the loop for tests.
+        """
+        idle_since = time.monotonic()
+        leases_served = 0
+        while True:
+            reply, headers = self.transport.request(
+                "POST",
+                "/v1/lease",
+                {"worker_id": self.worker_id, "capacity": self.capacity},
+            )
+            if reply.get("jobs"):
+                self.serve_lease(reply, headers)
+                leases_served += 1
+                idle_since = time.monotonic()
+                if max_leases is not None and leases_served >= max_leases:
+                    return self.executed
+                continue
+            if (
+                self.max_idle_s is not None
+                and time.monotonic() - idle_since > self.max_idle_s
+            ):
+                return self.executed
+            time.sleep(self.poll_interval_s)
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_POLL_INTERVAL_S",
+    "WorkerAgent",
+    "default_worker_id",
+]

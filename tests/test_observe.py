@@ -513,6 +513,8 @@ class TestRunManifest:
             "executed": 2,
             "resumed": 0,
             "quarantined": 0,
+            "remote": 0,
+            "remote_cached": 0,
         }
         assert len(manifest["batches"]) == 2
         first, second = manifest["batches"]
